@@ -1,0 +1,38 @@
+// Ablation: force S_per in {1,2,4,8} and compare against the dynamic tuner
+// (§4.4) — shows the tuner tracks or beats the best static choice.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pipad;
+  auto flags = bench::Flags::parse(argc, argv);
+  if (flags.datasets.empty()) {
+    flags.datasets = {"hepth", "epinions", "covid19-england"};
+  }
+  bench::DatasetCache cache;
+
+  std::printf("Ablation: forced S_per vs the dynamic tuner (total us)\n\n");
+  for (auto model : bench::all_models()) {
+    std::printf("--- %s ---\n", models::model_type_name(model));
+    std::printf("%-18s %10s %10s %10s %10s %10s\n", "Dataset", "S=1", "S=2",
+                "S=4", "S=8", "tuner");
+    for (const auto& dcfg : flags.configs()) {
+      const auto& g = cache.get(dcfg);
+      const auto tcfg = bench::train_config(flags, model);
+      std::printf("%-18s", dcfg.name.c_str());
+      for (int s : {1, 2, 4, 8}) {
+        runtime::PipadOptions o;
+        o.forced_sper = s;
+        std::printf(" %10.0f",
+                    bench::run_method(g, bench::Method::PiPAD, tcfg, o)
+                        .total_us);
+      }
+      std::printf(" %10.0f\n",
+                  bench::run_method(g, bench::Method::PiPAD, tcfg)
+                      .total_us);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

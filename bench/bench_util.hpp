@@ -1,0 +1,174 @@
+// Shared benchmark scaffolding: flag parsing, dataset caching, method
+// runners and table printing.
+//
+// Every bench binary accepts:
+//   --scale-large=N   divisor for the four large graphs   (default 256)
+//   --scale-small=N   divisor for HepTh                    (default 8)
+//   --epochs=N        training epochs                      (default 2)
+//   --frames=N        max frames per epoch                 (default 4)
+//   --frame-size=N    sliding-window size                  (default 8;
+//                     paper uses 16 — raise for fidelity, costs runtime)
+//   --datasets=a,b    comma-separated subset               (default all 7)
+// Defaults are sized for a single-core CI run; the *shape* of each figure
+// is stable across scales because it derives from the analytic cost model.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_trainer.hpp"
+#include "common/util.hpp"
+#include "graph/generator.hpp"
+#include "pipad/pipad_trainer.hpp"
+
+namespace pipad::bench {
+
+struct Flags {
+  int scale_large = 256;
+  int scale_small = 8;
+  int epochs = 2;
+  int frames = 4;
+  int frame_size = 8;
+  std::vector<std::string> datasets;
+
+  static Flags parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto val = [&](const char* key) -> const char* {
+        const std::string prefix = std::string(key) + "=";
+        return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size()
+                                         : nullptr;
+      };
+      if (const char* v = val("--scale-large")) f.scale_large = std::atoi(v);
+      if (const char* v = val("--scale-small")) f.scale_small = std::atoi(v);
+      if (const char* v = val("--epochs")) f.epochs = std::atoi(v);
+      if (const char* v = val("--frames")) f.frames = std::atoi(v);
+      if (const char* v = val("--frame-size")) f.frame_size = std::atoi(v);
+      if (const char* v = val("--datasets")) {
+        std::string s = v;
+        std::size_t pos = 0;
+        while (pos != std::string::npos) {
+          const auto next = s.find(',', pos);
+          f.datasets.push_back(s.substr(
+              pos, next == std::string::npos ? next : next - pos));
+          pos = next == std::string::npos ? next : next + 1;
+        }
+      }
+    }
+    return f;
+  }
+
+  std::vector<graph::DatasetConfig> configs() const {
+    auto all = graph::evaluation_datasets(scale_large, scale_small);
+    if (datasets.empty()) return all;
+    std::vector<graph::DatasetConfig> out;
+    for (const auto& want : datasets) {
+      for (const auto& c : all) {
+        if (c.name == want) out.push_back(c);
+      }
+    }
+    return out;
+  }
+};
+
+/// Dataset generation is the slow part; cache per process.
+class DatasetCache {
+ public:
+  const graph::DTDG& get(const graph::DatasetConfig& cfg) {
+    auto it = cache_.find(cfg.name);
+    if (it == cache_.end()) {
+      std::fprintf(stderr, "[bench] generating %s ...\n", cfg.name.c_str());
+      it = cache_.emplace(cfg.name, graph::generate(cfg)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, graph::DTDG> cache_;
+};
+
+inline models::TrainConfig train_config(const Flags& f, models::ModelType m) {
+  models::TrainConfig cfg;
+  cfg.model = m;
+  cfg.frame_size = f.frame_size;
+  cfg.epochs = f.epochs;
+  cfg.max_frames_per_epoch = f.frames;
+  return cfg;
+}
+
+enum class Method { PyGT, PyGTA, PyGTR, PyGTG, PiPAD };
+
+inline const char* method_name(Method m) {
+  switch (m) {
+    case Method::PyGT:
+      return "PyGT";
+    case Method::PyGTA:
+      return "PyGT-A";
+    case Method::PyGTR:
+      return "PyGT-R";
+    case Method::PyGTG:
+      return "PyGT-G";
+    case Method::PiPAD:
+      return "PiPAD";
+  }
+  return "?";
+}
+
+inline const std::vector<Method>& all_methods() {
+  static const std::vector<Method> ms = {Method::PyGT, Method::PyGTA,
+                                         Method::PyGTR, Method::PyGTG,
+                                         Method::PiPAD};
+  return ms;
+}
+
+inline models::TrainResult run_method(const graph::DTDG& data, Method m,
+                                      const models::TrainConfig& cfg,
+                                      runtime::PipadOptions popts = {}) {
+  gpusim::Gpu gpu;
+  switch (m) {
+    case Method::PyGT:
+      return baselines::BaselineTrainer(gpu, data, cfg,
+                                        baselines::Variant::PyGT)
+          .train();
+    case Method::PyGTA:
+      return baselines::BaselineTrainer(gpu, data, cfg,
+                                        baselines::Variant::PyGTA)
+          .train();
+    case Method::PyGTR:
+      return baselines::BaselineTrainer(gpu, data, cfg,
+                                        baselines::Variant::PyGTR)
+          .train();
+    case Method::PyGTG:
+      return baselines::BaselineTrainer(gpu, data, cfg,
+                                        baselines::Variant::PyGTG)
+          .train();
+    case Method::PiPAD:
+      return runtime::PipadTrainer(gpu, data, cfg, popts).train();
+  }
+  throw Error("bad method");
+}
+
+inline const std::vector<models::ModelType>& all_models() {
+  static const std::vector<models::ModelType> ms = {
+      models::ModelType::EvolveGcn, models::ModelType::MpnnLstm,
+      models::ModelType::TGcn};
+  return ms;
+}
+
+/// Short dataset labels matching Table 2 of the paper.
+inline std::string short_name(const std::string& dataset) {
+  if (dataset == "amz-automotive") return "AA";
+  if (dataset == "epinions") return "EP";
+  if (dataset == "flickr") return "FL";
+  if (dataset == "youtube") return "YT";
+  if (dataset == "hepth") return "HT";
+  if (dataset == "covid19-england") return "CE";
+  if (dataset == "pems08") return "PE";
+  return dataset;
+}
+
+}  // namespace pipad::bench

@@ -1,0 +1,51 @@
+// Figure 9: offline analysis of the parallel GNN guiding the dynamic tuner.
+//  (a) speedup of S_per in {2,4,8} over one-snapshot execution as the group
+//      topology-overlap rate (OR) varies;
+//  (b) normalized speedup as the feature dimension varies (OR fixed high).
+// Expected shape: larger S_per preferred at equal OR/dimension; speedup
+// grows with OR; high speedups persist across dimensions (>= 5.2x in the
+// paper's testbed regime for the small datasets).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "pipad/offline_analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pipad;
+  (void)bench::Flags::parse(argc, argv);
+  gpusim::CostModel cm((gpusim::SimConfig()));
+
+  // Workload shaped like the paper's scaled evaluation graphs.
+  runtime::WorkloadShape w;
+  w.num_nodes = 200000;
+  w.nnz_per_snapshot = 3000000;
+  w.feat_dim = 2;
+  w.hidden_dim = 6;
+
+  std::printf("Figure 9(a): parallel-GNN speedup vs overlap rate (F=%d)\n\n",
+              w.feat_dim);
+  std::printf("%8s %10s %10s %10s\n", "OR", "S_per=2", "S_per=4", "S_per=8");
+  for (double orr : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    std::printf("%7.0f%% %9.2fx %9.2fx %9.2fx\n", orr * 100,
+                runtime::estimate_parallel_speedup(cm, w, 2, orr),
+                runtime::estimate_parallel_speedup(cm, w, 4, orr),
+                runtime::estimate_parallel_speedup(cm, w, 8, orr));
+  }
+
+  std::printf(
+      "\nFigure 9(b): parallel-GNN speedup vs feature dimension (OR=85%%)\n\n");
+  std::printf("%8s %10s %10s %10s\n", "F", "S_per=2", "S_per=4", "S_per=8");
+  for (int f : {2, 4, 8, 16, 32, 64, 128}) {
+    runtime::WorkloadShape wf = w;
+    wf.feat_dim = f;
+    wf.hidden_dim = f <= 2 ? 6 : 32;
+    std::printf("%8d %9.2fx %9.2fx %9.2fx\n", f,
+                runtime::estimate_parallel_speedup(cm, wf, 2, 0.85),
+                runtime::estimate_parallel_speedup(cm, wf, 4, 0.85),
+                runtime::estimate_parallel_speedup(cm, wf, 8, 0.85));
+  }
+  std::printf(
+      "\nShape check: larger S_per wins at equal OR/F; speedup rises with "
+      "OR (Fig. 9a/9b).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// google-benchmark microbenchmarks of the real (host-executed) kernel
+// implementations — these measure actual CPU wall time of the library's
+// numeric code paths, complementing the simulated-time figures.
+#include <benchmark/benchmark.h>
+
+#include "graph/generator.hpp"
+#include "kernels/aggregate.hpp"
+#include "kernels/update.hpp"
+#include "sliced/partition.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace pipad;
+
+const graph::DTDG& test_graph() {
+  static const graph::DTDG g = [] {
+    graph::DatasetConfig cfg;
+    cfg.name = "bench";
+    cfg.num_nodes = 4000;
+    cfg.raw_events = 40000;
+    cfg.num_snapshots = 8;
+    cfg.feat_dim = 16;
+    cfg.edge_life = 5.0;
+    return graph::generate(cfg);
+  }();
+  return g;
+}
+
+void BM_AggCoo(benchmark::State& state) {
+  const auto& g = test_graph();
+  const int f = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Tensor x = Tensor::randn(g.num_nodes, f, rng);
+  Tensor out(g.num_nodes, f);
+  const auto coo = graph::coo_from_csr(g.snapshots[0].adj);
+  for (auto _ : state) {
+    kernels::agg_coo(coo, x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * coo.nnz());
+}
+BENCHMARK(BM_AggCoo)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_AggSliced(benchmark::State& state) {
+  const auto& g = test_graph();
+  const int f = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const Tensor x = Tensor::randn(g.num_nodes, f, rng);
+  Tensor out(g.num_nodes, f);
+  const auto s = sliced::slice(g.snapshots[0].adj);
+  for (auto _ : state) {
+    kernels::agg_sliced(s, x, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s.nnz());
+}
+BENCHMARK(BM_AggSliced)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const Tensor a = Tensor::randn(n, 32, rng);
+  const Tensor b = Tensor::randn(32, 32, rng);
+  Tensor c(n, 32);
+  for (auto _ : state) {
+    ops::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2ull * n * 32 * 32);
+}
+BENCHMARK(BM_Gemm)->Arg(1000)->Arg(8000);
+
+void BM_SliceCsr(benchmark::State& state) {
+  const auto& g = test_graph();
+  for (auto _ : state) {
+    auto s = sliced::slice(g.snapshots[0].adj);
+    benchmark::DoNotOptimize(s.col_idx.data());
+  }
+}
+BENCHMARK(BM_SliceCsr);
+
+void BM_OverlapExtraction(benchmark::State& state) {
+  const auto& g = test_graph();
+  const int count = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto p = sliced::build_partition(g, 0, count);
+    benchmark::DoNotOptimize(p.overlap.col_idx.data());
+  }
+}
+BENCHMARK(BM_OverlapExtraction)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CoalesceFeatures(benchmark::State& state) {
+  const auto& g = test_graph();
+  std::vector<const Tensor*> feats;
+  for (int i = 0; i < 4; ++i) feats.push_back(&g.snapshots[i].features);
+  for (auto _ : state) {
+    auto coal = sliced::coalesce_features(feats);
+    benchmark::DoNotOptimize(coal.data());
+  }
+}
+BENCHMARK(BM_CoalesceFeatures);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Error-handling helpers: checked assertions that survive release builds.
+//
+// PiPAD is a runtime system; violated invariants (bad graph input, simulated
+// OOM, tuner contract breaches) must fail loudly rather than corrupt the
+// simulation, so checks are always on.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pipad {
+
+/// Thrown when a PIPAD_CHECK fails or a module detects invalid input.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by the simulated device allocator when capacity is exceeded.
+/// The dynamic tuner (§4.4) catches this class to back off parallelism.
+class OutOfMemoryError : public Error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PIPAD_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pipad
+
+#define PIPAD_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::pipad::detail::check_failed(#expr, __FILE__, __LINE__, "");        \
+  } while (0)
+
+#define PIPAD_CHECK_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::pipad::detail::check_failed(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                      \
+  } while (0)

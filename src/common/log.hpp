@@ -1,0 +1,38 @@
+// Minimal leveled logger.
+//
+// The runtime components (pipeline controller, tuner) log their decisions at
+// Debug level so benchmark output stays clean by default; tests can raise the
+// level to inspect tuner behaviour.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pipad {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace pipad
+
+#define PIPAD_LOG(level, expr)                                   \
+  do {                                                           \
+    if (static_cast<int>(level) >=                               \
+        static_cast<int>(::pipad::log_level())) {                \
+      std::ostringstream os_;                                    \
+      os_ << expr;                                               \
+      ::pipad::detail::log_emit(level, os_.str());               \
+    }                                                            \
+  } while (0)
+
+#define PIPAD_DEBUG(expr) PIPAD_LOG(::pipad::LogLevel::Debug, expr)
+#define PIPAD_INFO(expr) PIPAD_LOG(::pipad::LogLevel::Info, expr)
+#define PIPAD_WARN(expr) PIPAD_LOG(::pipad::LogLevel::Warn, expr)
+#define PIPAD_ERROR(expr) PIPAD_LOG(::pipad::LogLevel::Error, expr)

@@ -1,0 +1,30 @@
+// Wall-clock timer for host-side (real) measurements.
+//
+// Note: figures report *simulated* time from gpusim::Timeline; this timer is
+// only used for the preprocessing-cost measurements (§4.3 overhead analysis)
+// and test timeouts.
+#pragma once
+
+#include <chrono>
+
+namespace pipad {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(clock::now() - start_)
+        .count();
+  }
+
+  double elapsed_ms() const { return elapsed_us() / 1000.0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace pipad

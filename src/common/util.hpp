@@ -1,0 +1,81 @@
+// Small arithmetic/formatting helpers shared across subsystems.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pipad {
+
+/// Integer ceiling division. b must be > 0.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Round a up to the next multiple of b. b must be > 0.
+template <typename T>
+constexpr T round_up(T a, T b) {
+  return ceil_div(a, b) * b;
+}
+
+/// "1234567" -> "1,234,567" for table output.
+inline std::string with_commas(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int cnt = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (cnt != 0 && cnt % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++cnt;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+/// Human-readable byte count ("1.5 GB").
+inline std::string human_bytes(std::uint64_t bytes) {
+  static const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  std::ostringstream os;
+  if (u == 0) {
+    os << static_cast<std::uint64_t>(v) << " B";
+  } else {
+    os << std::fixed << std::setprecision(v < 10 ? 2 : 1) << v << ' '
+       << units[u];
+  }
+  return os.str();
+}
+
+/// Fixed-precision float formatting for benchmark tables.
+inline std::string fmt(double v, int prec = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+/// Mean of a vector; 0 for empty input.
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Geometric mean of strictly positive values; 0 for empty input.
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += std::log(x);
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace pipad

@@ -1,0 +1,154 @@
+// Simulated device memory: capacity accounting + host-backed buffers.
+//
+// Because kernels execute their real math on the CPU, "device" data lives in
+// host RAM; what we simulate is the *capacity constraint* (16 GB HBM) that
+// drives the dynamic tuner's OOM-avoidance logic (§4.4) and the paper's
+// observation that large datasets only admit 2-snapshot parallelism (§5.2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/util.hpp"
+
+namespace pipad::gpusim {
+
+class Device {
+ public:
+  explicit Device(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Reserve bytes; throws OutOfMemoryError when capacity would be exceeded.
+  void allocate(std::size_t bytes, const std::string& what) {
+    if (used_ + bytes > capacity_) {
+      throw OutOfMemoryError("simulated device OOM allocating " +
+                             human_bytes(bytes) + " for '" + what +
+                             "' (used " + human_bytes(used_) + " of " +
+                             human_bytes(capacity_) + ")");
+    }
+    used_ += bytes;
+    peak_ = std::max(peak_, used_);
+  }
+
+  void release(std::size_t bytes) {
+    PIPAD_CHECK_MSG(bytes <= used_, "device release underflow");
+    used_ -= bytes;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::size_t peak() const { return peak_; }
+  std::size_t available() const { return capacity_ - used_; }
+  void reset_peak() { peak_ = used_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// RAII capacity reservation without backing storage — used by trainers to
+/// account for resident training data whose real values live in host-side
+/// Tensors (the math runs on the CPU either way).
+class DeviceReservation {
+ public:
+  DeviceReservation() = default;
+  DeviceReservation(Device& dev, std::size_t bytes, const std::string& what)
+      : dev_(&dev), bytes_(bytes) {
+    dev_->allocate(bytes_, what);
+  }
+  DeviceReservation(DeviceReservation&& o) noexcept
+      : dev_(o.dev_), bytes_(o.bytes_) {
+    o.dev_ = nullptr;
+    o.bytes_ = 0;
+  }
+  DeviceReservation& operator=(DeviceReservation&& o) noexcept {
+    if (this != &o) {
+      release();
+      dev_ = o.dev_;
+      bytes_ = o.bytes_;
+      o.dev_ = nullptr;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+  DeviceReservation(const DeviceReservation&) = delete;
+  DeviceReservation& operator=(const DeviceReservation&) = delete;
+  ~DeviceReservation() { release(); }
+
+  std::size_t bytes() const { return bytes_; }
+  void release() {
+    if (dev_ != nullptr) {
+      dev_->release(bytes_);
+      dev_ = nullptr;
+      bytes_ = 0;
+    }
+  }
+
+ private:
+  Device* dev_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+/// RAII device allocation holding real data (host-backed).
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(Device& dev, std::size_t n, std::string name)
+      : dev_(&dev), name_(std::move(name)) {
+    dev_->allocate(n * sizeof(T), name_);
+    data_.resize(n);
+  }
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept
+      : dev_(o.dev_), name_(std::move(o.name_)), data_(std::move(o.data_)) {
+    o.dev_ = nullptr;
+  }
+
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      dev_ = o.dev_;
+      name_ = std::move(o.name_);
+      data_ = std::move(o.data_);
+      o.dev_ = nullptr;
+    }
+    return *this;
+  }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  ~DeviceBuffer() { destroy(); }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t bytes() const { return data_.size() * sizeof(T); }
+  bool valid() const { return dev_ != nullptr; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  std::vector<T>& host() { return data_; }
+  const std::vector<T>& host() const { return data_; }
+
+ private:
+  void destroy() {
+    if (dev_ != nullptr) {
+      dev_->release(data_.size() * sizeof(T));
+      dev_ = nullptr;
+    }
+    data_.clear();
+    data_.shrink_to_fit();
+  }
+
+  Device* dev_ = nullptr;
+  std::string name_;
+  std::vector<T> data_;
+};
+
+}  // namespace pipad::gpusim

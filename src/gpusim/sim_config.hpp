@@ -1,0 +1,51 @@
+// Hardware model parameters for the simulated GPU.
+//
+// Defaults approximate the paper's testbed: one NVIDIA Tesla V100 (16 GB HBM2,
+// ~900 GB/s) attached over PCIe 3.0 x16 (~12 GB/s effective pinned-memory
+// bandwidth) to a 24-core Xeon host. The figures reproduce *relative* shapes,
+// so the exact constants matter less than their ratios — but we keep them
+// physically plausible so breakdown percentages (e.g. Fig. 3's ~39 % transfer
+// share) land in the right neighbourhood.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pipad::gpusim {
+
+struct SimConfig {
+  // ---- PCIe transfer engine (§3.1) ----
+  double pcie_pinned_gbps = 12.0;    ///< H2D/D2H bandwidth from pinned memory.
+  double pcie_pageable_gbps = 5.5;   ///< Bandwidth from pageable memory.
+  double pcie_latency_us = 10.0;     ///< Fixed per-transfer setup latency.
+
+  // ---- Device memory system (§3.2) ----
+  double hbm_gbps = 900.0;           ///< Peak global-memory bandwidth.
+  std::size_t transaction_bytes = 32;///< Minimum global access granularity.
+  std::size_t request_bytes = 128;   ///< Max bytes one warp fetches/request.
+  double shared_gbps = 9000.0;       ///< Aggregate shared-memory bandwidth.
+
+  // ---- Compute ----
+  double peak_flops = 14.0e12;       ///< FP32 peak (V100 ≈ 14 TFLOPS).
+  int num_sms = 80;
+  int warps_per_sm = 8;              ///< Warps needed per SM to hide latency.
+  double min_kernel_us = 3.0;        ///< Floor: launch-to-finish latency.
+
+  // ---- Launch overheads (§4.2: CUDA Graph batching) ----
+  double kernel_launch_us = 6.0;     ///< Per-kernel CPU-side launch cost.
+  double graph_launch_us = 10.0;     ///< One-off cost to launch a CUDA graph.
+  double graph_node_us = 0.6;        ///< Residual per-kernel cost inside one.
+
+  // ---- Capacity ----
+  std::size_t device_mem_bytes = 16ull << 30;  ///< 16 GB HBM.
+
+  // ---- Atomics ----
+  double atomic_ns = 2.2;            ///< Amortized cost per global atomicAdd.
+
+  /// Bytes per microsecond for a given GB/s figure (1 GB/s = 1000 B/us).
+  static constexpr double gbps_to_bytes_per_us(double gbps) {
+    return gbps * 1e3;
+  }
+};
+
+}  // namespace pipad::gpusim

@@ -1,0 +1,114 @@
+// Discrete-event timeline: schedules simulated ops onto hardware resources.
+//
+// The model mirrors the concurrency structure of a real single-GPU node:
+//   - one compute engine (kernels from any stream serialize on it; our kernel
+//     cost model already assumes whole-GPU occupancy per kernel),
+//   - one copy engine per direction (H2D, D2H) — so transfers overlap with
+//     compute but not with same-direction transfers,
+//   - the issuing CPU thread (kernel-launch overhead serializes here),
+//   - a background CPU worker lane for PiPAD's asynchronous host-side
+//     preparation (§4.3).
+// Streams give program order; events give cross-stream dependencies. Since
+// ops are scheduled eagerly at submission, the whole simulation is a single
+// deterministic pass.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/kernel_stats.hpp"
+
+namespace pipad::gpusim {
+
+enum class Resource : int {
+  Cpu = 0,        ///< Issuing/training CPU thread.
+  CpuWorker = 1,  ///< Background host prep (slicing, overlap extraction).
+  H2D = 2,
+  D2H = 3,
+  Compute = 4,
+};
+inline constexpr int kNumResources = 5;
+
+const char* resource_name(Resource r);
+
+using StreamId = std::size_t;
+using EventId = std::size_t;
+
+struct OpRecord {
+  std::string name;     ///< "category:detail", e.g. "kernel:agg".
+  Resource resource;
+  StreamId stream;
+  double start_us;
+  double end_us;
+  std::size_t bytes = 0;      ///< Transfers only.
+  KernelStats stats;          ///< Kernels only.
+};
+
+class Timeline {
+ public:
+  Timeline();
+
+  StreamId create_stream(std::string name);
+
+  /// Schedule an op of the given duration on (stream, resource).
+  /// extra_ready: earliest permissible start in addition to stream/resource
+  /// availability (used for launch-overhead coupling). Returns end time.
+  double submit(StreamId stream, Resource res, std::string name,
+                double duration_us, double extra_ready_us = 0.0,
+                std::size_t bytes = 0, const KernelStats* stats = nullptr);
+
+  /// Record the current position of a stream as an event.
+  EventId record_event(StreamId stream);
+
+  /// Make a stream wait until the event's recorded position.
+  void wait_event(StreamId stream, EventId event);
+
+  /// Current front of a stream (time when its next op could start).
+  double stream_ready(StreamId stream) const;
+
+  /// Current front of a resource.
+  double resource_ready(Resource res) const;
+
+  /// End time of the last op across all resources.
+  double makespan() const { return makespan_; }
+
+  /// Total busy time of a resource.
+  double busy_us(Resource res) const;
+
+  /// Busy fraction of a resource over the makespan.
+  double utilization(Resource res) const;
+
+  /// Sum of op durations whose name starts with the given prefix.
+  double busy_us_with_prefix(const std::string& prefix) const;
+
+  /// Fraction of the makespan during which the *device* (compute or either
+  /// copy engine) is active — this is what nvidia-smi style "GPU utilization"
+  /// reports (Table 2 discussion, §5.2).
+  double device_active_fraction() const;
+
+  /// Sum of kernel stats for ops whose name starts with the given prefix.
+  KernelStats stats_with_prefix(const std::string& prefix) const;
+
+  const std::vector<OpRecord>& records() const { return records_; }
+  std::size_t num_streams() const { return streams_.size(); }
+
+  void reset();
+
+ private:
+  struct StreamState {
+    std::string name;
+    double ready_us = 0.0;
+  };
+
+  std::vector<StreamState> streams_;
+  double resource_ready_[kNumResources] = {};
+  double resource_busy_[kNumResources] = {};
+  std::vector<double> events_;
+  std::vector<OpRecord> records_;
+  double makespan_ = 0.0;
+};
+
+}  // namespace pipad::gpusim

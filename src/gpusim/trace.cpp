@@ -1,0 +1,122 @@
+#include "gpusim/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace pipad::gpusim {
+
+void write_trace_csv(const Timeline& tl, std::ostream& os) {
+  os << "name,resource,stream,start_us,end_us,bytes\n";
+  for (const auto& rec : tl.records()) {
+    os << rec.name << ',' << resource_name(rec.resource) << ','
+       << rec.stream << ',' << rec.start_us << ',' << rec.end_us << ','
+       << rec.bytes << '\n';
+  }
+}
+
+namespace {
+
+std::vector<char> lane_cells(const Timeline& tl, Resource r, double from,
+                             double to, int width) {
+  std::vector<char> cells(width, '.');
+  const double span = to - from;
+  if (span <= 0.0) return cells;
+  for (const auto& rec : tl.records()) {
+    if (rec.resource != r) continue;
+    const double lo = std::max(rec.start_us, from);
+    const double hi = std::min(rec.end_us, to);
+    if (hi <= lo) continue;
+    int c0 = static_cast<int>((lo - from) / span * width);
+    // End cell is exclusive: an op ending exactly on a cell boundary must
+    // not bleed into the next cell.
+    int c1 = static_cast<int>((hi - from) / span * width - 1e-9);
+    c0 = std::clamp(c0, 0, width - 1);
+    c1 = std::clamp(c1, c0, width - 1);
+    for (int c = c0; c <= c1; ++c) cells[c] = '#';
+  }
+  return cells;
+}
+
+}  // namespace
+
+std::string render_gantt(const Timeline& tl, const GanttOptions& opts) {
+  const double to = opts.to_us < 0.0 ? tl.makespan() : opts.to_us;
+  std::ostringstream os;
+  os << "time window [" << opts.from_us << ", " << to << ") us, '"
+     << '#' << "' = busy\n";
+  static const Resource lanes[] = {Resource::Cpu, Resource::CpuWorker,
+                                   Resource::H2D, Resource::D2H,
+                                   Resource::Compute};
+  for (Resource r : lanes) {
+    const auto cells = lane_cells(tl, r, opts.from_us, to, opts.width);
+    os.width(11);
+    os << std::left;
+    os << resource_name(r);
+    os << ' ';
+    os.write(cells.data(), static_cast<std::streamsize>(cells.size()));
+    os << '\n';
+  }
+  if (opts.label_ops) {
+    // Top-3 time consumers per lane, as a legend.
+    for (Resource r : lanes) {
+      std::map<std::string, double> by_name;
+      for (const auto& rec : tl.records()) {
+        if (rec.resource == r) {
+          by_name[rec.name] += rec.end_us - rec.start_us;
+        }
+      }
+      std::vector<std::pair<double, std::string>> top;
+      for (const auto& [name, us] : by_name) top.emplace_back(us, name);
+      std::sort(top.rbegin(), top.rend());
+      if (top.empty()) continue;
+      os << resource_name(r) << ':';
+      for (std::size_t i = 0; i < std::min<std::size_t>(3, top.size()); ++i) {
+        os << ' ' << top[i].second << " (" << top[i].first << " us)";
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+double overlap_fraction(const Timeline& tl, Resource a, Resource b,
+                        double from_us, double to_us) {
+  const double to = to_us < 0.0 ? tl.makespan() : to_us;
+  if (to <= from_us) return 0.0;
+  // Merge busy intervals per resource, then intersect.
+  auto intervals = [&](Resource r) {
+    std::vector<std::pair<double, double>> ivs;
+    for (const auto& rec : tl.records()) {
+      if (rec.resource != r) continue;
+      const double lo = std::max(rec.start_us, from_us);
+      const double hi = std::min(rec.end_us, to);
+      if (hi > lo) ivs.emplace_back(lo, hi);
+    }
+    std::sort(ivs.begin(), ivs.end());
+    std::vector<std::pair<double, double>> merged;
+    for (const auto& iv : ivs) {
+      if (!merged.empty() && iv.first <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, iv.second);
+      } else {
+        merged.push_back(iv);
+      }
+    }
+    return merged;
+  };
+  const auto ia = intervals(a);
+  const auto ib = intervals(b);
+  double both = 0.0;
+  std::size_t j = 0;
+  for (const auto& [alo, ahi] : ia) {
+    while (j < ib.size() && ib[j].second <= alo) ++j;
+    for (std::size_t k = j; k < ib.size() && ib[k].first < ahi; ++k) {
+      both += std::max(0.0, std::min(ahi, ib[k].second) -
+                                std::max(alo, ib[k].first));
+    }
+  }
+  return both / (to - from_us);
+}
+
+}  // namespace pipad::gpusim

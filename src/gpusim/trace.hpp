@@ -1,0 +1,38 @@
+// Timeline export: CSV dump and ASCII Gantt rendering.
+//
+// Reproduces Fig. 8's pipelined-execution view: one lane per hardware
+// resource (CPU, background CPU, H2D, D2H, compute) with ops placed at
+// their simulated start/end. Used by the pipeline_trace example and by
+// tests asserting overlap structure.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "gpusim/timeline.hpp"
+
+namespace pipad::gpusim {
+
+/// One CSV row per op: name,resource,stream,start_us,end_us,bytes.
+void write_trace_csv(const Timeline& tl, std::ostream& os);
+
+struct GanttOptions {
+  int width = 100;          ///< Character columns for the time axis.
+  double from_us = 0.0;     ///< Window start.
+  double to_us = -1.0;      ///< Window end (-1 = makespan).
+  bool label_ops = false;   ///< Annotate each lane with its busiest ops.
+};
+
+/// Render lanes:
+///   cpu        ####..####
+///   h2d        ..####....
+///   compute    ....######
+/// where '#' marks busy time within the window.
+std::string render_gantt(const Timeline& tl, const GanttOptions& opts = {});
+
+/// Fraction of the window during which both resources are simultaneously
+/// busy — the overlap metric behind §4.3's pipeline claims.
+double overlap_fraction(const Timeline& tl, Resource a, Resource b,
+                        double from_us = 0.0, double to_us = -1.0);
+
+}  // namespace pipad::gpusim

@@ -1,0 +1,52 @@
+// KernelRecorder: decouples compute modules from the simulator.
+//
+// NN layers and aggregation wrappers perform their real math eagerly, then
+// report a (name, KernelStats) pair to the recorder. Trainers decide what a
+// "launch" means: the PyGT baselines submit each kernel individually (paying
+// per-launch overhead), PiPAD batches them into a CudaGraph (§4.2).
+#pragma once
+
+#include <string>
+
+#include "gpusim/kernel_stats.hpp"
+
+namespace pipad::kernels {
+
+class KernelRecorder {
+ public:
+  virtual ~KernelRecorder() = default;
+  virtual void record(const std::string& name,
+                      const gpusim::KernelStats& stats) = 0;
+};
+
+/// Swallows records (for pure-numerics tests and host-side reference runs).
+class NullRecorder final : public KernelRecorder {
+ public:
+  void record(const std::string&, const gpusim::KernelStats&) override {}
+};
+
+/// Accumulates stats in memory, tagged by name (for kernel-level analysis).
+class CollectingRecorder final : public KernelRecorder {
+ public:
+  void record(const std::string& name,
+              const gpusim::KernelStats& stats) override {
+    total_ += stats;
+    ++count_;
+    last_name_ = name;
+  }
+  const gpusim::KernelStats& total() const { return total_; }
+  std::size_t count() const { return count_; }
+  const std::string& last_name() const { return last_name_; }
+  void reset() {
+    total_ = {};
+    count_ = 0;
+    last_name_.clear();
+  }
+
+ private:
+  gpusim::KernelStats total_;
+  std::size_t count_ = 0;
+  std::string last_name_;
+};
+
+}  // namespace pipad::kernels

@@ -1,0 +1,81 @@
+#include "kernels/stats_builders.hpp"
+
+#include "common/util.hpp"
+
+namespace pipad::kernels {
+
+gpusim::KernelStats gemm_stats(std::uint64_t m, std::uint64_t k,
+                               std::uint64_t n) {
+  gpusim::KernelStats s;
+  if (m == 0 || k == 0 || n == 0) return s;
+  constexpr std::uint64_t T = 32;  // Tile edge.
+  const std::uint64_t mt = ceil_div(m, T);
+  const std::uint64_t nt = ceil_div(n, T);
+  const std::uint64_t kt = ceil_div(k, T);
+
+  s.flops = 2 * m * k * n;
+  // Each (mt, nt) block loads kt tiles of A and B; A tile rows are
+  // contiguous (coalesced), same for B.
+  const std::uint64_t a_bytes = mt * nt * kt * T * T * 4;  // A re-read per nt.
+  const std::uint64_t b_bytes = mt * nt * kt * T * T * 4;  // B re-read per mt.
+  const std::uint64_t c_bytes = m * n * 4;
+  s.global_transactions = transactions_for(a_bytes) +
+                          transactions_for(b_bytes) +
+                          transactions_for(c_bytes);
+  s.global_requests = requests_for(a_bytes) + requests_for(b_bytes) +
+                      requests_for(c_bytes);
+  // Every element participates in 2*T shared accesses per tile pass.
+  s.shared_accesses = 2 * mt * nt * kt * T * T;
+  // One warp per 32-element row segment of the output tile grid; lanes
+  // beyond the true (non-padded) extent idle.
+  s.total_warps = mt * nt * kt * T;  // T warps per tile pass.
+  const double edge_util =
+      (static_cast<double>(m) / (mt * T)) * (static_cast<double>(n) / (nt * T));
+  s.active_thread_ratio_sum = s.total_warps * edge_util;
+  return s;
+}
+
+gpusim::KernelStats gemm_weight_reuse_stats(std::uint64_t m, std::uint64_t k,
+                                            std::uint64_t n,
+                                            std::uint64_t s_count) {
+  gpusim::KernelStats s;
+  if (m == 0 || k == 0 || n == 0 || s_count == 0) return s;
+  constexpr std::uint64_t T = 32;
+  const std::uint64_t mt = ceil_div(m, T);
+  const std::uint64_t nt = ceil_div(n, T);
+  const std::uint64_t kt = ceil_div(k, T);
+
+  s.flops = 2 * m * k * n * s_count;
+  // A (features) streams once per snapshot as before; B (weights) is
+  // fetched once per (mt, nt, kt) tile *for the whole group*.
+  const std::uint64_t a_bytes = s_count * mt * nt * kt * T * T * 4;
+  const std::uint64_t b_bytes = mt * nt * kt * T * T * 4;  // once, not *s.
+  const std::uint64_t c_bytes = s_count * m * n * 4;
+  s.global_transactions = transactions_for(a_bytes) +
+                          transactions_for(b_bytes) +
+                          transactions_for(c_bytes);
+  s.global_requests = requests_for(a_bytes) + requests_for(b_bytes) +
+                      requests_for(c_bytes);
+  s.shared_accesses = 2 * s_count * mt * nt * kt * T * T;
+  s.total_warps = s_count * mt * nt * kt * T;
+  const double edge_util =
+      (static_cast<double>(m) / (mt * T)) * (static_cast<double>(n) / (nt * T));
+  s.active_thread_ratio_sum = s.total_warps * edge_util;
+  return s;
+}
+
+gpusim::KernelStats elementwise_stats(std::uint64_t elems,
+                                      std::uint64_t reads,
+                                      std::uint64_t flops_per_elem) {
+  gpusim::KernelStats s;
+  if (elems == 0) return s;
+  const std::uint64_t bytes = elems * 4;
+  s.flops = elems * flops_per_elem;
+  s.global_transactions = (reads + 1) * transactions_for(bytes);
+  s.global_requests = (reads + 1) * requests_for(bytes);
+  s.total_warps = ceil_div(elems, kWarpThreads);
+  s.active_thread_ratio_sum = static_cast<double>(s.total_warps);
+  return s;
+}
+
+}  // namespace pipad::kernels

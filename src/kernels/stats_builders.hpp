@@ -1,0 +1,50 @@
+// Analytic KernelStats constructors for dense kernels.
+//
+// The arithmetic follows §3.2's memory model: a warp of 32 threads fetches at
+// most 128 bytes per request; global memory moves in 32-byte transactions.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/kernel_stats.hpp"
+
+namespace pipad::kernels {
+
+inline constexpr std::uint64_t kWarpThreads = 32;
+inline constexpr std::uint64_t kRequestBytes = 128;
+inline constexpr std::uint64_t kTransactionBytes = 32;
+
+/// Requests for one warp to read `bytes` of contiguous data.
+constexpr std::uint64_t requests_for(std::uint64_t bytes) {
+  return bytes == 0 ? 0 : (bytes + kRequestBytes - 1) / kRequestBytes;
+}
+
+/// Transactions for contiguous `bytes` (minimum one when bytes > 0 — the
+/// bandwidth-unsaturation case of §3.2).
+constexpr std::uint64_t transactions_for(std::uint64_t bytes) {
+  return bytes == 0 ? 0 : (bytes + kTransactionBytes - 1) / kTransactionBytes;
+}
+
+/// Tiled GEMM: C[m x n] = A[m x k] * B[k x n], 32x32 shared-memory tiles.
+/// B (the weight matrix, in the update phase) is re-read once per row-tile
+/// of A — the redundancy PiPAD's weight reuse removes.
+gpusim::KernelStats gemm_stats(std::uint64_t m, std::uint64_t k,
+                               std::uint64_t n);
+
+/// Locality-optimized weight reuse (§4.2 ❹): one weight tile stays resident
+/// in shared memory while the feature tiles of all `s` snapshots stream
+/// through, so B is fetched once per row-tile of A *per group*, not per
+/// snapshot. Stats cover the whole group's GEMMs.
+gpusim::KernelStats gemm_weight_reuse_stats(std::uint64_t m, std::uint64_t k,
+                                            std::uint64_t n, std::uint64_t s);
+
+/// Streaming elementwise kernel over `elems` floats with `reads` input
+/// arrays, one output array and `flops_per_elem` arithmetic ops each.
+gpusim::KernelStats elementwise_stats(std::uint64_t elems,
+                                      std::uint64_t reads,
+                                      std::uint64_t flops_per_elem);
+
+/// Host<->device transfer sizes don't need stats; row-major streaming copy
+/// kernels (transpose-free reshapes) map to elementwise_stats(elems, 1, 0).
+
+}  // namespace pipad::kernels

@@ -1,0 +1,45 @@
+#include "kernels/update.hpp"
+
+#include "kernels/stats_builders.hpp"
+#include "tensor/ops.hpp"
+
+namespace pipad::kernels {
+
+KernelStats update_gemm(const Tensor& h, const Tensor& w, Tensor& out,
+                        const Tensor* bias) {
+  if (out.rows() != h.rows() || out.cols() != w.cols()) {
+    out = Tensor(h.rows(), w.cols());
+  }
+  ops::gemm(h, w, out);
+  if (bias != nullptr) ops::add_bias(out, *bias);
+  KernelStats s = gemm_stats(h.rows(), h.cols(), w.cols());
+  if (bias != nullptr) {
+    // Fused bias add: one extra coalesced read of the bias row per tile.
+    s.flops += out.size();
+  }
+  return s;
+}
+
+KernelStats update_weight_reuse(const std::vector<const Tensor*>& hs,
+                                const Tensor& w, std::vector<Tensor>& outs,
+                                const Tensor* bias) {
+  PIPAD_CHECK(!hs.empty());
+  outs.resize(hs.size());
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    PIPAD_CHECK_MSG(hs[i]->cols() == w.rows(),
+                    "update_weight_reuse: h cols " << hs[i]->cols()
+                                                   << " vs w rows "
+                                                   << w.rows());
+    outs[i] = Tensor(hs[i]->rows(), w.cols());
+    ops::gemm(*hs[i], w, outs[i]);
+    if (bias != nullptr) ops::add_bias(outs[i], *bias);
+  }
+  KernelStats s = gemm_weight_reuse_stats(hs[0]->rows(), hs[0]->cols(),
+                                          w.cols(), hs.size());
+  if (bias != nullptr) {
+    for (const auto& o : outs) s.flops += o.size();
+  }
+  return s;
+}
+
+}  // namespace pipad::kernels

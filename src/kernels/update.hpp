@@ -1,0 +1,30 @@
+// Update-phase (FC layer) kernels.
+//
+// update_gemm is the canonical tiled GEMM used by the baselines (one
+// snapshot at a time: weights re-fetched per snapshot). update_weight_reuse
+// is PiPAD's locality-optimized variant (§4.2 ❹): one weight tile stays
+// resident in shared memory while the feature tiles of every snapshot in the
+// partition stream past it, amortizing the weight traffic across the group.
+// Not applicable to EvolveGCN, whose weights differ per snapshot.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/kernel_stats.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pipad::kernels {
+
+using gpusim::KernelStats;
+
+/// out = h * w (+ bias if non-null). Returns the kernel stats.
+KernelStats update_gemm(const Tensor& h, const Tensor& w, Tensor& out,
+                        const Tensor* bias = nullptr);
+
+/// outs[i] = hs[i] * w (+ bias) for all snapshots of a partition, with the
+/// weight tile kept in shared memory across the group. outs is resized.
+KernelStats update_weight_reuse(const std::vector<const Tensor*>& hs,
+                                const Tensor& w, std::vector<Tensor>& outs,
+                                const Tensor* bias = nullptr);
+
+}  // namespace pipad::kernels

@@ -1,0 +1,59 @@
+// EvolveGCN [Pareja et al. AAAI'20] — integrated DGNN (Fig. 2b), -O variant.
+//
+// Two layers, each pairing a 1-layer GCN with a GRU that *evolves the GCN
+// weight matrix* along the timeline: W_t = GRU(x=W_{t-1}, h=W_{t-1}). The
+// cross-snapshot dependence therefore lives in the weights, which means:
+//   - the GCN update GEMM cannot share weights across snapshots (no
+//     locality-optimized weight reuse, §4.2),
+//   - layer 2 aggregates layer-1 activations, so even with inter-frame
+//     reuse one aggregation per snapshot remains (§5.2).
+#pragma once
+
+#include "models/model.hpp"
+#include "nn/gru.hpp"
+#include "nn/linear.hpp"
+
+namespace pipad::models {
+
+class EvolveGcn final : public DgnnModel {
+ public:
+  EvolveGcn(int in_dim, int hidden_dim, Rng& rng);
+
+  std::string name() const override { return "EvolveGCN"; }
+  bool weights_evolve() const override { return true; }
+  float train_frame(FrameExecutor& ex, const std::vector<const Tensor*>& xs,
+                    const std::vector<const Tensor*>& targets) override;
+  float eval_frame(FrameExecutor& ex, const std::vector<const Tensor*>& xs,
+                   const std::vector<const Tensor*>& targets) override;
+  std::vector<nn::Parameter*> params() override;
+  int num_agg_layers() const override { return 2; }
+
+ private:
+  struct EvolvingLayer {
+    nn::Parameter w0;  ///< Initial weight [in x out].
+    nn::GRUCell gru;   ///< Evolves W rows: input=hidden=out-dim.
+
+    EvolvingLayer() = default;
+    EvolvingLayer(int in, int out, Rng& rng)
+        : w0(nn::Parameter::glorot(in, out, rng)), gru(out, out, rng) {}
+
+    /// Weight sequence W_1..W_T; fills the GRU caches for BPTT.
+    std::vector<Tensor> evolve(int T, std::vector<nn::GRUCell::Cache>& caches,
+                               kernels::KernelRecorder* rec,
+                               const std::string& tag) const;
+
+    /// BPTT over the weight chain. d_ws[t] = dL/dW_t.
+    void evolve_backward(const std::vector<Tensor>& d_ws,
+                         std::vector<nn::GRUCell::Cache>& caches,
+                         kernels::KernelRecorder* rec,
+                         const std::string& tag);
+  };
+
+  float run_frame(FrameExecutor& ex, const std::vector<const Tensor*>& xs,
+                  const std::vector<const Tensor*>& targets, bool train);
+
+  EvolvingLayer l1_, l2_;
+  nn::Linear head_;
+};
+
+}  // namespace pipad::models

@@ -1,0 +1,63 @@
+#include "models/gcn.hpp"
+
+#include "kernels/stats_builders.hpp"
+#include "tensor/ops.hpp"
+
+namespace pipad::models {
+
+std::vector<Tensor> GcnLayer::forward(FrameExecutor& ex,
+                                      const std::vector<const Tensor*>& xs,
+                                      int layer_id, Cache& cache,
+                                      const std::string& tag) {
+  cache.hidden = ex.aggregate(xs, layer_id, tag);
+  std::vector<const Tensor*> hptr;
+  hptr.reserve(cache.hidden.size());
+  for (const auto& h : cache.hidden) hptr.push_back(&h);
+  cache.pre_act = ex.update(hptr, lin_, tag);
+
+  std::vector<Tensor> out;
+  out.reserve(cache.pre_act.size());
+  for (const auto& y : cache.pre_act) {
+    if (relu_) {
+      out.push_back(ops::relu(y));
+      if (ex.recorder() != nullptr) {
+        ex.recorder()->record("ew:" + tag + ".relu",
+                              kernels::elementwise_stats(y.size(), 1, 1));
+      }
+    } else {
+      out.push_back(y);
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> GcnLayer::backward(FrameExecutor& ex,
+                                       const std::vector<Tensor>& d_out,
+                                       const Cache& cache, int layer_id,
+                                       const std::string& tag) {
+  PIPAD_CHECK(d_out.size() == cache.pre_act.size());
+  std::vector<Tensor> d_y;
+  d_y.reserve(d_out.size());
+  for (std::size_t t = 0; t < d_out.size(); ++t) {
+    if (relu_) {
+      d_y.push_back(ops::relu_grad(d_out[t], cache.pre_act[t]));
+      if (ex.recorder() != nullptr) {
+        ex.recorder()->record(
+            "ew:" + tag + ".relu.bwd",
+            kernels::elementwise_stats(d_out[t].size(), 2, 1));
+      }
+    } else {
+      d_y.push_back(d_out[t]);
+    }
+  }
+
+  std::vector<const Tensor*> hptr;
+  hptr.reserve(cache.hidden.size());
+  for (const auto& h : cache.hidden) hptr.push_back(&h);
+  std::vector<Tensor> d_hidden = ex.update_backward(d_y, hptr, lin_, tag);
+
+  if (layer_id == 0) return {};  // Inputs are leaves.
+  return ex.aggregate_backward(d_hidden, layer_id, tag);
+}
+
+}  // namespace pipad::models

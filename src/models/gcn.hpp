@@ -1,0 +1,47 @@
+// GCN layer over a frame of snapshots (Eq. 1 with mean aggregation).
+//
+// forward:  out_t = act( (A_t x_t + x_t)/(deg_t+1) * W + b )
+// The aggregation and update are delegated to the FrameExecutor so the same
+// model code runs under every training runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/executor.hpp"
+#include "nn/linear.hpp"
+
+namespace pipad::models {
+
+class GcnLayer {
+ public:
+  GcnLayer() = default;
+  GcnLayer(int in, int out, Rng& rng, bool relu = true)
+      : lin_(in, out, rng), relu_(relu) {}
+
+  struct Cache {
+    std::vector<Tensor> hidden;   ///< Normalized aggregation per snapshot.
+    std::vector<Tensor> pre_act;  ///< W-updated, pre-activation.
+  };
+
+  /// layer_id 0 = aggregating raw inputs (cacheable, no input grad).
+  std::vector<Tensor> forward(FrameExecutor& ex,
+                              const std::vector<const Tensor*>& xs,
+                              int layer_id, Cache& cache,
+                              const std::string& tag);
+
+  /// Returns d_x per snapshot (empty vector when layer_id == 0).
+  std::vector<Tensor> backward(FrameExecutor& ex,
+                               const std::vector<Tensor>& d_out,
+                               const Cache& cache, int layer_id,
+                               const std::string& tag);
+
+  nn::Linear& linear() { return lin_; }
+  std::vector<nn::Parameter*> params() { return lin_.params(); }
+
+ private:
+  nn::Linear lin_;
+  bool relu_ = true;
+};
+
+}  // namespace pipad::models

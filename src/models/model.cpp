@@ -1,0 +1,35 @@
+#include "models/model.hpp"
+
+#include "common/error.hpp"
+#include "models/evolvegcn.hpp"
+#include "models/mpnn_lstm.hpp"
+#include "models/tgcn.hpp"
+
+namespace pipad::models {
+
+const char* model_type_name(ModelType t) {
+  switch (t) {
+    case ModelType::MpnnLstm:
+      return "MPNN-LSTM";
+    case ModelType::EvolveGcn:
+      return "EvolveGCN";
+    case ModelType::TGcn:
+      return "T-GCN";
+  }
+  return "?";
+}
+
+std::unique_ptr<DgnnModel> make_model(ModelType type, int in_dim,
+                                      int hidden_dim, Rng& rng) {
+  switch (type) {
+    case ModelType::MpnnLstm:
+      return std::make_unique<MpnnLstm>(in_dim, hidden_dim, rng);
+    case ModelType::EvolveGcn:
+      return std::make_unique<EvolveGcn>(in_dim, hidden_dim, rng);
+    case ModelType::TGcn:
+      return std::make_unique<TGcn>(in_dim, hidden_dim, rng);
+  }
+  throw Error("unknown model type");
+}
+
+}  // namespace pipad::models

@@ -1,0 +1,38 @@
+// MPNN-LSTM [Panagopoulos et al. AAAI'21] — stacked DGNN (Fig. 2a).
+//
+// Structure per frame: a 2-layer GCN embeds every snapshot independently,
+// then two stacked LSTMs run along the timeline over the embeddings, and a
+// linear head regresses each node's target. The only cross-snapshot
+// dependence is the LSTM hidden-state chain, so all GCN work is
+// snapshot-parallel (§3.3).
+#pragma once
+
+#include "models/gcn.hpp"
+#include "models/model.hpp"
+#include "nn/lstm.hpp"
+
+namespace pipad::models {
+
+class MpnnLstm final : public DgnnModel {
+ public:
+  MpnnLstm(int in_dim, int hidden_dim, Rng& rng);
+
+  std::string name() const override { return "MPNN-LSTM"; }
+  float train_frame(FrameExecutor& ex, const std::vector<const Tensor*>& xs,
+                    const std::vector<const Tensor*>& targets) override;
+  float eval_frame(FrameExecutor& ex, const std::vector<const Tensor*>& xs,
+                   const std::vector<const Tensor*>& targets) override;
+  std::vector<nn::Parameter*> params() override;
+  int num_agg_layers() const override { return 2; }
+
+ private:
+  struct FrameState;
+  float run_frame(FrameExecutor& ex, const std::vector<const Tensor*>& xs,
+                  const std::vector<const Tensor*>& targets, bool train);
+
+  GcnLayer gcn1_, gcn2_;
+  nn::LSTMCell lstm1_, lstm2_;
+  nn::Linear head_;
+};
+
+}  // namespace pipad::models

@@ -1,0 +1,168 @@
+#include "models/tgcn.hpp"
+
+#include "kernels/stats_builders.hpp"
+#include "tensor/ops.hpp"
+
+namespace pipad::models {
+
+namespace {
+void record(kernels::KernelRecorder* rec, const std::string& name,
+            const gpusim::KernelStats& s) {
+  if (rec != nullptr) rec->record(name, s);
+}
+}  // namespace
+
+TGcn::TGcn(int in_dim, int hidden_dim, Rng& rng)
+    : hid_(hidden_dim),
+      gate_z_(in_dim, hidden_dim, rng),
+      gate_r_(in_dim, hidden_dim, rng),
+      gate_n_(in_dim, hidden_dim, rng),
+      hz_(hidden_dim, hidden_dim, rng),
+      hr_(hidden_dim, hidden_dim, rng),
+      hn_(hidden_dim, hidden_dim, rng),
+      head_(hidden_dim, 1, rng) {}
+
+Tensor TGcn::step(const Tensor& uz, const Tensor& ur, const Tensor& un,
+                  const Tensor& h_prev, StepCache& cache,
+                  kernels::KernelRecorder* rec) {
+  cache.h_prev = h_prev;
+  Tensor az = hz_.forward(h_prev, rec, "rnn.tgcn.hz");
+  ops::add_inplace(az, uz);
+  Tensor ar = hr_.forward(h_prev, rec, "rnn.tgcn.hr");
+  ops::add_inplace(ar, ur);
+  cache.z = ops::sigmoid(az);
+  cache.r = ops::sigmoid(ar);
+
+  cache.rh = ops::mul(cache.r, h_prev);
+  Tensor an = hn_.forward(cache.rh, rec, "rnn.tgcn.hn");
+  ops::add_inplace(an, un);
+  cache.n = ops::tanh(an);
+
+  Tensor h(h_prev.rows(), hid_);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const float z = cache.z.data()[i];
+    h.data()[i] =
+        (1.0f - z) * cache.n.data()[i] + z * h_prev.data()[i];
+  }
+  record(rec, "ew:rnn.tgcn.act",
+         kernels::elementwise_stats(3 * h.size(), 1, 5));
+  return h;
+}
+
+Tensor TGcn::step_backward(const StepCache& cache, const Tensor& dh,
+                           Tensor& d_uz, Tensor& d_ur, Tensor& d_un,
+                           kernels::KernelRecorder* rec) {
+  // h = (1-z)*n + z*h_prev.
+  Tensor dz = ops::mul(dh, ops::sub(cache.h_prev, cache.n));
+  Tensor dn = ops::mul(
+      dh, ops::sub(Tensor::full(dh.rows(), dh.cols(), 1.0f), cache.z));
+  Tensor dh_prev = ops::mul(dh, cache.z);
+
+  // Candidate branch: an = un + U_n(rh).
+  Tensor dan = ops::tanh_grad(dn, cache.n);
+  d_un = dan;
+  Tensor drh = hn_.backward(cache.rh, dan, rec, "rnn.tgcn.hn");
+  Tensor dr = ops::mul(drh, cache.h_prev);
+  ops::add_inplace(dh_prev, ops::mul(drh, cache.r));
+
+  // Gates.
+  Tensor daz = ops::sigmoid_grad(dz, cache.z);
+  Tensor dar = ops::sigmoid_grad(dr, cache.r);
+  d_uz = daz;
+  d_ur = dar;
+  ops::add_inplace(dh_prev, hz_.backward(cache.h_prev, daz, rec, "rnn.tgcn.hz"));
+  ops::add_inplace(dh_prev, hr_.backward(cache.h_prev, dar, rec, "rnn.tgcn.hr"));
+  record(rec, "ew:rnn.tgcn.act.bwd",
+         kernels::elementwise_stats(6 * dh.size(), 2, 6));
+  return dh_prev;
+}
+
+float TGcn::train_frame(FrameExecutor& ex,
+                        const std::vector<const Tensor*>& xs,
+                        const std::vector<const Tensor*>& targets) {
+  return run_frame(ex, xs, targets, true);
+}
+
+float TGcn::eval_frame(FrameExecutor& ex, const std::vector<const Tensor*>& xs,
+                       const std::vector<const Tensor*>& targets) {
+  return run_frame(ex, xs, targets, false);
+}
+
+float TGcn::run_frame(FrameExecutor& ex, const std::vector<const Tensor*>& xs,
+                      const std::vector<const Tensor*>& targets, bool train) {
+  PIPAD_CHECK(xs.size() == targets.size() && !xs.empty());
+  const int T = static_cast<int>(xs.size());
+  auto* rec = ex.recorder();
+
+  // ---- GNN portion: one aggregation feeds all three gate updates ----
+  std::vector<Tensor> agg = ex.aggregate(xs, /*layer_id=*/0, "gcn.gates");
+  std::vector<const Tensor*> aggp;
+  for (const auto& t : agg) aggp.push_back(&t);
+  std::vector<Tensor> uz = ex.update(aggp, gate_z_, "gcn.gate_z");
+  std::vector<Tensor> ur = ex.update(aggp, gate_r_, "gcn.gate_r");
+  std::vector<Tensor> un = ex.update(aggp, gate_n_, "gcn.gate_n");
+
+  // ---- Recurrent chain ----
+  const int n_rows = xs[0]->rows();
+  std::vector<StepCache> caches(T);
+  std::vector<Tensor> hs(T);
+  Tensor h = Tensor::zeros(n_rows, hid_);
+  for (int t = 0; t < T; ++t) {
+    h = step(uz[t], ur[t], un[t], h, caches[t], rec);
+    hs[t] = h;
+  }
+
+  // ---- Head + loss ----
+  std::vector<const Tensor*> hsp;
+  for (const auto& t : hs) hsp.push_back(&t);
+  std::vector<Tensor> preds = ex.update(hsp, head_, "head.fc");
+
+  float loss = 0.0f;
+  std::vector<Tensor> d_preds(T);
+  for (int t = 0; t < T; ++t) {
+    Tensor g;
+    loss += ops::mse_loss(preds[t], *targets[t], train ? &g : nullptr);
+    if (train) {
+      ops::scale_inplace(g, 1.0f / static_cast<float>(T));
+      d_preds[t] = std::move(g);
+    }
+    record(rec, "ew:loss",
+           kernels::elementwise_stats(preds[t].size(), 2, 3));
+  }
+  loss /= static_cast<float>(T);
+  if (!train) return loss;
+
+  // ---- Backward ----
+  std::vector<Tensor> d_hs = ex.update_backward(d_preds, hsp, head_, "head.fc");
+
+  std::vector<Tensor> d_uz(T), d_ur(T), d_un(T);
+  Tensor carry = Tensor::zeros(n_rows, hid_);
+  for (int t = T - 1; t >= 0; --t) {
+    Tensor dh = carry;
+    if (!d_hs[t].empty()) ops::add_inplace(dh, d_hs[t]);
+    carry = step_backward(caches[t], dh, d_uz[t], d_ur[t], d_un[t], rec);
+  }
+
+  std::vector<Tensor> d_agg_z =
+      ex.update_backward(d_uz, aggp, gate_z_, "gcn.gate_z");
+  std::vector<Tensor> d_agg_r =
+      ex.update_backward(d_ur, aggp, gate_r_, "gcn.gate_r");
+  std::vector<Tensor> d_agg_n =
+      ex.update_backward(d_un, aggp, gate_n_, "gcn.gate_n");
+  // Gradients would flow to the inputs only through layer-0 aggregation,
+  // which terminates at leaves — nothing further to do.
+  (void)d_agg_z;
+  (void)d_agg_r;
+  (void)d_agg_n;
+  return loss;
+}
+
+std::vector<nn::Parameter*> TGcn::params() {
+  std::vector<nn::Parameter*> ps;
+  for (auto* l : {&gate_z_, &gate_r_, &gate_n_, &hz_, &hr_, &hn_, &head_}) {
+    for (auto* p : l->params()) ps.push_back(p);
+  }
+  return ps;
+}
+
+}  // namespace pipad::models

@@ -1,0 +1,108 @@
+#include "nn/gru.hpp"
+
+#include "kernels/stats_builders.hpp"
+#include "tensor/ops.hpp"
+
+namespace pipad::nn {
+
+namespace {
+void record(kernels::KernelRecorder* rec, const std::string& name,
+            const gpusim::KernelStats& s) {
+  if (rec != nullptr) rec->record(name, s);
+}
+}  // namespace
+
+GRUCell::GRUCell(int input_dim, int hidden_dim, Rng& rng)
+    : in_(input_dim),
+      hid_(hidden_dim),
+      wz_(Parameter::glorot(input_dim + hidden_dim, hidden_dim, rng)),
+      wr_(Parameter::glorot(input_dim + hidden_dim, hidden_dim, rng)),
+      wn_(Parameter::glorot(input_dim + hidden_dim, hidden_dim, rng)),
+      bz_(Parameter::zeros(1, hidden_dim)),
+      br_(Parameter::zeros(1, hidden_dim)),
+      bn_(Parameter::zeros(1, hidden_dim)) {}
+
+Tensor GRUCell::forward(const Tensor& x, const Tensor& h_prev, Cache& cache,
+                        kernels::KernelRecorder* rec,
+                        const std::string& tag) const {
+  PIPAD_CHECK_MSG(x.cols() == in_ && h_prev.cols() == hid_,
+                  "GRU dim mismatch: x " << x.shape_str() << " h "
+                                         << h_prev.shape_str());
+  cache.x = x;
+  cache.h_prev = h_prev;
+  cache.xh = ops::concat_cols(x, h_prev);
+
+  Tensor az = ops::matmul(cache.xh, wz_.value);
+  ops::add_bias(az, bz_.value);
+  Tensor ar = ops::matmul(cache.xh, wr_.value);
+  ops::add_bias(ar, br_.value);
+  cache.z = ops::sigmoid(az);
+  cache.r = ops::sigmoid(ar);
+  record(rec, "gemm:" + tag + ".zr",
+         kernels::gemm_stats(x.rows(), in_ + hid_, 2 * hid_));
+
+  cache.rh = ops::mul(cache.r, h_prev);
+  cache.xrh = ops::concat_cols(x, cache.rh);
+  Tensor an = ops::matmul(cache.xrh, wn_.value);
+  ops::add_bias(an, bn_.value);
+  cache.n = ops::tanh(an);
+  record(rec, "gemm:" + tag + ".n",
+         kernels::gemm_stats(x.rows(), in_ + hid_, hid_));
+
+  // h = (1 - z) * n + z * h_prev.
+  Tensor h(x.rows(), hid_);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const float z = cache.z.data()[i];
+    h.data()[i] = (1.0f - z) * cache.n.data()[i] + z * h_prev.data()[i];
+  }
+  record(rec, "ew:" + tag + ".act",
+         kernels::elementwise_stats(3 * h.size(), 1, 5));
+  return h;
+}
+
+std::pair<Tensor, Tensor> GRUCell::backward(const Cache& cache,
+                                            const Tensor& dh,
+                                            kernels::KernelRecorder* rec,
+                                            const std::string& tag) {
+  // h = (1-z)*n + z*h_prev
+  Tensor dz = ops::mul(dh, ops::sub(cache.h_prev, cache.n));
+  Tensor dn = ops::mul(dh, ops::sub(Tensor::full(dh.rows(), dh.cols(), 1.0f),
+                                    cache.z));
+  Tensor dh_prev = ops::mul(dh, cache.z);
+
+  // Candidate branch.
+  Tensor dan = ops::tanh_grad(dn, cache.n);
+  ops::gemm(cache.xrh, dan, wn_.grad, true, false, 1.0f, 1.0f);
+  ops::add_inplace(bn_.grad, ops::bias_grad(dan));
+  Tensor dxrh = ops::matmul(dan, wn_.value, false, true);
+  auto [dx_n, drh] = ops::split_cols(dxrh, in_);
+  Tensor dr = ops::mul(drh, cache.h_prev);
+  ops::add_inplace(dh_prev, ops::mul(drh, cache.r));
+
+  // Gate branches.
+  Tensor daz = ops::sigmoid_grad(dz, cache.z);
+  Tensor dar = ops::sigmoid_grad(dr, cache.r);
+  ops::gemm(cache.xh, daz, wz_.grad, true, false, 1.0f, 1.0f);
+  ops::add_inplace(bz_.grad, ops::bias_grad(daz));
+  ops::gemm(cache.xh, dar, wr_.grad, true, false, 1.0f, 1.0f);
+  ops::add_inplace(br_.grad, ops::bias_grad(dar));
+
+  Tensor dxh_z = ops::matmul(daz, wz_.value, false, true);
+  Tensor dxh_r = ops::matmul(dar, wr_.value, false, true);
+  auto [dx_z, dh_z] = ops::split_cols(dxh_z, in_);
+  auto [dx_r, dh_r] = ops::split_cols(dxh_r, in_);
+
+  Tensor dx = dx_n;
+  ops::add_inplace(dx, dx_z);
+  ops::add_inplace(dx, dx_r);
+  ops::add_inplace(dh_prev, dh_z);
+  ops::add_inplace(dh_prev, dh_r);
+
+  record(rec, "gemm:" + tag + ".bwd",
+         kernels::gemm_stats(cache.xh.cols(), cache.xh.rows(), 3 * hid_));
+  record(rec, "ew:" + tag + ".act.bwd",
+         kernels::elementwise_stats(6 * dh.size(), 2, 6));
+  return {std::move(dx), std::move(dh_prev)};
+}
+
+}  // namespace pipad::nn

@@ -1,0 +1,131 @@
+#include "nn/lstm.hpp"
+
+#include "kernels/stats_builders.hpp"
+#include "tensor/ops.hpp"
+
+namespace pipad::nn {
+
+namespace {
+void record(kernels::KernelRecorder* rec, const std::string& name,
+            const gpusim::KernelStats& s) {
+  if (rec != nullptr) rec->record(name, s);
+}
+}  // namespace
+
+LSTMCell::LSTMCell(int input_dim, int hidden_dim, Rng& rng)
+    : in_(input_dim),
+      hid_(hidden_dim),
+      w_(Parameter::glorot(input_dim + hidden_dim, 4 * hidden_dim, rng)),
+      b_(Parameter::zeros(1, 4 * hidden_dim)) {}
+
+std::pair<Tensor, Tensor> LSTMCell::forward(const Tensor& x,
+                                            const Tensor& h_prev,
+                                            const Tensor& c_prev,
+                                            Cache& cache,
+                                            kernels::KernelRecorder* rec,
+                                            const std::string& tag) const {
+  PIPAD_CHECK_MSG(x.cols() == in_, "LSTM input dim mismatch");
+  PIPAD_CHECK_MSG(h_prev.cols() == hid_ && c_prev.cols() == hid_,
+                  "LSTM hidden dim mismatch");
+  cache.xh = ops::concat_cols(x, h_prev);
+  Tensor gates = ops::matmul(cache.xh, w_.value);
+  ops::add_bias(gates, b_.value);
+  record(rec, "gemm:" + tag + ".gates",
+         kernels::gemm_stats(x.rows(), in_ + hid_, 4 * hid_));
+
+  cache.i = ops::sigmoid(ops::slice_cols(gates, 0, hid_));
+  cache.f = ops::sigmoid(ops::slice_cols(gates, hid_, hid_));
+  cache.g = ops::tanh(ops::slice_cols(gates, 2 * hid_, hid_));
+  cache.o = ops::sigmoid(ops::slice_cols(gates, 3 * hid_, hid_));
+  cache.c_prev = c_prev;
+
+  cache.c = ops::add(ops::mul(cache.f, c_prev), ops::mul(cache.i, cache.g));
+  cache.tanh_c = ops::tanh(cache.c);
+  Tensor h = ops::mul(cache.o, cache.tanh_c);
+  record(rec, "ew:" + tag + ".act",
+         kernels::elementwise_stats(gates.size(), 1, 6));
+  return {std::move(h), cache.c};
+}
+
+std::tuple<Tensor, Tensor, Tensor> LSTMCell::backward(
+    const Cache& cache, const Tensor& dh, const Tensor& dc,
+    kernels::KernelRecorder* rec, const std::string& tag) {
+  // dc_total = dc + dh * o * (1 - tanh_c^2)
+  Tensor dtanh_c = ops::mul(dh, cache.o);
+  Tensor dc_total = ops::tanh_grad(dtanh_c, cache.tanh_c);
+  if (!dc.empty()) ops::add_inplace(dc_total, dc);
+
+  Tensor d_o = ops::mul(dh, cache.tanh_c);
+  Tensor d_f = ops::mul(dc_total, cache.c_prev);
+  Tensor dc_prev = ops::mul(dc_total, cache.f);
+  Tensor d_i = ops::mul(dc_total, cache.g);
+  Tensor d_g = ops::mul(dc_total, cache.i);
+
+  // Through the gate nonlinearities.
+  Tensor da_i = ops::sigmoid_grad(d_i, cache.i);
+  Tensor da_f = ops::sigmoid_grad(d_f, cache.f);
+  Tensor da_g = ops::tanh_grad(d_g, cache.g);
+  Tensor da_o = ops::sigmoid_grad(d_o, cache.o);
+
+  Tensor da(dh.rows(), 4 * hid_);
+  ops::add_into_cols(da, da_i, 0);
+  ops::add_into_cols(da, da_f, hid_);
+  ops::add_into_cols(da, da_g, 2 * hid_);
+  ops::add_into_cols(da, da_o, 3 * hid_);
+  record(rec, "ew:" + tag + ".act.bwd",
+         kernels::elementwise_stats(da.size(), 2, 8));
+
+  // Parameter grads and input grad.
+  ops::gemm(cache.xh, da, w_.grad, true, false, 1.0f, 1.0f);
+  ops::add_inplace(b_.grad, ops::bias_grad(da));
+  Tensor dxh = ops::matmul(da, w_.value, false, true);
+  record(rec, "gemm:" + tag + ".gates.dw",
+         kernels::gemm_stats(cache.xh.cols(), cache.xh.rows(), da.cols()));
+  record(rec, "gemm:" + tag + ".gates.dx",
+         kernels::gemm_stats(da.rows(), da.cols(), cache.xh.cols()));
+
+  auto [dx, dh_prev] = ops::split_cols(dxh, in_);
+  return {std::move(dx), std::move(dh_prev), std::move(dc_prev)};
+}
+
+std::vector<Tensor> LSTMSequence::forward(
+    const std::vector<const Tensor*>& xs, kernels::KernelRecorder* rec,
+    const std::string& tag) {
+  PIPAD_CHECK(!xs.empty());
+  rows_ = xs[0]->rows();
+  caches_.assign(xs.size(), {});
+  Tensor h = Tensor::zeros(rows_, cell_->hidden_dim());
+  Tensor c = Tensor::zeros(rows_, cell_->hidden_dim());
+  std::vector<Tensor> hs;
+  hs.reserve(xs.size());
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    auto [h_new, c_new] =
+        cell_->forward(*xs[t], h, c, caches_[t], rec, tag);
+    h = h_new;
+    c = std::move(c_new);
+    hs.push_back(std::move(h_new));
+  }
+  return hs;
+}
+
+std::vector<Tensor> LSTMSequence::backward(const std::vector<Tensor>& d_hs,
+                                           kernels::KernelRecorder* rec,
+                                           const std::string& tag) {
+  PIPAD_CHECK(d_hs.size() == caches_.size());
+  const int T = static_cast<int>(caches_.size());
+  std::vector<Tensor> dxs(T);
+  Tensor dh_carry = Tensor::zeros(rows_, cell_->hidden_dim());
+  Tensor dc_carry = Tensor::zeros(rows_, cell_->hidden_dim());
+  for (int t = T - 1; t >= 0; --t) {
+    Tensor dh = dh_carry;
+    if (!d_hs[t].empty()) ops::add_inplace(dh, d_hs[t]);
+    auto [dx, dh_prev, dc_prev] =
+        cell_->backward(caches_[t], dh, dc_carry, rec, tag);
+    dxs[t] = std::move(dx);
+    dh_carry = std::move(dh_prev);
+    dc_carry = std::move(dc_prev);
+  }
+  return dxs;
+}
+
+}  // namespace pipad::nn

@@ -1,0 +1,40 @@
+// Trainable parameter: value + accumulated gradient.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pipad::nn {
+
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+
+  Parameter() = default;
+  explicit Parameter(Tensor v)
+      : value(std::move(v)), grad(value.rows(), value.cols()) {}
+
+  /// Glorot/Xavier-normal initialization for a [fan_in x fan_out] matrix.
+  static Parameter glorot(int fan_in, int fan_out, Rng& rng) {
+    const float stddev =
+        std::sqrt(2.0f / static_cast<float>(fan_in + fan_out));
+    return Parameter(Tensor::randn(fan_in, fan_out, rng, stddev));
+  }
+
+  static Parameter zeros(int rows, int cols) {
+    return Parameter(Tensor::zeros(rows, cols));
+  }
+
+  void zero_grad() { grad.fill(0.0f); }
+  std::size_t size() const { return value.size(); }
+};
+
+/// Convenience for optimizers and tests.
+inline void zero_grads(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) p->zero_grad();
+}
+
+}  // namespace pipad::nn

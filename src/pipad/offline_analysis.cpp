@@ -1,0 +1,82 @@
+#include "pipad/offline_analysis.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "kernels/aggregate.hpp"
+#include "kernels/stats_builders.hpp"
+
+namespace pipad::runtime {
+
+namespace {
+/// Expected slice count for nnz non-zeros under a given bound: real graphs
+/// have power-law rows, so most slices are partial; empirically the mean
+/// slice fill is about half the bound.
+std::uint64_t est_slices(std::uint64_t nnz, int bound) {
+  const std::uint64_t mean_fill = std::max(1, bound / 2);
+  return std::max<std::uint64_t>(1, nnz / mean_fill);
+}
+}  // namespace
+
+double one_snapshot_gnn_us(const gpusim::CostModel& cm,
+                           const WorkloadShape& w) {
+  PIPAD_CHECK(w.num_nodes > 0 && w.feat_dim > 0 && w.hidden_dim > 0);
+  const auto agg = kernels::sliced_agg_stats(
+      w.nnz_per_snapshot, est_slices(w.nnz_per_snapshot, w.slice_bound),
+      w.feat_dim, w.coalesce_num);
+  const auto norm = kernels::elementwise_stats(
+      static_cast<std::uint64_t>(w.num_nodes) * w.feat_dim, 2, 2);
+  const auto upd = kernels::gemm_stats(w.num_nodes, w.feat_dim, w.hidden_dim);
+  return cm.kernel_us(agg) + cm.kernel_us(norm) + cm.kernel_us(upd);
+}
+
+double parallel_gnn_us(const gpusim::CostModel& cm, const WorkloadShape& w,
+                       int s_per, double group_overlap_rate,
+                       bool weight_reuse) {
+  PIPAD_CHECK(s_per >= 1);
+  const double orr = std::clamp(group_overlap_rate, 0.0, 1.0);
+  const auto ov_nnz =
+      static_cast<std::uint64_t>(orr * static_cast<double>(w.nnz_per_snapshot));
+  const std::uint64_t ex_nnz = w.nnz_per_snapshot - ov_nnz;
+  const int fc = w.feat_dim * s_per;
+
+  double us = 0.0;
+  // One aggregation over the shared topology with coalesced features.
+  us += cm.kernel_us(kernels::sliced_agg_stats(
+      ov_nnz, est_slices(ov_nnz, w.slice_bound), fc, w.coalesce_num));
+  // Per-member exclusive aggregations at the native width (skipped when
+  // the topology fully overlaps — the runtime skips empty parts too).
+  if (ex_nnz > 0) {
+    for (int i = 0; i < s_per; ++i) {
+      us += cm.kernel_us(kernels::sliced_agg_stats(
+          ex_nnz, est_slices(ex_nnz, w.slice_bound), w.feat_dim,
+          w.coalesce_num));
+    }
+  }
+  // Coalesced normalization.
+  us += cm.kernel_us(kernels::elementwise_stats(
+      static_cast<std::uint64_t>(w.num_nodes) * fc, 2, 2));
+  // Update: weight tiles shared across the group when permitted.
+  if (weight_reuse) {
+    us += cm.kernel_us(kernels::gemm_weight_reuse_stats(
+        w.num_nodes, w.feat_dim, w.hidden_dim, s_per));
+  } else {
+    for (int i = 0; i < s_per; ++i) {
+      us += cm.kernel_us(
+          kernels::gemm_stats(w.num_nodes, w.feat_dim, w.hidden_dim));
+    }
+  }
+  return us;
+}
+
+double estimate_parallel_speedup(const gpusim::CostModel& cm,
+                                 const WorkloadShape& w, int s_per,
+                                 double group_overlap_rate,
+                                 bool weight_reuse) {
+  const double seq = s_per * one_snapshot_gnn_us(cm, w);
+  const double par =
+      parallel_gnn_us(cm, w, s_per, group_overlap_rate, weight_reuse);
+  return par <= 0.0 ? 1.0 : seq / par;
+}
+
+}  // namespace pipad::runtime

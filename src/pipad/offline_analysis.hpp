@@ -1,0 +1,43 @@
+// Offline analysis of the parallel GNN (§4.4, Fig. 9).
+//
+// The paper profiles its parallel kernel offline across overlap-rate and
+// feature-dimension settings, then uses the table at runtime to estimate the
+// speedup of each S_per option. We reproduce this with the analytic kernel
+// cost model itself: given a workload shape, compute the simulated duration
+// of one-snapshot vs S_per-parallel execution of the full GNN step
+// (aggregation + normalize + update) and return the ratio.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/kernel_stats.hpp"
+
+namespace pipad::runtime {
+
+struct WorkloadShape {
+  int num_nodes = 0;
+  std::uint64_t nnz_per_snapshot = 0;
+  int feat_dim = 0;
+  int hidden_dim = 0;
+  int slice_bound = 32;
+  int coalesce_num = 4;
+};
+
+/// Simulated GNN time (us) for one snapshot processed alone.
+double one_snapshot_gnn_us(const gpusim::CostModel& cm,
+                           const WorkloadShape& w);
+
+/// Simulated GNN time (us) for a group of s_per snapshots processed by the
+/// parallel GNN, given the group's topology overlap rate.
+double parallel_gnn_us(const gpusim::CostModel& cm, const WorkloadShape& w,
+                       int s_per, double group_overlap_rate,
+                       bool weight_reuse = true);
+
+/// Speedup of the s_per-parallel GNN over s_per sequential one-snapshot
+/// executions (the normalization used in Fig. 9).
+double estimate_parallel_speedup(const gpusim::CostModel& cm,
+                                 const WorkloadShape& w, int s_per,
+                                 double group_overlap_rate,
+                                 bool weight_reuse = true);
+
+}  // namespace pipad::runtime

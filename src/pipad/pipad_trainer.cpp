@@ -1,0 +1,726 @@
+#include "pipad/pipad_trainer.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/timer.hpp"
+#include "kernels/aggregate.hpp"
+#include "kernels/stats_builders.hpp"
+#include "kernels/update.hpp"
+#include "nn/optim.hpp"
+#include "pipad/offline_analysis.hpp"
+#include "pipad/reuse.hpp"
+#include "sliced/partition.hpp"
+#include "tensor/ops.hpp"
+
+namespace pipad::runtime {
+
+using gpusim::EventId;
+using gpusim::KernelStats;
+using gpusim::StreamId;
+using models::TrainConfig;
+using models::TrainResult;
+
+namespace {
+
+/// Per-snapshot sliced topology produced by the online graph analyzer (❶).
+struct SlicedSnapshot {
+  sliced::SlicedCSR adj;
+  sliced::SlicedCSR adj_t;
+  std::vector<int> deg;
+
+  std::size_t transfer_bytes(bool with_transpose) const {
+    std::size_t b = adj.transfer_bytes() + deg.size() * sizeof(int);
+    if (with_transpose) b += adj_t.transfer_bytes();
+    return b;
+  }
+};
+
+/// The executor: implements the model-facing FrameExecutor in two modes.
+/// Prep = one-snapshot-at-a-time (preparing epochs); Steady = partitioned
+/// multi-snapshot parallel GNN.
+class PipadExecutor final : public models::FrameExecutor,
+                            public kernels::KernelRecorder {
+ public:
+  PipadExecutor(gpusim::Gpu& gpu, const graph::DTDG& data,
+                const PipadOptions& opts)
+      : gpu_(gpu),
+        data_(data),
+        opts_(opts),
+        compute_(gpu.create_stream("compute")) {}
+
+  StreamId compute_stream() const { return compute_; }
+
+  void set_sliced(std::vector<SlicedSnapshot>* sliced) { sliced_ = sliced; }
+
+  void begin_prep_frame(const graph::Frame& frame,
+                        std::vector<std::optional<EventId>> snapshot_ready) {
+    steady_ = false;
+    frame_ = frame;
+    snap_ready_ = std::move(snapshot_ready);
+    snap_waited_.assign(frame_.size, false);
+  }
+
+  void begin_steady_frame(const graph::Frame& frame,
+                          std::vector<const sliced::FramePartition*> parts,
+                          std::vector<std::optional<EventId>> part_ready) {
+    steady_ = true;
+    frame_ = frame;
+    parts_ = std::move(parts);
+    part_ready_ = std::move(part_ready);
+    part_waited_.assign(parts_.size(), false);
+  }
+
+  // ---- KernelRecorder: CUDA-graph batched launches (§4.2) ----
+  void record(const std::string& name, const KernelStats& stats) override {
+    // Scale-reduced datasets report full-size work (DTDG::sim_scale).
+    const KernelStats full =
+        stats.scaled(static_cast<double>(data_.sim_scale));
+    if (opts_.enable_cuda_graph) {
+      graph_.add_kernel(name, full);
+    } else {
+      gpu_.launch_kernel(compute_, name, full,
+                         opts_.framework_us_per_launch);
+    }
+  }
+
+  void flush() {
+    if (graph_.size() > 0) {
+      gpu_.launch_graph(compute_, graph_);
+      graph_.clear();
+    }
+  }
+
+  // ---- Inter-frame reuse cache (CPU side) ----
+  bool has_cached(int snapshot) const { return cache_.count(snapshot) > 0; }
+  const Tensor& cached(int snapshot) const { return cache_.at(snapshot); }
+
+  // ---- FrameExecutor ----
+  std::vector<Tensor> aggregate(const std::vector<const Tensor*>& xs,
+                                int layer_id,
+                                const std::string& tag) override {
+    if (layer_id == 0 && opts_.enable_reuse && all_cached()) {
+      // Results were computed in the preparing epochs; the data is already
+      // on the device (reuse buffer hit or scheduled transfer) — no kernel.
+      std::vector<Tensor> out(frame_.size);
+      for (int i = 0; i < frame_.size; ++i) {
+        out[i] = cache_.at(frame_.start + i);
+      }
+      return out;
+    }
+    std::vector<Tensor> out =
+        steady_ ? aggregate_steady(xs, tag, /*transposed=*/false)
+                : aggregate_prep(xs, tag, /*transposed=*/false);
+    if (layer_id == 0 && opts_.enable_reuse) {
+      for (int i = 0; i < frame_.size; ++i) {
+        cache_[frame_.start + i] = out[i];
+      }
+    }
+    return out;
+  }
+
+  std::vector<Tensor> aggregate_backward(const std::vector<Tensor>& d_h,
+                                         int layer_id,
+                                         const std::string& tag) override {
+    PIPAD_CHECK(layer_id > 0);
+    std::vector<const Tensor*> dptr;
+    dptr.reserve(d_h.size());
+    for (const auto& t : d_h) dptr.push_back(&t);
+    return steady_ ? aggregate_steady(dptr, tag + ".bwd", true)
+                   : aggregate_prep(dptr, tag + ".bwd", true);
+  }
+
+  std::vector<Tensor> update(const std::vector<const Tensor*>& hs,
+                             nn::Linear& lin,
+                             const std::string& tag) override {
+    wait_all();
+    std::vector<Tensor> out;
+    if (opts_.enable_weight_reuse) {
+      record("gemm:" + tag + ".wr",
+             kernels::update_weight_reuse(hs, lin.weight().value, out,
+                                          &lin.bias().value));
+    } else {
+      out.resize(hs.size());
+      for (std::size_t i = 0; i < hs.size(); ++i) {
+        out[i] = lin.forward(*hs[i], this, tag);
+      }
+    }
+    return out;
+  }
+
+  std::vector<Tensor> update_backward(const std::vector<Tensor>& d_y,
+                                      const std::vector<const Tensor*>& hs,
+                                      nn::Linear& lin,
+                                      const std::string& tag) override {
+    PIPAD_CHECK(d_y.size() == hs.size());
+    std::vector<Tensor> out(d_y.size());
+    for (std::size_t i = 0; i < d_y.size(); ++i) {
+      ops::gemm(*hs[i], d_y[i], lin.weight().grad, true, false, 1.0f, 1.0f);
+      ops::add_inplace(lin.bias().grad, ops::bias_grad(d_y[i]));
+      out[i] = ops::matmul(d_y[i], lin.weight().value, false, true);
+    }
+    if (opts_.enable_weight_reuse) {
+      // dX = dY W^T shares W^T tiles across the group; the dW accumulator
+      // stays resident across snapshots, so both directions amortize.
+      record("gemm:" + tag + ".dx.wr",
+             kernels::gemm_weight_reuse_stats(d_y[0].rows(), d_y[0].cols(),
+                                              lin.weight().value.rows(),
+                                              d_y.size()));
+      record("gemm:" + tag + ".dw.wr",
+             kernels::gemm_weight_reuse_stats(hs[0]->cols(), hs[0]->rows(),
+                                              d_y[0].cols(), d_y.size()));
+    } else {
+      for (std::size_t i = 0; i < d_y.size(); ++i) {
+        record("gemm:" + tag + ".dx",
+               kernels::gemm_stats(d_y[i].rows(), d_y[i].cols(),
+                                   lin.weight().value.rows()));
+        record("gemm:" + tag + ".dw",
+               kernels::gemm_stats(hs[i]->cols(), hs[i]->rows(),
+                                   d_y[i].cols()));
+      }
+    }
+    return out;
+  }
+
+  kernels::KernelRecorder* recorder() override { return this; }
+
+ private:
+  bool all_cached() const {
+    for (int i = 0; i < frame_.size; ++i) {
+      if (cache_.count(frame_.start + i) == 0) return false;
+    }
+    return frame_.size > 0;
+  }
+
+  void wait_snapshot(int offset) {
+    if (steady_ || snap_waited_.empty() || snap_waited_[offset]) return;
+    snap_waited_[offset] = true;
+    if (snap_ready_[offset].has_value()) {
+      flush();
+      gpu_.wait_event(compute_, *snap_ready_[offset]);
+    }
+  }
+
+  void wait_partition(std::size_t p) {
+    if (!steady_ || part_waited_.empty() || part_waited_[p]) return;
+    part_waited_[p] = true;
+    if (part_ready_[p].has_value()) {
+      flush();
+      gpu_.wait_event(compute_, *part_ready_[p]);
+    }
+  }
+
+  void wait_all() {
+    if (steady_) {
+      for (std::size_t p = 0; p < parts_.size(); ++p) wait_partition(p);
+    } else {
+      for (int i = 0; i < frame_.size; ++i) wait_snapshot(i);
+    }
+  }
+
+  /// One-snapshot aggregation + normalization (preparing epochs).
+  std::vector<Tensor> aggregate_prep(const std::vector<const Tensor*>& xs,
+                                     const std::string& tag,
+                                     bool transposed) {
+    std::vector<Tensor> out(xs.size());
+    for (int i = 0; i < static_cast<int>(xs.size()); ++i) {
+      const int t = frame_.start + i;
+      wait_snapshot(i);
+      const auto& ss = (*sliced_)[t];
+      const auto& a = transposed ? ss.adj_t : ss.adj;
+      if (transposed) {
+        Tensor d_agg(xs[i]->rows(), xs[i]->cols());
+        Tensor d_direct(xs[i]->rows(), xs[i]->cols());
+        record("normalize:" + tag,
+               kernels::gcn_normalize_backward(ss.deg, *xs[i], d_agg,
+                                               d_direct));
+        Tensor d_x(xs[i]->rows(), xs[i]->cols());
+        record("agg:sliced:" + tag,
+               kernels::agg_sliced(a, d_agg, d_x, opts_.coalesce_num));
+        ops::add_inplace(d_x, d_direct);
+        record("ew:" + tag + ".add",
+               kernels::elementwise_stats(d_x.size(), 2, 1));
+        out[i] = std::move(d_x);
+      } else {
+        Tensor agg(xs[i]->rows(), xs[i]->cols());
+        record("agg:sliced:" + tag,
+               kernels::agg_sliced(a, *xs[i], agg, opts_.coalesce_num));
+        Tensor h(agg.rows(), agg.cols());
+        record("normalize:" + tag,
+               kernels::gcn_normalize(ss.deg, *xs[i], agg, h));
+        out[i] = std::move(h);
+      }
+    }
+    return out;
+  }
+
+  /// Partition-parallel aggregation (§4.2): the shared topology is
+  /// aggregated once against the coalesced feature matrix; per-member
+  /// exclusive parts are added into their stripe.
+  std::vector<Tensor> aggregate_steady(const std::vector<const Tensor*>& xs,
+                                       const std::string& tag,
+                                       bool transposed) {
+    std::vector<Tensor> out(xs.size());
+    for (std::size_t pi = 0; pi < parts_.size(); ++pi) {
+      const auto& p = *parts_[pi];
+      wait_partition(pi);
+      const int f = xs[0]->cols();
+      const int s = p.count;
+      const int rel = p.start - frame_.start;
+
+      // Coalesce the members' matrices (on-device interleave copy).
+      std::vector<const Tensor*> members(xs.begin() + rel,
+                                         xs.begin() + rel + s);
+      Tensor coal = sliced::coalesce_features(members);
+      record("ew:" + tag + ".coalesce",
+             kernels::elementwise_stats(coal.size(), 1, 0));
+
+      std::vector<const std::vector<int>*> degs;
+      for (int i = 0; i < s; ++i) {
+        degs.push_back(&(*sliced_)[p.start + i].deg);
+      }
+
+      Tensor in_coal;  // What the sparse kernels consume.
+      Tensor direct;   // Backward-only direct term.
+      if (transposed) {
+        in_coal = Tensor(coal.rows(), coal.cols());
+        direct = Tensor(coal.rows(), coal.cols());
+        record("normalize:" + tag,
+               kernels::gcn_normalize_backward_coalesced(degs, coal, in_coal,
+                                                         direct));
+      } else {
+        in_coal = std::move(coal);
+      }
+
+      // Parallel aggregation on the shared topology.
+      Tensor agg(in_coal.rows(), in_coal.cols());
+      record("agg:sliced:" + tag + ".overlap",
+             kernels::agg_sliced(transposed ? p.overlap_t : p.overlap,
+                                 in_coal, agg, opts_.coalesce_num));
+      // Exclusive remainders at native width, scattered into their stripe.
+      for (int i = 0; i < s; ++i) {
+        const auto& ex = transposed ? p.exclusive_t[i] : p.exclusive[i];
+        if (ex.nnz() == 0) continue;
+        Tensor in_i = ops::slice_cols(in_coal, i * f, f);
+        Tensor e(in_i.rows(), f);
+        record("agg:sliced:" + tag + ".excl",
+               kernels::agg_sliced(ex, in_i, e, opts_.coalesce_num));
+        ops::add_into_cols(agg, e, i * f);
+        record("ew:" + tag + ".scatter",
+               kernels::elementwise_stats(e.size(), 2, 1));
+      }
+
+      Tensor result;
+      if (transposed) {
+        ops::add_inplace(agg, direct);
+        record("ew:" + tag + ".add",
+               kernels::elementwise_stats(agg.size(), 2, 1));
+        result = std::move(agg);
+      } else {
+        result = Tensor(agg.rows(), agg.cols());
+        record("normalize:" + tag, kernels::gcn_normalize_coalesced(
+                                       degs, in_coal, agg, result));
+      }
+
+      std::vector<Tensor> split = sliced::split_coalesced(result, s);
+      record("ew:" + tag + ".split",
+             kernels::elementwise_stats(result.size(), 1, 0));
+      for (int i = 0; i < s; ++i) out[rel + i] = std::move(split[i]);
+    }
+    return out;
+  }
+
+  gpusim::Gpu& gpu_;
+  const graph::DTDG& data_;
+  const PipadOptions& opts_;
+  StreamId compute_;
+  std::vector<SlicedSnapshot>* sliced_ = nullptr;
+
+  bool steady_ = false;
+  graph::Frame frame_{};
+  std::vector<std::optional<EventId>> snap_ready_;
+  std::vector<bool> snap_waited_;
+  std::vector<const sliced::FramePartition*> parts_;
+  std::vector<std::optional<EventId>> part_ready_;
+  std::vector<bool> part_waited_;
+
+  gpusim::CudaGraph graph_;
+  std::map<int, Tensor> cache_;  ///< snapshot -> layer-0 normalized agg.
+};
+
+}  // namespace
+
+struct PipadTrainer::Impl {
+  gpusim::Gpu& gpu;
+  const graph::DTDG& data;
+  TrainConfig cfg;
+  PipadOptions opts;
+  Rng rng;
+  std::unique_ptr<models::DgnnModel> model;
+  nn::Adam optim;
+  PipadExecutor exec;
+  StreamId copy_stream;
+  GpuReuseBuffer gpu_buffer;
+
+  std::vector<SlicedSnapshot> sliced;
+  std::map<std::pair<int, int>, sliced::FramePartition> partition_cache;
+  std::map<std::pair<int, int>, gpusim::EventId> partition_ready;
+  std::map<int, int> decisions;  ///< frame start -> S_per.
+  bool steady_prepared = false;
+
+  // Online profiling statistics (preparing epochs, §4.3).
+  double mean_pair_or = 0.0;
+  std::uint64_t mean_nnz = 0;
+  std::size_t per_snapshot_mem = 0;
+  int hid = 0;
+
+  Impl(gpusim::Gpu& g, const graph::DTDG& d, TrainConfig c, PipadOptions o)
+      : gpu(g),
+        data(d),
+        cfg(c),
+        opts(std::move(o)),
+        rng(c.seed),
+        model(models::make_model(
+            c.model, d.feat_dim,
+            c.hidden_dim > 0 ? c.hidden_dim
+                             : models::default_hidden_dim(d.feat_dim),
+            rng)),
+        optim(c.lr),
+        exec(g, d, opts),
+        copy_stream(g.create_stream("copy")),
+        gpu_buffer(g.device()) {
+    hid = c.hidden_dim > 0 ? c.hidden_dim
+                           : models::default_hidden_dim(d.feat_dim);
+  }
+
+  bool needs_topology_steady() const {
+    return model->num_agg_layers() > 1 || !opts.enable_reuse;
+  }
+
+  /// ❶ Online graph analyzer: slice every snapshot, charging the real
+  /// measured host time to the background CPU lane.
+  void run_analyzer() {
+    Timer timer;
+    sliced.resize(data.num_snapshots());
+    for (int t = 0; t < data.num_snapshots(); ++t) {
+      sliced[t].adj = sliced::slice(data.snapshots[t].adj, opts.slice_bound);
+      sliced[t].adj_t =
+          sliced::slice(data.snapshots[t].adj_t, opts.slice_bound);
+      sliced[t].deg = kernels::degrees(data.snapshots[t].adj);
+    }
+    gpu.worker_op("graph-analyzer", timer.elapsed_us());
+    exec.set_sliced(&sliced);
+  }
+
+  /// Online profiling of topology statistics (preparing epochs).
+  void run_profiling(const std::vector<graph::Frame>& frames) {
+    Timer timer;
+    double or_sum = 0.0;
+    int or_cnt = 0;
+    std::uint64_t nnz_sum = 0;
+    int lo = data.num_snapshots(), hi = 0;
+    for (const auto& f : frames) {
+      lo = std::min(lo, f.start);
+      hi = std::max(hi, f.end());
+    }
+    for (int t = lo; t < hi && t < data.num_snapshots(); ++t) {
+      nnz_sum += data.snapshots[t].adj.nnz();
+      if (t + 1 < hi && t + 1 < data.num_snapshots()) {
+        or_sum +=
+            graph::overlap_rate(data.snapshots[t].adj,
+                                data.snapshots[t + 1].adj);
+        ++or_cnt;
+      }
+    }
+    mean_pair_or = or_cnt > 0 ? or_sum / or_cnt : 1.0;
+    mean_nnz = (hi > lo) ? nnz_sum / static_cast<std::uint64_t>(hi - lo) : 0;
+    mean_nnz *= static_cast<std::uint64_t>(data.sim_scale);
+    const std::size_t n =
+        static_cast<std::size_t>(data.num_nodes) * data.sim_scale;
+    per_snapshot_mem =
+        (mean_nnz * 3 + n) * sizeof(int) +
+        n * (data.feat_dim + static_cast<std::size_t>(hid) *
+                                 (model->num_agg_layers() + 2)) *
+            sizeof(float);
+    gpu.worker_op("profiling", timer.elapsed_us());
+  }
+
+  const sliced::FramePartition& partition(int start, int count) {
+    auto key = std::make_pair(start, count);
+    auto it = partition_cache.find(key);
+    if (it == partition_cache.end()) {
+      Timer timer;
+      auto part =
+          sliced::build_partition(data, start, count, opts.slice_bound);
+      // ❷ Data preparation runs asynchronously on the CPU worker lane
+      // (ThreadPool-parallel on the host) and overlaps device work of
+      // earlier partitions (§4.3, Fig. 8).
+      gpu.worker_op("overlap-extract",
+                    timer.elapsed_us() / opts.host_prep_parallelism);
+      partition_ready[key] = gpu.timeline().record_event(0);
+      it = partition_cache.emplace(key, std::move(part)).first;
+    }
+    return it->second;
+  }
+
+  /// One-off steady-state preparation (§4.3): decide S_per for every frame
+  /// using the preparing-epoch statistics, then extract all needed
+  /// partitions on the background lane. Extraction of later frames'
+  /// partitions overlaps device work of earlier frames — each frame's
+  /// transfers wait only on the events of its own partitions.
+  void prepare_steady(const std::vector<graph::Frame>& frames) {
+    if (steady_prepared) return;
+    steady_prepared = true;
+    for (const auto& frame : frames) {
+      const int s = decide_sper(frame);
+      int pos = frame.start;
+      const int end = std::min(frame.end(), data.num_snapshots());
+      while (pos < end) {
+        const int take = std::min(s, end - pos);
+        partition(pos, take);
+        pos += take;
+      }
+    }
+  }
+
+  /// Dynamic tuner (§4.4): pick S_per for a frame.
+  int decide_sper(const graph::Frame& frame) {
+    if (opts.forced_sper > 0) {
+      return std::min(opts.forced_sper, frame.size);
+    }
+    auto it = decisions.find(frame.start);
+    if (it != decisions.end()) return it->second;
+
+    WorkloadShape w;
+    w.num_nodes = data.num_nodes * data.sim_scale;
+    w.nnz_per_snapshot = mean_nnz;  // Already scale-adjusted in profiling.
+    w.feat_dim = data.feat_dim;
+    w.hidden_dim = hid;
+    w.slice_bound = opts.slice_bound;
+    w.coalesce_num = opts.coalesce_num;
+    const bool wr = opts.enable_weight_reuse && !model->weights_evolve();
+
+    // Estimated per-partition transfer and compute for an S_per option.
+    auto partition_xfer_us = [&](int s, double group_or) {
+      const std::size_t topo_bytes =
+          needs_topology_steady()
+              ? static_cast<std::size_t>((group_or + s * (1.0 - group_or)) *
+                                         mean_nnz * 2 * 2 * sizeof(int))
+              : 0;
+      const std::size_t feat_bytes = static_cast<std::size_t>(s) *
+                                     data.num_nodes * data.sim_scale *
+                                     data.feat_dim * sizeof(float);
+      return gpu.cost().transfer_us(topo_bytes + feat_bytes, true);
+    };
+
+    // Pick the option with the lowest per-snapshot pipeline bottleneck:
+    //   - when compute-bound, this is the option with the best parallel
+    //     speedup (§4.4 factor 2);
+    //   - when transfer-bound, larger S_per still wins because the overlap
+    //     topology is shipped once per partition (§4.1);
+    //   - options whose transfer exceeds compute by more than the stall
+    //     tolerance lose against the bottleneck metric automatically
+    //     (§4.4 factor 3).
+    int best_s = 1;
+    double best_cost =
+        std::max(one_snapshot_gnn_us(gpu.cost(), w),
+                 partition_xfer_us(1, 1.0));
+    for (int s : opts.sper_options) {
+      if (s > frame.size) continue;
+      // Factor 1: memory upper bound — never trigger OOM.
+      const std::size_t need =
+          static_cast<std::size_t>(s) * per_snapshot_mem * 12 / 10;
+      if (need > gpu.device().available() * 8 / 10) continue;
+      const double group_or =
+          std::max(0.0, 1.0 - (s - 1) * (1.0 - mean_pair_or));
+      const double comp = parallel_gnn_us(gpu.cost(), w, s, group_or, wr);
+      const double xfer =
+          opts.enable_pipeline ? partition_xfer_us(s, group_or) : 0.0;
+      const double cost = std::max(comp, xfer) / s;
+      if (cost < best_cost * 0.999) {
+        best_cost = cost;
+        best_s = s;
+      }
+    }
+    decisions[frame.start] = best_s;
+    return best_s;
+  }
+
+  TrainResult train() {
+    TrainResult result;
+    auto frames = graph::frames_of(data, cfg.frame_size);
+    if (cfg.max_frames_per_epoch > 0 &&
+        static_cast<int>(frames.size()) > cfg.max_frames_per_epoch) {
+      frames.resize(cfg.max_frames_per_epoch);
+    }
+    auto params = model->params();
+
+    run_analyzer();
+    run_profiling(frames);
+
+    // GPU reuse-buffer budget: what is left after the working set, capped.
+    if (opts.enable_reuse) {
+      std::size_t budget = opts.gpu_reuse_budget;
+      if (budget == 0) {
+        const std::size_t working =
+            16 * per_snapshot_mem + (per_snapshot_mem * 8);
+        budget = gpu.device().available() > working
+                     ? (gpu.device().available() - working) / 2
+                     : 0;
+      }
+      gpu_buffer.set_budget(budget);
+    }
+
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+      const bool prep = epoch < opts.preparing_epochs;
+      if (!prep) prepare_steady(frames);
+      for (const auto& frame : frames) {
+        if (prep) {
+          train_prep_frame(frame, params, result);
+        } else {
+          train_steady_frame(frame, params, result);
+        }
+      }
+    }
+    models::summarize_timeline(gpu.timeline(), result);
+    return result;
+  }
+
+  void train_prep_frame(const graph::Frame& frame,
+                        const std::vector<nn::Parameter*>& params,
+                        TrainResult& result) {
+    // One-snapshot fashion with asynchronous pinned transfers (§4.3).
+    std::vector<std::optional<EventId>> evs(frame.size);
+    std::size_t frame_bytes = 0;
+    const std::size_t n = data.num_nodes;
+    const std::size_t scale = static_cast<std::size_t>(data.sim_scale);
+    for (int i = 0; i < frame.size; ++i) {
+      const int t = frame.start + i;
+      const std::size_t bytes =
+          (sliced[t].transfer_bytes(model->num_agg_layers() > 1) +
+           n * data.feat_dim * sizeof(float) + n * sizeof(float)) *
+          scale;
+      frame_bytes += bytes;
+      gpu.memcpy_h2d(copy_stream, "snapshot", bytes, /*pinned=*/true);
+      evs[i] = gpu.record_event(copy_stream);
+    }
+    gpusim::DeviceReservation res(gpu.device(),
+                                  frame_bytes + activation_bytes(frame),
+                                  "prep frame");
+    exec.begin_prep_frame(frame, std::move(evs));
+    run_model(frame, params, result);
+  }
+
+  void train_steady_frame(const graph::Frame& frame,
+                          const std::vector<nn::Parameter*>& params,
+                          TrainResult& result) {
+    const int s = decide_sper(frame);
+    std::vector<const sliced::FramePartition*> parts;
+    std::vector<std::pair<int, int>> part_keys;
+    {
+      int pos = frame.start;
+      const int end = std::min(frame.end(), data.num_snapshots());
+      while (pos < end) {
+        const int take = std::min(s, end - pos);
+        parts.push_back(&partition(pos, take));
+        part_keys.emplace_back(pos, take);
+        pos += take;
+      }
+    }
+
+    // ---- Partition-grained transfers (§4.1) ----
+    const std::size_t n = data.num_nodes;
+    const std::size_t scale = static_cast<std::size_t>(data.sim_scale);
+    std::vector<std::optional<EventId>> evs(parts.size());
+    std::size_t frame_bytes = 0;
+    for (std::size_t pi = 0; pi < parts.size(); ++pi) {
+      const auto& p = *parts[pi];
+      std::size_t bytes = 0;
+      if (needs_topology_steady()) {
+        bytes += (p.topology_transfer_bytes() +
+                  static_cast<std::size_t>(p.count) * n * sizeof(int)) *
+                 scale;
+      }
+      for (int i = 0; i < p.count; ++i) {
+        const int t = p.start + i;
+        const std::size_t agg_bytes =
+            n * data.feat_dim * sizeof(float) * scale;
+        if (opts.enable_reuse && exec.has_cached(t)) {
+          if (!gpu_buffer.contains(t)) {
+            bytes += agg_bytes;  // CPU cache -> GPU buffer.
+            gpu_buffer.insert(t, agg_bytes);
+          }
+        } else {
+          bytes += agg_bytes;  // Raw features.
+        }
+        bytes += n * sizeof(float) * scale;  // Targets.
+      }
+      frame_bytes += bytes;
+      if (bytes > 0) {
+        // The partition's data cannot ship before its overlap extraction
+        // completed on the background lane (§4.3).
+        const auto ready_it = partition_ready.find(part_keys[pi]);
+        if (ready_it != partition_ready.end()) {
+          gpu.wait_event(copy_stream, ready_it->second);
+        }
+        if (opts.enable_pipeline) {
+          gpu.memcpy_h2d(copy_stream, "partition", bytes, /*pinned=*/true);
+          evs[pi] = gpu.record_event(copy_stream);
+        } else {
+          gpu.memcpy_h2d_sync(copy_stream, "partition", bytes, true);
+        }
+      }
+    }
+
+    gpusim::DeviceReservation res(gpu.device(),
+                                  frame_bytes + activation_bytes(frame),
+                                  "steady frame");
+    exec.begin_steady_frame(frame, std::move(parts), std::move(evs));
+    run_model(frame, params, result);
+    // Frames slide forward by one: results before the next frame's start
+    // will never be used again.
+    gpu_buffer.evict_before(frame.start + 1);
+  }
+
+  std::size_t activation_bytes(const graph::Frame& frame) const {
+    return static_cast<std::size_t>(data.num_nodes) * data.sim_scale * hid *
+           sizeof(float) * frame.size * (model->num_agg_layers() + 2);
+  }
+
+  void run_model(const graph::Frame& frame,
+                 const std::vector<nn::Parameter*>& params,
+                 TrainResult& result) {
+    std::vector<const Tensor*> xs, ys;
+    for (int i = 0; i < frame.size; ++i) {
+      xs.push_back(&data.snapshots[frame.start + i].features);
+      ys.push_back(&data.targets[frame.start + i]);
+    }
+    nn::zero_grads(params);
+    const float loss = model->train_frame(exec, xs, ys);
+    result.frame_loss.push_back(loss);
+    optim.step(params);
+    for (const auto* p : params) {
+      exec.record("ew:optim",
+                  kernels::elementwise_stats(p->value.size(), 3, 8));
+    }
+    exec.flush();
+    gpu.memcpy_d2h(copy_stream, "loss", sizeof(float), true);
+  }
+};
+
+PipadTrainer::PipadTrainer(gpusim::Gpu& gpu, const graph::DTDG& data,
+                           TrainConfig cfg, PipadOptions opts)
+    : impl_(std::make_unique<Impl>(gpu, data, cfg, std::move(opts))) {}
+
+PipadTrainer::~PipadTrainer() = default;
+
+TrainResult PipadTrainer::train() { return impl_->train(); }
+
+models::DgnnModel& PipadTrainer::model() { return *impl_->model; }
+
+const std::map<int, int>& PipadTrainer::sper_decisions() const {
+  return impl_->decisions;
+}
+
+}  // namespace pipad::runtime

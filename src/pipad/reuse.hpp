@@ -1,0 +1,76 @@
+// Inter-frame reuse buffers (§4.4).
+//
+// CPU side: every snapshot's layer-0 normalized aggregation, computed once
+// in the preparing epochs, lives in host memory for the rest of training
+// (it depends only on inputs, never on parameters).
+// GPU side: a byte-budgeted buffer keeps the results most useful for the
+// *next* frame resident on the device, eliminating even the CPU->GPU
+// re-transfer. Frames slide forward by one, so eviction drops the oldest
+// snapshot first (it is the one whose next use is farthest away).
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "gpusim/device.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pipad::runtime {
+
+class GpuReuseBuffer {
+ public:
+  explicit GpuReuseBuffer(gpusim::Device& dev) : dev_(&dev) {}
+  ~GpuReuseBuffer() { clear(); }
+  GpuReuseBuffer(const GpuReuseBuffer&) = delete;
+  GpuReuseBuffer& operator=(const GpuReuseBuffer&) = delete;
+
+  void set_budget(std::size_t bytes) { budget_ = bytes; }
+  std::size_t budget() const { return budget_; }
+  std::size_t used() const { return used_; }
+
+  bool contains(int snapshot) const { return resident_.count(snapshot) > 0; }
+
+  /// Mark a snapshot's aggregation result resident on the device, evicting
+  /// the oldest entries to fit the budget. Returns false when the entry is
+  /// larger than the whole budget (nothing is inserted).
+  bool insert(int snapshot, std::size_t bytes) {
+    if (bytes > budget_) return false;
+    if (contains(snapshot)) return true;
+    while (used_ + bytes > budget_ && !resident_.empty()) {
+      evict(resident_.begin()->first);
+    }
+    dev_->allocate(bytes, "gpu reuse buffer");
+    resident_[snapshot] = bytes;
+    used_ += bytes;
+    return true;
+  }
+
+  /// Drop entries older than `snapshot` (frames have moved past them).
+  void evict_before(int snapshot) {
+    while (!resident_.empty() && resident_.begin()->first < snapshot) {
+      evict(resident_.begin()->first);
+    }
+  }
+
+  void clear() {
+    while (!resident_.empty()) evict(resident_.begin()->first);
+  }
+
+  std::size_t entries() const { return resident_.size(); }
+
+ private:
+  void evict(int snapshot) {
+    auto it = resident_.find(snapshot);
+    if (it == resident_.end()) return;
+    dev_->release(it->second);
+    used_ -= it->second;
+    resident_.erase(it);
+  }
+
+  gpusim::Device* dev_;
+  std::size_t budget_ = 0;
+  std::size_t used_ = 0;
+  std::map<int, std::size_t> resident_;  ///< snapshot -> bytes.
+};
+
+}  // namespace pipad::runtime

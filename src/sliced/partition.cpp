@@ -1,0 +1,102 @@
+#include "sliced/partition.hpp"
+
+#include <algorithm>
+
+namespace pipad::sliced {
+
+std::size_t FramePartition::unshared_topology_bytes() const {
+  // Reconstruct each member's full size: overlap nnz + its exclusive nnz,
+  // charged once per snapshot (plus transposes), as the one-at-a-time
+  // baseline would ship it.
+  std::size_t b = 0;
+  for (std::size_t i = 0; i < exclusive.size(); ++i) {
+    const std::size_t nnz = overlap.nnz() + exclusive[i].nnz();
+    const std::size_t slices_est =
+        overlap.num_slices() + exclusive[i].num_slices();
+    const std::size_t one = (2 * nnz + 2 * slices_est + 1) * sizeof(int);
+    b += 2 * one;  // forward + transpose
+  }
+  return b;
+}
+
+FramePartition build_partition(const graph::DTDG& g, int start, int count,
+                               int slice_bound) {
+  PIPAD_CHECK(start >= 0 && count > 0 &&
+              start + count <= g.num_snapshots());
+  FramePartition p;
+  p.start = start;
+  p.count = count;
+
+  std::vector<const graph::CSR*> group;
+  group.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    group.push_back(&g.snapshots[start + i].adj);
+  }
+
+  auto decomp = graph::decompose_group(group);
+  p.group_overlap_rate = graph::group_overlap_rate(group);
+
+  p.overlap = slice(decomp.overlap, slice_bound);
+  p.overlap_t = slice(graph::transpose(decomp.overlap), slice_bound);
+  p.exclusive.reserve(count);
+  p.exclusive_t.reserve(count);
+  for (auto& ex : decomp.exclusive) {
+    p.exclusive.push_back(slice(ex, slice_bound));
+    p.exclusive_t.push_back(slice(graph::transpose(ex), slice_bound));
+  }
+  return p;
+}
+
+std::vector<FramePartition> partition_frame(const graph::DTDG& g,
+                                            const graph::Frame& frame,
+                                            int s_per, int slice_bound) {
+  PIPAD_CHECK(s_per > 0);
+  std::vector<FramePartition> parts;
+  int pos = frame.start;
+  const int end = std::min(frame.end(), g.num_snapshots());
+  while (pos < end) {
+    const int take = std::min(s_per, end - pos);
+    parts.push_back(build_partition(g, pos, take, slice_bound));
+    pos += take;
+  }
+  return parts;
+}
+
+Tensor coalesce_features(const std::vector<const Tensor*>& feats) {
+  PIPAD_CHECK(!feats.empty());
+  const int n = feats[0]->rows();
+  const int f = feats[0]->cols();
+  for (const Tensor* t : feats) {
+    PIPAD_CHECK_MSG(t->rows() == n && t->cols() == f,
+                    "coalesce_features shape mismatch");
+  }
+  const int s = static_cast<int>(feats.size());
+  Tensor out(n, f * s);
+  for (int v = 0; v < n; ++v) {
+    float* dst = out.row(v);
+    for (int i = 0; i < s; ++i) {
+      const float* src = feats[i]->row(v);
+      std::copy(src, src + f, dst + static_cast<std::size_t>(i) * f);
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> split_coalesced(const Tensor& coalesced, int parts) {
+  PIPAD_CHECK(parts > 0 && coalesced.cols() % parts == 0);
+  const int f = coalesced.cols() / parts;
+  const int n = coalesced.rows();
+  std::vector<Tensor> out;
+  out.reserve(parts);
+  for (int i = 0; i < parts; ++i) {
+    Tensor t(n, f);
+    for (int v = 0; v < n; ++v) {
+      const float* src = coalesced.row(v) + static_cast<std::size_t>(i) * f;
+      std::copy(src, src + f, t.row(v));
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace pipad::sliced

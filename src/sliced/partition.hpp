@@ -1,0 +1,65 @@
+// Frame partitioning for multi-snapshot parallel processing (§4.1, §4.2).
+//
+// PiPAD divides each frame into partitions of S_per consecutive snapshots.
+// For one partition we extract the topology shared by *all* members (the
+// overlap part, transferred and aggregated once) plus a small exclusive part
+// per member. Feature matrices of the partition are coalesced row-wise into
+// one [N x (F * S_per)] matrix so a single aggregation pass serves every
+// snapshot with wide, coalescent memory accesses.
+#pragma once
+
+#include <vector>
+
+#include "graph/dtdg.hpp"
+#include "graph/overlap.hpp"
+#include "sliced/sliced_csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pipad::sliced {
+
+struct FramePartition {
+  int start = 0;  ///< First snapshot index (absolute, within the DTDG).
+  int count = 0;  ///< S_per: number of snapshots in the partition.
+
+  SlicedCSR overlap;                  ///< Shared topology (forward).
+  SlicedCSR overlap_t;                ///< Transposed shared topology (backward).
+  std::vector<SlicedCSR> exclusive;   ///< Per-snapshot leftovers (forward).
+  std::vector<SlicedCSR> exclusive_t; ///< Transposed leftovers (backward).
+
+  double group_overlap_rate = 0.0;    ///< |∩| / |∪| over the group.
+
+  /// Device bytes for the partition's topology: the overlap is shipped once
+  /// instead of `count` times — the transfer saving of §4.1.
+  std::size_t topology_transfer_bytes() const {
+    std::size_t b = overlap.transfer_bytes() + overlap_t.transfer_bytes();
+    for (std::size_t i = 0; i < exclusive.size(); ++i) {
+      b += exclusive[i].transfer_bytes() + exclusive_t[i].transfer_bytes();
+    }
+    return b;
+  }
+
+  /// What the same snapshots cost when shipped individually as full sliced
+  /// CSRs (for reporting the reduction).
+  std::size_t unshared_topology_bytes() const;
+};
+
+/// Build one partition over snapshots [start, start+count).
+FramePartition build_partition(const graph::DTDG& g, int start, int count,
+                               int slice_bound = kDefaultSliceBound);
+
+/// Partition a frame into ceil(frame.size / s_per) chunks of (up to) s_per
+/// contiguous snapshots — §4.4 distributes snapshots uniformly.
+std::vector<FramePartition> partition_frame(const graph::DTDG& g,
+                                            const graph::Frame& frame,
+                                            int s_per,
+                                            int slice_bound = kDefaultSliceBound);
+
+/// Row-wise feature coalescing: out[v] = [f0[v] | f1[v] | ... ] giving an
+/// [N x (F * S)] matrix (❺ in Fig. 6).
+Tensor coalesce_features(const std::vector<const Tensor*>& feats);
+
+/// Inverse of coalesce_features: split an [N x (F*S)] matrix back into S
+/// per-snapshot [N x F] matrices.
+std::vector<Tensor> split_coalesced(const Tensor& coalesced, int parts);
+
+}  // namespace pipad::sliced

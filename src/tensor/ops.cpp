@@ -1,0 +1,273 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+namespace pipad::ops {
+
+namespace {
+// Logical element access under optional transpose.
+inline float get(const Tensor& t, bool trans, int r, int c) {
+  return trans ? t.at(c, r) : t.at(r, c);
+}
+}  // namespace
+
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool trans_a,
+          bool trans_b, float alpha, float beta) {
+  const int m = trans_a ? a.cols() : a.rows();
+  const int k = trans_a ? a.rows() : a.cols();
+  const int k2 = trans_b ? b.cols() : b.rows();
+  const int n = trans_b ? b.rows() : b.cols();
+  PIPAD_CHECK_MSG(k == k2, "gemm inner dims mismatch: " << a.shape_str()
+                                                        << (trans_a ? "^T" : "")
+                                                        << " * " << b.shape_str()
+                                                        << (trans_b ? "^T" : ""));
+  PIPAD_CHECK_MSG(c.rows() == m && c.cols() == n,
+                  "gemm output shape mismatch: got " << c.shape_str());
+
+  if (beta == 0.0f) {
+    c.fill(0.0f);
+  } else if (beta != 1.0f) {
+    scale_inplace(c, beta);
+  }
+
+  // i-k-j ordering: streaming access over C and (untransposed) B rows.
+  if (!trans_a && !trans_b) {
+    for (int i = 0; i < m; ++i) {
+      float* crow = c.row(i);
+      const float* arow = a.row(i);
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = alpha * arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = b.row(kk);
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+  for (int i = 0; i < m; ++i) {
+    float* crow = c.row(i);
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = alpha * get(a, trans_a, i, kk);
+      if (av == 0.0f) continue;
+      for (int j = 0; j < n; ++j) crow[j] += av * get(b, trans_b, kk, j);
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  const int m = trans_a ? a.cols() : a.rows();
+  const int n = trans_b ? b.rows() : b.cols();
+  Tensor c(m, n);
+  gemm(a, b, c, trans_a, trans_b, 1.0f, 0.0f);
+  return c;
+}
+
+void add_bias(Tensor& y, const Tensor& bias) {
+  PIPAD_CHECK_MSG(bias.rows() == 1 && bias.cols() == y.cols(),
+                  "bias shape " << bias.shape_str() << " vs y "
+                                << y.shape_str());
+  for (int r = 0; r < y.rows(); ++r) {
+    float* row = y.row(r);
+    const float* b = bias.row(0);
+    for (int c = 0; c < y.cols(); ++c) row[c] += b[c];
+  }
+}
+
+Tensor bias_grad(const Tensor& grad) {
+  Tensor g(1, grad.cols());
+  for (int r = 0; r < grad.rows(); ++r) {
+    const float* row = grad.row(r);
+    for (int c = 0; c < grad.cols(); ++c) g.at(0, c) += row[c];
+  }
+  return g;
+}
+
+void add_inplace(Tensor& a, const Tensor& b, float scale) {
+  PIPAD_CHECK_MSG(a.same_shape(b), "add_inplace shape mismatch "
+                                       << a.shape_str() << " vs "
+                                       << b.shape_str());
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) pa[i] += scale * pb[i];
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  add_inplace(c, b);
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor c = a;
+  add_inplace(c, b, -1.0f);
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  PIPAD_CHECK_MSG(a.same_shape(b), "mul shape mismatch");
+  Tensor c(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < a.size(); ++i) pc[i] = pa[i] * pb[i];
+  return c;
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (float* p = a.data(); p != a.data() + a.size(); ++p) *p *= s;
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor y(x.rows(), x.cols());
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] = px[i] > 0.0f ? px[i] : 0.0f;
+  return y;
+}
+
+Tensor relu_grad(const Tensor& dy, const Tensor& x) {
+  PIPAD_CHECK_MSG(dy.same_shape(x), "relu_grad shape mismatch");
+  Tensor dx(x.rows(), x.cols());
+  const float* pdy = dy.data();
+  const float* px = x.data();
+  float* pdx = dx.data();
+  for (std::size_t i = 0; i < x.size(); ++i)
+    pdx[i] = px[i] > 0.0f ? pdy[i] : 0.0f;
+  return dx;
+}
+
+Tensor sigmoid(const Tensor& x) {
+  Tensor y(x.rows(), x.cols());
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i)
+    py[i] = 1.0f / (1.0f + std::exp(-px[i]));
+  return y;
+}
+
+Tensor sigmoid_grad(const Tensor& dy, const Tensor& y) {
+  PIPAD_CHECK_MSG(dy.same_shape(y), "sigmoid_grad shape mismatch");
+  Tensor dx(y.rows(), y.cols());
+  const float* pdy = dy.data();
+  const float* py = y.data();
+  float* pdx = dx.data();
+  for (std::size_t i = 0; i < y.size(); ++i)
+    pdx[i] = pdy[i] * py[i] * (1.0f - py[i]);
+  return dx;
+}
+
+Tensor tanh(const Tensor& x) {
+  Tensor y(x.rows(), x.cols());
+  const float* px = x.data();
+  float* py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] = std::tanh(px[i]);
+  return y;
+}
+
+Tensor tanh_grad(const Tensor& dy, const Tensor& y) {
+  PIPAD_CHECK_MSG(dy.same_shape(y), "tanh_grad shape mismatch");
+  Tensor dx(y.rows(), y.cols());
+  const float* pdy = dy.data();
+  const float* py = y.data();
+  float* pdx = dx.data();
+  for (std::size_t i = 0; i < y.size(); ++i)
+    pdx[i] = pdy[i] * (1.0f - py[i] * py[i]);
+  return dx;
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  PIPAD_CHECK_MSG(a.rows() == b.rows(), "concat_cols row mismatch");
+  Tensor c(a.rows(), a.cols() + b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    float* crow = c.row(r);
+    std::copy(a.row(r), a.row(r) + a.cols(), crow);
+    std::copy(b.row(r), b.row(r) + b.cols(), crow + a.cols());
+  }
+  return c;
+}
+
+std::pair<Tensor, Tensor> split_cols(const Tensor& ab, int a_cols) {
+  PIPAD_CHECK_MSG(a_cols >= 0 && a_cols <= ab.cols(), "split_cols bad split");
+  Tensor a(ab.rows(), a_cols);
+  Tensor b(ab.rows(), ab.cols() - a_cols);
+  for (int r = 0; r < ab.rows(); ++r) {
+    const float* src = ab.row(r);
+    std::copy(src, src + a_cols, a.row(r));
+    std::copy(src + a_cols, src + ab.cols(), b.row(r));
+  }
+  return {std::move(a), std::move(b)};
+}
+
+Tensor slice_cols(const Tensor& t, int start, int len) {
+  PIPAD_CHECK_MSG(start >= 0 && len >= 0 && start + len <= t.cols(),
+                  "slice_cols out of range");
+  Tensor out(t.rows(), len);
+  for (int r = 0; r < t.rows(); ++r) {
+    const float* src = t.row(r) + start;
+    std::copy(src, src + len, out.row(r));
+  }
+  return out;
+}
+
+void add_into_cols(Tensor& dst, const Tensor& src, int start) {
+  PIPAD_CHECK_MSG(dst.rows() == src.rows() &&
+                      start + src.cols() <= dst.cols(),
+                  "add_into_cols shape mismatch");
+  for (int r = 0; r < dst.rows(); ++r) {
+    float* d = dst.row(r) + start;
+    const float* s = src.row(r);
+    for (int c = 0; c < src.cols(); ++c) d[c] += s[c];
+  }
+}
+
+float mse_loss(const Tensor& pred, const Tensor& target, Tensor* grad) {
+  PIPAD_CHECK_MSG(pred.same_shape(target), "mse shape mismatch "
+                                               << pred.shape_str() << " vs "
+                                               << target.shape_str());
+  const std::size_t n = pred.size();
+  PIPAD_CHECK_MSG(n > 0, "mse on empty tensor");
+  double acc = 0.0;
+  if (grad != nullptr && !grad->same_shape(pred)) {
+    *grad = Tensor(pred.rows(), pred.cols());
+  }
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pp[i] - pt[i];
+    acc += static_cast<double>(d) * d;
+    if (grad != nullptr) grad->data()[i] = 2.0f * d / static_cast<float>(n);
+  }
+  return static_cast<float>(acc / static_cast<double>(n));
+}
+
+float sum(const Tensor& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a.data()[i];
+  return static_cast<float>(s);
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  PIPAD_CHECK_MSG(a.same_shape(b), "max_abs_diff shape mismatch");
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+float frobenius_norm(const Tensor& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double v = a.data()[i];
+    s += v * v;
+  }
+  return static_cast<float>(std::sqrt(s));
+}
+
+bool all_finite(const Tensor& a) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!std::isfinite(a.data()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace pipad::ops

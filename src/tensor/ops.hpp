@@ -1,0 +1,69 @@
+// Tensor operations: GEMM, elementwise maps, reductions, concat/split.
+//
+// All operations check shapes via PIPAD_CHECK and are deterministic.
+#pragma once
+
+#include <utility>
+
+#include "tensor/tensor.hpp"
+
+namespace pipad::ops {
+
+/// C = alpha * op(A) * op(B) + beta * C, row-major.
+/// trans_a/trans_b select op(X) = X or X^T.
+void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool trans_a = false,
+          bool trans_b = false, float alpha = 1.0f, float beta = 0.0f);
+
+/// Convenience: returns op(A)*op(B).
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+/// y[r][c] += bias[c] for every row.
+void add_bias(Tensor& y, const Tensor& bias);
+
+/// grad_bias[c] = sum_r grad[r][c].
+Tensor bias_grad(const Tensor& grad);
+
+// ---- Elementwise ----
+void add_inplace(Tensor& a, const Tensor& b, float scale = 1.0f);
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);  ///< Hadamard product.
+void scale_inplace(Tensor& a, float s);
+
+Tensor relu(const Tensor& x);
+/// dx = dy where x > 0 else 0.
+Tensor relu_grad(const Tensor& dy, const Tensor& x);
+
+Tensor sigmoid(const Tensor& x);
+/// dx given y = sigmoid(x): dy * y * (1 - y).
+Tensor sigmoid_grad(const Tensor& dy, const Tensor& y);
+
+Tensor tanh(const Tensor& x);
+/// dx given y = tanh(x): dy * (1 - y^2).
+Tensor tanh_grad(const Tensor& dy, const Tensor& y);
+
+// ---- Concatenation along columns (for RNN gate inputs [x, h]) ----
+Tensor concat_cols(const Tensor& a, const Tensor& b);
+/// Split columns back: (grad wrt a, grad wrt b) with a_cols columns in a.
+std::pair<Tensor, Tensor> split_cols(const Tensor& ab, int a_cols);
+
+/// Copy columns [start, start+len) into a new tensor (gate extraction).
+Tensor slice_cols(const Tensor& t, int start, int len);
+/// dst[:, start:start+len] += src (gate-gradient scatter).
+void add_into_cols(Tensor& dst, const Tensor& src, int start);
+
+// ---- Reductions / losses ----
+/// Mean squared error over all elements; also writes d(loss)/d(pred) into
+/// grad if non-null.
+float mse_loss(const Tensor& pred, const Tensor& target,
+               Tensor* grad = nullptr);
+
+float sum(const Tensor& a);
+float max_abs_diff(const Tensor& a, const Tensor& b);
+float frobenius_norm(const Tensor& a);
+
+/// True iff all elements are finite (guards against training divergence).
+bool all_finite(const Tensor& a);
+
+}  // namespace pipad::ops

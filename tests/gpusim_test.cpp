@@ -1,0 +1,223 @@
+// GPU simulator tests: scheduling semantics, cost-model properties, memory
+// accounting, CUDA-graph batching.
+#include <gtest/gtest.h>
+
+#include "gpusim/gpu.hpp"
+
+namespace pipad::gpusim {
+namespace {
+
+TEST(Timeline, StreamOpsSerializeInOrder) {
+  Timeline tl;
+  const double e1 = tl.submit(0, Resource::Compute, "a", 10.0);
+  const double e2 = tl.submit(0, Resource::Compute, "b", 5.0);
+  EXPECT_EQ(e1, 10.0);
+  EXPECT_EQ(e2, 15.0);
+}
+
+TEST(Timeline, DifferentResourcesOverlapAcrossStreams) {
+  Timeline tl;
+  const auto s2 = tl.create_stream("copy");
+  tl.submit(0, Resource::Compute, "k", 10.0);
+  const double copy_end = tl.submit(s2, Resource::H2D, "t", 10.0);
+  EXPECT_EQ(copy_end, 10.0);  // Fully overlapped with compute.
+  EXPECT_EQ(tl.makespan(), 10.0);
+}
+
+TEST(Timeline, SameResourceSerializesAcrossStreams) {
+  Timeline tl;
+  const auto s2 = tl.create_stream("other");
+  tl.submit(0, Resource::Compute, "a", 10.0);
+  const double e = tl.submit(s2, Resource::Compute, "b", 10.0);
+  EXPECT_EQ(e, 20.0);
+}
+
+TEST(Timeline, EventsCreateCrossStreamDependencies) {
+  Timeline tl;
+  const auto copy = tl.create_stream("copy");
+  tl.submit(copy, Resource::H2D, "t", 25.0);
+  const auto ev = tl.record_event(copy);
+  tl.wait_event(0, ev);
+  const double end = tl.submit(0, Resource::Compute, "k", 5.0);
+  EXPECT_EQ(end, 30.0);  // Started only after the transfer.
+}
+
+TEST(Timeline, UtilizationAndBusyAccounting) {
+  Timeline tl;
+  tl.submit(0, Resource::Compute, "k", 30.0);
+  const auto s = tl.create_stream("c");
+  tl.submit(s, Resource::H2D, "t", 70.0);
+  EXPECT_EQ(tl.makespan(), 70.0);
+  EXPECT_NEAR(tl.utilization(Resource::Compute), 30.0 / 70.0, 1e-9);
+  EXPECT_NEAR(tl.busy_us(Resource::H2D), 70.0, 1e-9);
+}
+
+TEST(Timeline, DeviceActiveFractionMergesOverlappingIntervals) {
+  Timeline tl;
+  const auto s = tl.create_stream("c");
+  tl.submit(0, Resource::Compute, "k", 50.0);   // [0, 50)
+  tl.submit(s, Resource::H2D, "t", 30.0);       // [0, 30) overlaps
+  // Device active = union [0,50) over makespan 50 = 1.0.
+  EXPECT_NEAR(tl.device_active_fraction(), 1.0, 1e-9);
+}
+
+TEST(Timeline, PrefixQueriesAggregate) {
+  Timeline tl;
+  tl.submit(0, Resource::Compute, "kernel:agg:x", 10.0);
+  tl.submit(0, Resource::Compute, "kernel:gemm:y", 20.0);
+  EXPECT_NEAR(tl.busy_us_with_prefix("kernel:agg"), 10.0, 1e-9);
+  EXPECT_NEAR(tl.busy_us_with_prefix("kernel:"), 30.0, 1e-9);
+}
+
+TEST(Timeline, ResetClearsEverything) {
+  Timeline tl;
+  tl.submit(0, Resource::Compute, "k", 10.0);
+  tl.reset();
+  EXPECT_EQ(tl.makespan(), 0.0);
+  EXPECT_TRUE(tl.records().empty());
+  EXPECT_EQ(tl.busy_us(Resource::Compute), 0.0);
+}
+
+// ---------- Cost model ----------
+
+TEST(CostModel, KernelTimeMonotoneInTransactions) {
+  CostModel cm((SimConfig()));
+  KernelStats a, b;
+  a.global_transactions = 1000000;
+  a.total_warps = 100000;
+  a.active_thread_ratio_sum = 100000;
+  b = a;
+  b.global_transactions = 2000000;
+  EXPECT_GT(cm.kernel_us(b), cm.kernel_us(a));
+}
+
+TEST(CostModel, MinimumKernelLatencyFloor) {
+  SimConfig cfg;
+  CostModel cm(cfg);
+  KernelStats tiny;
+  tiny.global_transactions = 1;
+  tiny.total_warps = 1;
+  tiny.active_thread_ratio_sum = 1;
+  EXPECT_EQ(cm.kernel_us(tiny), cfg.min_kernel_us);
+}
+
+TEST(CostModel, LowWarpEfficiencySlowsComputeBoundKernels) {
+  CostModel cm((SimConfig()));
+  KernelStats full, idle;
+  full.flops = 1e10;
+  full.total_warps = 1000000;
+  full.active_thread_ratio_sum = 1000000;  // 100 % efficiency.
+  idle = full;
+  idle.active_thread_ratio_sum = 100000;  // 10 % efficiency.
+  EXPECT_GT(cm.kernel_us(idle), cm.kernel_us(full));
+}
+
+TEST(CostModel, PinnedTransfersBeatPageable) {
+  CostModel cm((SimConfig()));
+  EXPECT_LT(cm.transfer_us(1 << 20, true), cm.transfer_us(1 << 20, false));
+}
+
+TEST(CostModel, TransferLatencyDominatesSmallCopies) {
+  SimConfig cfg;
+  CostModel cm(cfg);
+  EXPECT_NEAR(cm.transfer_us(4, true), cfg.pcie_latency_us, 0.1);
+}
+
+// ---------- Device memory ----------
+
+TEST(Device, TracksUsageAndPeak) {
+  Device dev(1000);
+  dev.allocate(400, "a");
+  dev.allocate(300, "b");
+  EXPECT_EQ(dev.used(), 700u);
+  dev.release(300);
+  EXPECT_EQ(dev.used(), 400u);
+  EXPECT_EQ(dev.peak(), 700u);
+}
+
+TEST(Device, ThrowsOnOverCapacity) {
+  Device dev(100);
+  dev.allocate(60, "a");
+  EXPECT_THROW(dev.allocate(50, "b"), OutOfMemoryError);
+  EXPECT_EQ(dev.used(), 60u);  // Failed allocation changed nothing.
+}
+
+TEST(Device, BufferRaiiReleasesOnDestruction) {
+  Device dev(1 << 20);
+  {
+    DeviceBuffer<float> buf(dev, 256, "x");
+    EXPECT_EQ(dev.used(), 1024u);
+    buf[0] = 1.5f;
+    EXPECT_EQ(buf[0], 1.5f);
+  }
+  EXPECT_EQ(dev.used(), 0u);
+}
+
+TEST(Device, BufferMoveTransfersOwnership) {
+  Device dev(1 << 20);
+  DeviceBuffer<int> a(dev, 100, "a");
+  DeviceBuffer<int> b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(dev.used(), 400u);
+}
+
+TEST(Device, ReservationRaii) {
+  Device dev(1000);
+  {
+    DeviceReservation r(dev, 500, "x");
+    EXPECT_EQ(dev.used(), 500u);
+  }
+  EXPECT_EQ(dev.used(), 0u);
+}
+
+// ---------- Gpu facade / CUDA graphs ----------
+
+TEST(Gpu, GraphLaunchCheaperThanIndividualLaunches) {
+  KernelStats k;
+  k.global_transactions = 100;
+  k.total_warps = 100;
+  k.active_thread_ratio_sum = 100;
+
+  Gpu g1, g2;
+  const auto s1 = g1.create_stream("c");
+  for (int i = 0; i < 50; ++i) g1.launch_kernel(s1, "k", k);
+
+  const auto s2 = g2.create_stream("c");
+  CudaGraph graph;
+  for (int i = 0; i < 50; ++i) graph.add_kernel("k", k);
+  g2.launch_graph(s2, graph);
+
+  EXPECT_LT(g2.timeline().makespan(), g1.timeline().makespan());
+  EXPECT_LT(g2.timeline().busy_us(Resource::Cpu),
+            g1.timeline().busy_us(Resource::Cpu));
+}
+
+TEST(Gpu, SyncCopyBlocksCpu) {
+  Gpu g;
+  const auto s = g.create_stream("c");
+  g.memcpy_h2d_sync(s, "x", 10 << 20, false);
+  // The CPU lane must be blocked for (almost) the whole transfer.
+  EXPECT_GT(g.timeline().busy_us(Resource::Cpu),
+            g.timeline().busy_us(Resource::H2D) * 0.9);
+}
+
+TEST(Gpu, AsyncCopyLeavesCpuFree) {
+  Gpu g;
+  const auto s = g.create_stream("c");
+  g.memcpy_h2d(s, "x", 10 << 20, true);
+  EXPECT_EQ(g.timeline().busy_us(Resource::Cpu), 0.0);
+}
+
+TEST(Gpu, KernelWaitsForLaunch) {
+  Gpu g;
+  const auto s = g.create_stream("c");
+  KernelStats k;
+  k.total_warps = 1;
+  k.active_thread_ratio_sum = 1;
+  const double end = g.launch_kernel(s, "k", k);
+  EXPECT_GE(end, g.config().kernel_launch_us + g.config().min_kernel_us);
+}
+
+}  // namespace
+}  // namespace pipad::gpusim

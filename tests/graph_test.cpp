@@ -1,0 +1,243 @@
+// Graph substrate tests: formats, transposition, overlap algebra, and the
+// synthetic DTDG generators' statistical properties.
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "graph/overlap.hpp"
+
+namespace pipad::graph {
+namespace {
+
+DatasetConfig testutil_cfg() {
+  DatasetConfig cfg;
+  cfg.name = "t";
+  cfg.num_nodes = 120;
+  cfg.raw_events = 1500;
+  cfg.num_snapshots = 12;
+  cfg.feat_dim = 2;
+  cfg.edge_life = 4.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Formats, CsrFromEdgesDedupsAndSorts) {
+  const CSR c = csr_from_edges(4, 4, {{0, 1}, {2, 1}, {0, 1}, {1, 3}});
+  c.validate();
+  EXPECT_EQ(c.nnz(), 3u);
+  EXPECT_EQ(c.degree(1), 2);  // Sources 0 and 2.
+  EXPECT_EQ(c.col_idx[c.row_ptr[1]], 0);
+  EXPECT_EQ(c.col_idx[c.row_ptr[1] + 1], 2);
+}
+
+TEST(Formats, SelfLoopOption) {
+  const CSR c = csr_from_edges(3, 3, {{0, 1}}, /*add_self_loops=*/true);
+  EXPECT_EQ(c.nnz(), 4u);
+  for (int v = 0; v < 3; ++v) {
+    bool found = false;
+    for (int i = c.row_ptr[v]; i < c.row_ptr[v + 1]; ++i) {
+      if (c.col_idx[i] == v) found = true;
+    }
+    EXPECT_TRUE(found) << "self loop missing at " << v;
+  }
+}
+
+TEST(Formats, CooCsrRoundTrip) {
+  Rng rng(1);
+  std::vector<Edge> es;
+  for (int i = 0; i < 300; ++i) {
+    es.push_back({static_cast<int>(rng.next_below(40)),
+                  static_cast<int>(rng.next_below(40))});
+  }
+  const CSR c = csr_from_edges(40, 40, es);
+  const CSR c2 = csr_from_coo(coo_from_csr(c));
+  EXPECT_TRUE(same_topology(c, c2));
+}
+
+TEST(Formats, TransposeIsInvolution) {
+  Rng rng(2);
+  std::vector<Edge> es;
+  for (int i = 0; i < 500; ++i) {
+    es.push_back({static_cast<int>(rng.next_below(50)),
+                  static_cast<int>(rng.next_below(50))});
+  }
+  const CSR c = csr_from_edges(50, 50, es);
+  const CSR tt = transpose(transpose(c));
+  tt.validate();
+  EXPECT_TRUE(same_topology(c, tt));
+}
+
+TEST(Formats, TransposeReversesEdges) {
+  const CSR c = csr_from_edges(3, 3, {{0, 1}, {2, 0}});
+  const CSR t = transpose(c);
+  // Edge 0->1 means row 1 contains col 0; transpose: row 0 contains col 1.
+  EXPECT_EQ(t.degree(0), 1);
+  EXPECT_EQ(t.col_idx[t.row_ptr[0]], 1);
+  EXPECT_EQ(t.degree(2), 1);
+  EXPECT_EQ(t.col_idx[t.row_ptr[2]], 0);
+}
+
+TEST(Formats, EdgeKeysAreSortedRowMajor) {
+  Rng rng(3);
+  std::vector<Edge> es;
+  for (int i = 0; i < 200; ++i) {
+    es.push_back({static_cast<int>(rng.next_below(30)),
+                  static_cast<int>(rng.next_below(30))});
+  }
+  const auto keys = edge_keys(csr_from_edges(30, 30, es));
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(Formats, TransferBytesModel) {
+  const CSR c = csr_from_edges(10, 10, {{0, 1}, {1, 2}, {2, 3}});
+  // 2*nnz + #V + 1 words (§4.1).
+  EXPECT_EQ(c.transfer_bytes(), (2 * 3 + 11) * sizeof(int));
+  const COO coo = coo_from_csr(c);
+  EXPECT_EQ(coo.transfer_bytes(), 3 * 3 * sizeof(int));
+}
+
+// ---------- Overlap algebra ----------
+
+TEST(Overlap, IdenticalGraphsFullyOverlap) {
+  const CSR c = csr_from_edges(8, 8, {{0, 1}, {2, 3}, {4, 5}});
+  EXPECT_EQ(overlap_rate(c, c), 1.0);
+}
+
+TEST(Overlap, DisjointGraphsDontOverlap) {
+  const CSR a = csr_from_edges(8, 8, {{0, 1}, {2, 3}});
+  const CSR b = csr_from_edges(8, 8, {{4, 5}, {6, 7}});
+  EXPECT_EQ(overlap_rate(a, b), 0.0);
+}
+
+TEST(Overlap, DecompositionReconstructsEachMember) {
+  Rng rng(4);
+  std::vector<CSR> graphs;
+  std::vector<Edge> shared;
+  for (int i = 0; i < 60; ++i) {
+    shared.push_back({static_cast<int>(rng.next_below(20)),
+                      static_cast<int>(rng.next_below(20))});
+  }
+  for (int g = 0; g < 3; ++g) {
+    auto es = shared;
+    for (int i = 0; i < 20; ++i) {
+      es.push_back({static_cast<int>(rng.next_below(20)),
+                    static_cast<int>(rng.next_below(20))});
+    }
+    graphs.push_back(csr_from_edges(20, 20, es));
+  }
+  std::vector<const CSR*> group{&graphs[0], &graphs[1], &graphs[2]};
+  const auto d = decompose_group(group);
+  d.overlap.validate();
+  for (int g = 0; g < 3; ++g) {
+    d.exclusive[g].validate();
+    // overlap ∪ exclusive == original, disjointly.
+    auto ko = edge_keys(d.overlap);
+    auto ke = edge_keys(d.exclusive[g]);
+    EXPECT_TRUE(key_intersection(ko, ke).empty());
+    std::vector<std::uint64_t> merged;
+    std::set_union(ko.begin(), ko.end(), ke.begin(), ke.end(),
+                   std::back_inserter(merged));
+    EXPECT_EQ(merged, edge_keys(graphs[g]));
+  }
+}
+
+TEST(Overlap, GroupRateDecreasesWithGroupSize) {
+  graph::DatasetConfig cfg;
+  cfg.name = "t";
+  cfg.num_nodes = 100;
+  cfg.raw_events = 2000;
+  cfg.num_snapshots = 10;
+  cfg.feat_dim = 2;
+  cfg.edge_life = 5.0;
+  const auto g = generate(cfg);
+  std::vector<const CSR*> g2{&g.snapshots[0].adj, &g.snapshots[1].adj};
+  std::vector<const CSR*> g4;
+  for (int i = 0; i < 4; ++i) g4.push_back(&g.snapshots[i].adj);
+  EXPECT_GE(group_overlap_rate(g2), group_overlap_rate(g4));
+}
+
+// ---------- Generators ----------
+
+TEST(Generator, ShapesMatchConfig) {
+  const auto cfg = dataset_by_name("covid19-england");
+  const auto g = generate(cfg);
+  EXPECT_EQ(g.num_nodes, cfg.num_nodes);
+  EXPECT_EQ(g.num_snapshots(), cfg.num_snapshots);
+  EXPECT_EQ(g.feat_dim, cfg.feat_dim);
+  ASSERT_EQ(g.targets.size(), g.snapshots.size());
+  for (const auto& s : g.snapshots) {
+    s.adj.validate();
+    s.adj_t.validate();
+    EXPECT_EQ(s.features.rows(), cfg.num_nodes);
+    EXPECT_EQ(s.features.cols(), cfg.feat_dim);
+  }
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const auto cfg = dataset_by_name("pems08");
+  const auto a = generate(cfg);
+  const auto b = generate(cfg);
+  ASSERT_EQ(a.num_snapshots(), b.num_snapshots());
+  for (int t = 0; t < a.num_snapshots(); ++t) {
+    EXPECT_TRUE(same_topology(a.snapshots[t].adj, b.snapshots[t].adj));
+  }
+}
+
+TEST(Generator, StaticTopologyNeverChanges) {
+  const auto g = generate(dataset_by_name("pems08"));
+  for (int t = 1; t < g.num_snapshots(); ++t) {
+    EXPECT_TRUE(same_topology(g.snapshots[0].adj, g.snapshots[t].adj));
+  }
+}
+
+TEST(Generator, EdgeLifeCreatesHighAdjacentOverlap) {
+  // Long edge life (slow evolution) must produce the high overlap the
+  // paper's mechanisms rely on (§3.1: ~10 % change per step).
+  auto cfg = testutil_cfg();
+  cfg.edge_life = 15.0;
+  const auto g = generate(cfg);
+  const auto st = compute_stats(g);
+  EXPECT_GT(st.mean_adjacent_overlap, 0.75);
+  cfg.edge_life = 1.0;
+  const auto fast = compute_stats(generate(cfg));
+  EXPECT_LT(fast.mean_adjacent_overlap, st.mean_adjacent_overlap);
+}
+
+TEST(Generator, SmoothedEdgesScaleWithEdgeLife) {
+  auto cfg = testutil_cfg();
+  cfg.edge_life = 2.0;
+  const auto s2 = compute_stats(generate(cfg));
+  cfg.edge_life = 8.0;
+  const auto s8 = compute_stats(generate(cfg));
+  EXPECT_GT(s8.smoothed_edges, 2 * s2.smoothed_edges);
+  // Distinct edges are edge-life independent (same raw events).
+  EXPECT_NEAR(static_cast<double>(s8.distinct_edges),
+              static_cast<double>(s2.distinct_edges),
+              0.1 * s2.distinct_edges);
+}
+
+TEST(Generator, AllSevenEvaluationDatasetsAreWellFormed) {
+  for (const auto& cfg : evaluation_datasets(512, 32)) {
+    const auto g = generate(cfg);
+    EXPECT_GT(g.total_edges(), 0u) << cfg.name;
+    EXPECT_EQ(g.num_snapshots(), cfg.num_snapshots) << cfg.name;
+  }
+}
+
+TEST(Generator, FramesSlideByOne) {
+  const auto g = generate(testutil_cfg());
+  const auto frames = frames_of(g, 4);
+  ASSERT_EQ(static_cast<int>(frames.size()), g.num_snapshots() - 3);
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].start, frames[i - 1].start + 1);
+  }
+}
+
+TEST(Generator, ShortSequenceYieldsSingleTruncatedFrame) {
+  const auto g = generate(testutil_cfg());
+  const auto frames = frames_of(g, g.num_snapshots() + 5);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].size, g.num_snapshots());
+}
+
+}  // namespace
+}  // namespace pipad::graph

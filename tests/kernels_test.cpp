@@ -1,0 +1,362 @@
+// Aggregation / update kernel tests: numerics against the reference SpMM,
+// plus the analytic memory-model properties the paper's Fig. 5 and §3.2
+// depend on.
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "kernels/aggregate.hpp"
+#include "kernels/stats_builders.hpp"
+#include "kernels/update.hpp"
+#include "sliced/partition.hpp"
+#include "tensor/ops.hpp"
+
+namespace pipad {
+namespace {
+
+using graph::CSR;
+using kernels::KernelStats;
+
+CSR random_csr(int n, int edges, Rng& rng) {
+  std::vector<graph::Edge> es;
+  es.reserve(edges);
+  for (int i = 0; i < edges; ++i) {
+    es.push_back({static_cast<int>(rng.next_below(n)),
+                  static_cast<int>(rng.next_below(n))});
+  }
+  return graph::csr_from_edges(n, n, std::move(es));
+}
+
+// ---------- Numerics: every kernel must match the reference ----------
+
+class AggKernelDims : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggKernelDims, CooMatchesReference) {
+  Rng rng(1);
+  const int f = GetParam();
+  const CSR a = random_csr(64, 400, rng);
+  const Tensor x = Tensor::randn(64, f, rng);
+  Tensor ref(64, f), got(64, f);
+  kernels::ref_spmm(a, x, ref);
+  kernels::agg_coo(graph::coo_from_csr(a), x, got);
+  EXPECT_LT(ops::max_abs_diff(ref, got), 1e-5f);
+}
+
+TEST_P(AggKernelDims, CsrMatchesReference) {
+  Rng rng(2);
+  const int f = GetParam();
+  const CSR a = random_csr(64, 400, rng);
+  const Tensor x = Tensor::randn(64, f, rng);
+  Tensor ref(64, f), got(64, f);
+  kernels::ref_spmm(a, x, ref);
+  kernels::agg_csr(a, x, got);
+  EXPECT_LT(ops::max_abs_diff(ref, got), 1e-5f);
+}
+
+TEST_P(AggKernelDims, GespmmMatchesReference) {
+  Rng rng(3);
+  const int f = GetParam();
+  const CSR a = random_csr(64, 400, rng);
+  const Tensor x = Tensor::randn(64, f, rng);
+  Tensor ref(64, f), got(64, f);
+  kernels::ref_spmm(a, x, ref);
+  kernels::agg_gespmm(a, x, got);
+  EXPECT_LT(ops::max_abs_diff(ref, got), 1e-5f);
+}
+
+TEST_P(AggKernelDims, SlicedMatchesReference) {
+  Rng rng(4);
+  const int f = GetParam();
+  const CSR a = random_csr(64, 400, rng);
+  const Tensor x = Tensor::randn(64, f, rng);
+  Tensor ref(64, f), got(64, f);
+  kernels::ref_spmm(a, x, ref);
+  const auto s = sliced::slice(a, 8);
+  kernels::agg_sliced(s, x, got);
+  EXPECT_LT(ops::max_abs_diff(ref, got), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(FeatureDims, AggKernelDims,
+                         ::testing::Values(1, 2, 4, 7, 8, 16, 31, 32, 33, 64,
+                                           128, 200));
+
+TEST(AggKernels, AccumulateAddsIntoOutput) {
+  Rng rng(5);
+  const CSR a = random_csr(32, 128, rng);
+  const Tensor x = Tensor::randn(32, 4, rng);
+  Tensor once(32, 4), twice(32, 4);
+  kernels::ref_spmm(a, x, once);
+  kernels::agg_coo(graph::coo_from_csr(a), x, twice, /*accumulate=*/false);
+  kernels::agg_coo(graph::coo_from_csr(a), x, twice, /*accumulate=*/true);
+  ops::scale_inplace(once, 2.0f);
+  EXPECT_LT(ops::max_abs_diff(once, twice), 1e-5f);
+}
+
+TEST(AggKernels, EmptyGraphProducesZeros) {
+  const CSR a{8, 8, std::vector<int>(9, 0), {}};
+  Rng rng(6);
+  const Tensor x = Tensor::randn(8, 3, rng);
+  Tensor out = Tensor::full(8, 3, 42.0f);
+  kernels::agg_gespmm(a, x, out);
+  EXPECT_EQ(ops::sum(out), 0.0f);
+}
+
+// ---------- Normalization ----------
+
+TEST(Normalize, MeanOverClosedNeighborhood) {
+  Rng rng(7);
+  const CSR a = random_csr(40, 160, rng);
+  const Tensor x = Tensor::randn(40, 5, rng);
+  Tensor agg(40, 5), h(40, 5);
+  kernels::ref_spmm(a, x, agg);
+  kernels::gcn_normalize(kernels::degrees(a), x, agg, h);
+  for (int v = 0; v < 40; ++v) {
+    const int d = a.degree(v);
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(h.at(v, c), (agg.at(v, c) + x.at(v, c)) / (d + 1), 1e-5f);
+    }
+  }
+}
+
+TEST(Normalize, BackwardScalesByInverseDegree) {
+  Rng rng(8);
+  const CSR a = random_csr(16, 48, rng);
+  const Tensor g = Tensor::randn(16, 3, rng);
+  Tensor d_agg(16, 3), d_x(16, 3);
+  kernels::gcn_normalize_backward(kernels::degrees(a), g, d_agg, d_x);
+  for (int v = 0; v < 16; ++v) {
+    for (int c = 0; c < 3; ++c) {
+      const float expect = g.at(v, c) / (a.degree(v) + 1);
+      EXPECT_NEAR(d_agg.at(v, c), expect, 1e-6f);
+      EXPECT_NEAR(d_x.at(v, c), expect, 1e-6f);
+    }
+  }
+}
+
+TEST(Normalize, CoalescedMatchesPerSnapshot) {
+  Rng rng(9);
+  const CSR a0 = random_csr(24, 96, rng);
+  const CSR a1 = random_csr(24, 96, rng);
+  const Tensor x0 = Tensor::randn(24, 4, rng);
+  const Tensor x1 = Tensor::randn(24, 4, rng);
+  Tensor agg0(24, 4), agg1(24, 4);
+  kernels::ref_spmm(a0, x0, agg0);
+  kernels::ref_spmm(a1, x1, agg1);
+
+  // Per-snapshot path.
+  Tensor h0(24, 4), h1(24, 4);
+  const auto d0 = kernels::degrees(a0);
+  const auto d1 = kernels::degrees(a1);
+  kernels::gcn_normalize(d0, x0, agg0, h0);
+  kernels::gcn_normalize(d1, x1, agg1, h1);
+
+  // Coalesced path.
+  const Tensor xc = sliced::coalesce_features({&x0, &x1});
+  const Tensor ac = sliced::coalesce_features({&agg0, &agg1});
+  Tensor hc(24, 8);
+  kernels::gcn_normalize_coalesced({&d0, &d1}, xc, ac, hc);
+  const auto split = sliced::split_coalesced(hc, 2);
+  EXPECT_LT(ops::max_abs_diff(split[0], h0), 1e-6f);
+  EXPECT_LT(ops::max_abs_diff(split[1], h1), 1e-6f);
+}
+
+// ---------- Parallel aggregation over an overlap decomposition ----------
+
+TEST(ParallelAgg, OverlapPlusExclusiveEqualsFullAggregation) {
+  Rng rng(10);
+  graph::DatasetConfig cfg;
+  cfg.name = "t";
+  cfg.num_nodes = 80;
+  cfg.raw_events = 900;
+  cfg.num_snapshots = 6;
+  cfg.feat_dim = 3;
+  cfg.edge_life = 4.0;
+  const auto g = graph::generate(cfg);
+
+  const auto part = sliced::build_partition(g, 1, 4);
+  std::vector<const Tensor*> feats;
+  for (int i = 0; i < 4; ++i) feats.push_back(&g.snapshots[1 + i].features);
+  const Tensor coal = sliced::coalesce_features(feats);
+
+  Tensor agg(80, 12);
+  kernels::agg_sliced(part.overlap, coal, agg);
+  for (int i = 0; i < 4; ++i) {
+    Tensor e(80, 3);
+    kernels::agg_sliced(part.exclusive[i], *feats[i], e);
+    ops::add_into_cols(agg, e, i * 3);
+  }
+  const auto split = sliced::split_coalesced(agg, 4);
+  for (int i = 0; i < 4; ++i) {
+    Tensor ref(80, 3);
+    kernels::ref_spmm(g.snapshots[1 + i].adj, *feats[i], ref);
+    EXPECT_LT(ops::max_abs_diff(split[i], ref), 1e-4f) << "snapshot " << i;
+  }
+}
+
+TEST(ParallelAgg, CombinedDegreesMatchSnapshotDegrees) {
+  Rng rng(11);
+  graph::DatasetConfig cfg;
+  cfg.name = "t";
+  cfg.num_nodes = 50;
+  cfg.raw_events = 600;
+  cfg.num_snapshots = 4;
+  cfg.feat_dim = 2;
+  cfg.edge_life = 3.0;
+  const auto g = graph::generate(cfg);
+  const auto part = sliced::build_partition(g, 0, 3);
+  for (int i = 0; i < 3; ++i) {
+    const auto combined =
+        kernels::combined_degrees(part.overlap, part.exclusive[i]);
+    EXPECT_EQ(combined, kernels::degrees(g.snapshots[i].adj));
+  }
+}
+
+// ---------- Memory-model properties (§3.2 / Fig. 5) ----------
+
+TEST(MemoryModel, TransactionsFlatBelowDim8ThenRise) {
+  // #T per row is constant while 4F <= 32 bytes, then grows (§3.2).
+  Rng rng(12);
+  const CSR a = random_csr(64, 512, rng);
+  auto txns_at = [&](int f) {
+    Tensor x = Tensor::randn(64, f, rng);
+    Tensor out(64, f);
+    return kernels::agg_gespmm(a, x, out).global_transactions;
+  };
+  EXPECT_EQ(txns_at(2), txns_at(4));
+  EXPECT_EQ(txns_at(4), txns_at(8));
+  EXPECT_GT(txns_at(16), txns_at(8));
+  EXPECT_GT(txns_at(64), txns_at(16));
+}
+
+TEST(MemoryModel, RequestsFlatBelowDim32ThenRise) {
+  Rng rng(13);
+  const CSR a = random_csr(64, 512, rng);
+  auto reqs_at = [&](int f) {
+    Tensor x = Tensor::randn(64, f, rng);
+    Tensor out(64, f);
+    return kernels::agg_gespmm(a, x, out).global_requests;
+  };
+  EXPECT_EQ(reqs_at(8), reqs_at(16));
+  EXPECT_EQ(reqs_at(16), reqs_at(32));
+  EXPECT_GT(reqs_at(64), reqs_at(32));
+  EXPECT_GT(reqs_at(128), reqs_at(64));
+}
+
+TEST(MemoryModel, CoalescedSmallDimSavesTransactions) {
+  // Four F=2 snapshots aggregated via one coalesced pass move fewer
+  // transactions over the shared topology than four separate passes.
+  Rng rng(14);
+  const CSR a = random_csr(128, 1024, rng);
+  const auto s = sliced::slice(a);
+  Tensor x1 = Tensor::randn(128, 2, rng);
+  Tensor o1(128, 2);
+  const auto per = kernels::agg_sliced(s, x1, o1);
+
+  Tensor x4 = Tensor::randn(128, 8, rng);
+  Tensor o4(128, 8);
+  const auto coal = kernels::agg_sliced(s, x4, o4);
+  EXPECT_LT(coal.global_transactions, 4 * per.global_transactions);
+  EXPECT_LT(coal.global_requests, 4 * per.global_requests);
+}
+
+TEST(MemoryModel, VectorLoadsReduceRequestsForLargeDims) {
+  // 4 snapshots x F=16 -> 64-wide rows: one vector request instead of four
+  // separate ones (the paper's §5.3 example).
+  Rng rng(15);
+  const CSR a = random_csr(128, 1024, rng);
+  const auto s = sliced::slice(a);
+  Tensor x1 = Tensor::randn(128, 16, rng);
+  Tensor o1(128, 16);
+  const auto per = kernels::agg_sliced(s, x1, o1);
+  Tensor x4 = Tensor::randn(128, 64, rng);
+  Tensor o4(128, 64);
+  const auto coal = kernels::agg_sliced(s, x4, o4);
+  EXPECT_LT(coal.global_requests, 4 * per.global_requests);
+  // Transactions stay equal: bytes are bytes.
+  EXPECT_LE(coal.global_transactions, 4 * per.global_transactions);
+}
+
+TEST(MemoryModel, SliceCoalescingRaisesWarpEfficiency) {
+  Rng rng(16);
+  const CSR a = random_csr(128, 1024, rng);
+  const auto s = sliced::slice(a);
+  Tensor x = Tensor::randn(128, 4, rng);
+  Tensor out(128, 4);
+  const auto with = kernels::agg_sliced(s, x, out, /*coalesce_num=*/4);
+  const auto without = kernels::agg_sliced(s, x, out, /*coalesce_num=*/1);
+  EXPECT_GT(with.warp_efficiency(), without.warp_efficiency());
+}
+
+TEST(MemoryModel, GespmmReadsAdjacencyOncePerRowUnlikeCsr) {
+  // For F > 32 the plain CSR kernel re-reads column indices per feature
+  // tile; GE-SpMM stages them in shared memory.
+  Rng rng(17);
+  const CSR a = random_csr(64, 2048, rng);
+  Tensor x = Tensor::randn(64, 128, rng);
+  Tensor out(64, 128);
+  const auto csr = kernels::agg_csr(a, x, out);
+  const auto ge = kernels::agg_gespmm(a, x, out);
+  EXPECT_LT(ge.global_transactions, csr.global_transactions);
+  EXPECT_GT(ge.shared_accesses, csr.shared_accesses);
+}
+
+TEST(MemoryModel, CooPaysAtomicsPerEdge) {
+  Rng rng(18);
+  const CSR a = random_csr(64, 512, rng);
+  Tensor x = Tensor::randn(64, 4, rng);
+  Tensor out(64, 4);
+  const auto coo = kernels::agg_coo(graph::coo_from_csr(a), x, out);
+  EXPECT_EQ(coo.atomic_ops, a.nnz() * 4);
+  const auto ge = kernels::agg_gespmm(a, x, out);
+  EXPECT_GT(coo.global_transactions, ge.global_transactions);
+}
+
+// ---------- Update kernels ----------
+
+TEST(Update, GemmMatchesOps) {
+  Rng rng(19);
+  const Tensor h = Tensor::randn(37, 13, rng);
+  const Tensor w = Tensor::randn(13, 9, rng);
+  Tensor out;
+  kernels::update_gemm(h, w, out);
+  EXPECT_LT(ops::max_abs_diff(out, ops::matmul(h, w)), 1e-4f);
+}
+
+TEST(Update, WeightReuseMatchesPerSnapshotMath) {
+  Rng rng(20);
+  const Tensor w = Tensor::randn(8, 5, rng);
+  std::vector<Tensor> hs;
+  std::vector<const Tensor*> hp;
+  for (int i = 0; i < 4; ++i) hs.push_back(Tensor::randn(21, 8, rng));
+  for (const auto& h : hs) hp.push_back(&h);
+  std::vector<Tensor> outs;
+  kernels::update_weight_reuse(hp, w, outs);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_LT(ops::max_abs_diff(outs[i], ops::matmul(hs[i], w)), 1e-4f);
+  }
+}
+
+TEST(Update, WeightReuseMovesFewerBytesThanRepeatedGemm) {
+  const auto single = kernels::gemm_stats(1000, 64, 64);
+  const auto reused = kernels::gemm_weight_reuse_stats(1000, 64, 64, 8);
+  EXPECT_LT(reused.global_transactions, 8 * single.global_transactions);
+  EXPECT_EQ(reused.flops, 8 * single.flops);
+}
+
+// ---------- Stats builders sanity ----------
+
+TEST(StatsBuilders, ElementwiseScalesLinearly) {
+  const auto a = kernels::elementwise_stats(1000, 2, 3);
+  const auto b = kernels::elementwise_stats(2000, 2, 3);
+  EXPECT_EQ(b.flops, 2 * a.flops);
+  EXPECT_NEAR(static_cast<double>(b.global_transactions),
+              2.0 * a.global_transactions, 2.0);
+}
+
+TEST(StatsBuilders, ZeroWorkYieldsZeroStats) {
+  const auto s = kernels::gemm_stats(0, 10, 10);
+  EXPECT_EQ(s.flops, 0u);
+  EXPECT_EQ(s.global_transactions, 0u);
+}
+
+}  // namespace
+}  // namespace pipad

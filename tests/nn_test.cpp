@@ -1,0 +1,214 @@
+// NN layer tests: numerical gradient checks for every module's manual
+// backward, plus optimizer behaviour.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "nn/gru.hpp"
+#include "nn/linear.hpp"
+#include "nn/lstm.hpp"
+#include "nn/optim.hpp"
+#include "tensor/ops.hpp"
+
+namespace pipad {
+namespace {
+
+/// Central-difference gradient of scalar_fn wrt one element of t.
+float numeric_grad(Tensor& t, int r, int c,
+                   const std::function<float()>& scalar_fn,
+                   float eps = 1e-3f) {
+  const float orig = t.at(r, c);
+  t.at(r, c) = orig + eps;
+  const float hi = scalar_fn();
+  t.at(r, c) = orig - eps;
+  const float lo = scalar_fn();
+  t.at(r, c) = orig;
+  return (hi - lo) / (2.0f * eps);
+}
+
+/// Sum-of-outputs loss makes d(loss)/d(out) all-ones.
+Tensor ones_like(const Tensor& t) {
+  return Tensor::full(t.rows(), t.cols(), 1.0f);
+}
+
+TEST(Linear, ForwardMatchesManualMath) {
+  Rng rng(1);
+  nn::Linear lin(3, 2, rng);
+  const Tensor x = Tensor::randn(4, 3, rng);
+  const Tensor y = lin.forward(x, nullptr, "t");
+  Tensor expect = ops::matmul(x, lin.weight().value);
+  ops::add_bias(expect, lin.bias().value);
+  EXPECT_LT(ops::max_abs_diff(y, expect), 1e-6f);
+}
+
+TEST(Linear, GradientCheck) {
+  Rng rng(2);
+  nn::Linear lin(3, 2, rng);
+  Tensor x = Tensor::randn(5, 3, rng);
+  auto loss = [&] { return ops::sum(lin.forward(x, nullptr, "t")); };
+
+  const Tensor y = lin.forward(x, nullptr, "t");
+  nn::zero_grads(lin.params());
+  const Tensor dx = lin.backward(x, ones_like(y), nullptr, "t");
+
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_NEAR(lin.weight().grad.at(r, c),
+                  numeric_grad(lin.weight().value, r, c, loss), 2e-2f);
+      EXPECT_NEAR(dx.at(r, c), numeric_grad(x, r, c, loss), 2e-2f);
+    }
+  }
+  EXPECT_NEAR(lin.bias().grad.at(0, 0),
+              numeric_grad(lin.bias().value, 0, 0, loss), 2e-2f);
+}
+
+TEST(LstmCell, GradientCheckAllPaths) {
+  Rng rng(3);
+  nn::LSTMCell cell(3, 4, rng);
+  Tensor x = Tensor::randn(2, 3, rng);
+  Tensor h0 = Tensor::randn(2, 4, rng, 0.5f);
+  Tensor c0 = Tensor::randn(2, 4, rng, 0.5f);
+  auto loss = [&] {
+    nn::LSTMCell::Cache cache;
+    auto [h, c] = cell.forward(x, h0, c0, cache, nullptr, "t");
+    return ops::sum(h) + 0.5f * ops::sum(c);
+  };
+
+  nn::LSTMCell::Cache cache;
+  auto [h, c] = cell.forward(x, h0, c0, cache, nullptr, "t");
+  nn::zero_grads(cell.params());
+  auto [dx, dh0, dc0] = cell.backward(
+      cache, ones_like(h), Tensor::full(2, 4, 0.5f), nullptr, "t");
+
+  // Inputs.
+  for (int r = 0; r < 2; ++r) {
+    for (int cc = 0; cc < 3; ++cc) {
+      EXPECT_NEAR(dx.at(r, cc), numeric_grad(x, r, cc, loss), 2e-2f)
+          << "dx(" << r << "," << cc << ")";
+    }
+    for (int cc = 0; cc < 4; ++cc) {
+      EXPECT_NEAR(dh0.at(r, cc), numeric_grad(h0, r, cc, loss), 2e-2f);
+      EXPECT_NEAR(dc0.at(r, cc), numeric_grad(c0, r, cc, loss), 2e-2f);
+    }
+  }
+  // A sample of weight entries.
+  auto& w = cell.weight();
+  for (int r = 0; r < 3; ++r) {
+    for (int cc = 0; cc < 4; ++cc) {
+      EXPECT_NEAR(w.grad.at(r, cc), numeric_grad(w.value, r, cc, loss),
+                  3e-2f)
+          << "dW(" << r << "," << cc << ")";
+    }
+  }
+}
+
+TEST(LstmSequence, BpttGradientCheck) {
+  Rng rng(4);
+  nn::LSTMCell cell(2, 3, rng);
+  std::vector<Tensor> xs;
+  for (int t = 0; t < 4; ++t) xs.push_back(Tensor::randn(2, 2, rng));
+  std::vector<const Tensor*> xp;
+  for (auto& x : xs) xp.push_back(&x);
+
+  auto loss = [&] {
+    nn::LSTMSequence seq(&cell);
+    auto hs = seq.forward(xp, nullptr, "t");
+    float s = 0.0f;
+    for (auto& h : hs) s += ops::sum(h);
+    return s;
+  };
+
+  nn::LSTMSequence seq(&cell);
+  auto hs = seq.forward(xp, nullptr, "t");
+  nn::zero_grads(cell.params());
+  std::vector<Tensor> d_hs;
+  for (auto& h : hs) d_hs.push_back(ones_like(h));
+  auto dxs = seq.backward(d_hs, nullptr, "t");
+
+  for (int t = 0; t < 4; ++t) {
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < 2; ++c) {
+        EXPECT_NEAR(dxs[t].at(r, c), numeric_grad(xs[t], r, c, loss), 3e-2f)
+            << "t=" << t;
+      }
+    }
+  }
+  auto& w = cell.weight();
+  EXPECT_NEAR(w.grad.at(0, 0), numeric_grad(w.value, 0, 0, loss), 5e-2f);
+  EXPECT_NEAR(w.grad.at(4, 7), numeric_grad(w.value, 4, 7, loss), 5e-2f);
+}
+
+TEST(GruCell, GradientCheckAllPaths) {
+  Rng rng(5);
+  nn::GRUCell cell(3, 4, rng);
+  Tensor x = Tensor::randn(2, 3, rng);
+  Tensor h0 = Tensor::randn(2, 4, rng, 0.5f);
+  auto loss = [&] {
+    nn::GRUCell::Cache cache;
+    return ops::sum(cell.forward(x, h0, cache, nullptr, "t"));
+  };
+
+  nn::GRUCell::Cache cache;
+  Tensor h = cell.forward(x, h0, cache, nullptr, "t");
+  nn::zero_grads(cell.params());
+  auto [dx, dh0] = cell.backward(cache, ones_like(h), nullptr, "t");
+
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(dx.at(r, c), numeric_grad(x, r, c, loss), 2e-2f);
+    }
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_NEAR(dh0.at(r, c), numeric_grad(h0, r, c, loss), 2e-2f);
+    }
+  }
+  auto params = cell.params();
+  for (auto* p : params) {
+    EXPECT_NEAR(p->grad.at(0, 0), numeric_grad(p->value, 0, 0, loss), 3e-2f);
+  }
+}
+
+TEST(GruCell, HiddenStateStaysBounded) {
+  // GRU output is a convex combination of tanh output and previous state;
+  // repeated application from a bounded start must remain bounded.
+  Rng rng(6);
+  nn::GRUCell cell(2, 3, rng);
+  Tensor h = Tensor::zeros(4, 3);
+  const Tensor x = Tensor::randn(4, 2, rng);
+  for (int i = 0; i < 50; ++i) {
+    nn::GRUCell::Cache cache;
+    h = cell.forward(x, h, cache, nullptr, "t");
+  }
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_LE(std::abs(h.data()[i]), 1.0f + 1e-5f);
+  }
+}
+
+TEST(Optim, SgdDescendsQuadratic) {
+  nn::Parameter p(Tensor::full(1, 1, 5.0f));
+  nn::Sgd sgd(0.1f);
+  for (int i = 0; i < 100; ++i) {
+    p.grad.at(0, 0) = 2.0f * p.value.at(0, 0);  // d/dx x^2.
+    sgd.step({&p});
+  }
+  EXPECT_NEAR(p.value.at(0, 0), 0.0f, 1e-3f);
+}
+
+TEST(Optim, AdamDescendsQuadratic) {
+  nn::Parameter p(Tensor::full(1, 1, 5.0f));
+  nn::Adam adam(0.1f);
+  for (int i = 0; i < 500; ++i) {
+    p.grad.at(0, 0) = 2.0f * p.value.at(0, 0);
+    adam.step({&p});
+  }
+  EXPECT_NEAR(p.value.at(0, 0), 0.0f, 1e-2f);
+}
+
+TEST(Optim, AdamRejectsChangedParamList) {
+  nn::Parameter a(Tensor::zeros(1, 1)), b(Tensor::zeros(1, 1));
+  nn::Adam adam;
+  adam.step({&a});
+  EXPECT_THROW(adam.step({&a, &b}), Error);
+}
+
+}  // namespace
+}  // namespace pipad

@@ -1,0 +1,256 @@
+// PiPAD runtime tests: numerical agreement with the baselines, end-to-end
+// speedup, tuner behaviour, reuse buffers, and the ablation toggles.
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_trainer.hpp"
+#include "pipad/offline_analysis.hpp"
+#include "pipad/pipad_trainer.hpp"
+#include "pipad/reuse.hpp"
+#include "test_util.hpp"
+
+namespace pipad {
+namespace {
+
+using models::ModelType;
+using models::TrainConfig;
+using models::TrainResult;
+using runtime::PipadOptions;
+using runtime::PipadTrainer;
+
+TrainConfig small_cfg(ModelType m = ModelType::MpnnLstm) {
+  TrainConfig cfg;
+  cfg.model = m;
+  cfg.frame_size = 4;
+  cfg.epochs = 2;  // 1 preparing + 1 steady.
+  cfg.max_frames_per_epoch = 3;
+  cfg.hidden_dim = 6;
+  return cfg;
+}
+
+TEST(Pipad, LossesMatchPygtBaseline) {
+  const auto g = graph::generate(testutil::tiny_config(32, 10, 2));
+  gpusim::Gpu gpu_b, gpu_p;
+  baselines::BaselineTrainer base(gpu_b, g, small_cfg(),
+                                  baselines::Variant::PyGT);
+  PipadTrainer pip(gpu_p, g, small_cfg());
+  const auto rb = base.train();
+  const auto rp = pip.train();
+  ASSERT_EQ(rb.frame_loss.size(), rp.frame_loss.size());
+  for (std::size_t i = 0; i < rb.frame_loss.size(); ++i) {
+    EXPECT_NEAR(rp.frame_loss[i], rb.frame_loss[i],
+                2e-3f * (1.0f + std::abs(rb.frame_loss[i])))
+        << "frame " << i;
+  }
+}
+
+class PipadAllModels : public ::testing::TestWithParam<ModelType> {};
+
+TEST_P(PipadAllModels, MatchesBaselineAndIsFaster) {
+  const auto g = graph::generate(testutil::tiny_config(64, 12, 2));
+  gpusim::Gpu gpu_b, gpu_p;
+  baselines::BaselineTrainer base(gpu_b, g, small_cfg(GetParam()),
+                                  baselines::Variant::PyGT);
+  PipadTrainer pip(gpu_p, g, small_cfg(GetParam()));
+  const auto rb = base.train();
+  const auto rp = pip.train();
+  for (std::size_t i = 0; i < rb.frame_loss.size(); ++i) {
+    EXPECT_NEAR(rp.frame_loss[i], rb.frame_loss[i],
+                5e-3f * (1.0f + std::abs(rb.frame_loss[i])));
+  }
+  EXPECT_LT(rp.total_us, rb.total_us)
+      << models::model_type_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, PipadAllModels,
+                         ::testing::Values(ModelType::MpnnLstm,
+                                           ModelType::EvolveGcn,
+                                           ModelType::TGcn),
+                         [](const auto& info) {
+                           std::string n = models::model_type_name(info.param);
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Pipad, TunerPicksFromConfiguredOptions) {
+  const auto g = graph::generate(testutil::tiny_config(64, 16, 2));
+  gpusim::Gpu gpu;
+  auto cfg = small_cfg();
+  cfg.frame_size = 8;
+  PipadTrainer pip(gpu, g, cfg);
+  pip.train();
+  ASSERT_FALSE(pip.sper_decisions().empty());
+  for (const auto& [start, s] : pip.sper_decisions()) {
+    EXPECT_TRUE(s == 1 || s == 2 || s == 4 || s == 8) << "S_per=" << s;
+  }
+}
+
+TEST(Pipad, TunerRespectsMemoryBound) {
+  // §5.2: on memory-constrained devices the tuner must settle for lower
+  // parallelism than it would pick with abundant memory — and never OOM.
+  const auto g = graph::generate(testutil::tiny_config(1024, 12, 4));
+  auto cfg = small_cfg(ModelType::TGcn);
+  cfg.frame_size = 8;
+  cfg.hidden_dim = 8;
+
+  auto max_sper = [&](std::size_t device_bytes) {
+    gpusim::SimConfig sc;
+    sc.device_mem_bytes = device_bytes;
+    gpusim::Gpu gpu(sc);
+    PipadTrainer pip(gpu, g, cfg);
+    const auto r = pip.train();  // Must not throw OutOfMemoryError.
+    EXPECT_FALSE(r.frame_loss.empty());
+    int max_s = 0;
+    for (const auto& [start, s] : pip.sper_decisions()) {
+      max_s = std::max(max_s, s);
+    }
+    return max_s;
+  };
+
+  const int roomy = max_sper(16ull << 30);
+  const int tight = max_sper(1500 * 1024);
+  EXPECT_LT(tight, roomy);
+  EXPECT_GE(tight, 1);
+}
+
+TEST(Pipad, ForcedSperOverridesTuner) {
+  const auto g = graph::generate(testutil::tiny_config(64, 16, 2));
+  gpusim::Gpu gpu;
+  auto cfg = small_cfg();
+  cfg.frame_size = 8;
+  PipadOptions opts;
+  opts.forced_sper = 2;
+  PipadTrainer pip(gpu, g, cfg, opts);
+  pip.train();
+  EXPECT_TRUE(pip.sper_decisions().empty());  // Tuner bypassed entirely.
+}
+
+TEST(Pipad, ReuseReducesTransferAndAggregation) {
+  const auto g = graph::generate(testutil::tiny_config(64, 12, 2));
+  auto run = [&](bool reuse) {
+    gpusim::Gpu gpu;
+    PipadOptions opts;
+    opts.enable_reuse = reuse;
+    PipadTrainer pip(gpu, g, small_cfg(ModelType::TGcn), opts);
+    return pip.train();
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_LT(with.agg_stats.global_transactions,
+            without.agg_stats.global_transactions);
+  EXPECT_LT(with.total_us, without.total_us);
+}
+
+TEST(Pipad, CudaGraphBatchingReducesHostTime) {
+  const auto g = graph::generate(testutil::tiny_config(48, 10, 2));
+  auto run = [&](bool graph) {
+    gpusim::Gpu gpu;
+    PipadOptions opts;
+    opts.enable_cuda_graph = graph;
+    PipadTrainer pip(gpu, g, small_cfg(), opts);
+    return pip.train();
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_LT(with.host_us, without.host_us);
+  EXPECT_LE(with.total_us, without.total_us * 1.01);
+}
+
+TEST(Pipad, PipelineOverlapsTransferWithCompute) {
+  const auto g = graph::generate(testutil::tiny_config(96, 12, 3));
+  auto run = [&](bool pipeline) {
+    gpusim::Gpu gpu;
+    PipadOptions opts;
+    opts.enable_pipeline = pipeline;
+    PipadTrainer pip(gpu, g, small_cfg(), opts);
+    return pip.train();
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  EXPECT_LE(with.total_us, without.total_us);
+}
+
+TEST(Pipad, LossKeepsDecreasingAcrossEpochs) {
+  const auto g = graph::generate(testutil::tiny_config(48, 10, 2));
+  gpusim::Gpu gpu;
+  auto cfg = small_cfg();
+  cfg.epochs = 6;
+  cfg.lr = 5e-3f;
+  PipadTrainer pip(gpu, g, cfg);
+  const auto r = pip.train();
+  ASSERT_GE(r.frame_loss.size(), 12u);
+  EXPECT_LT(r.frame_loss.back(), r.frame_loss.front());
+  for (float l : r.frame_loss) EXPECT_TRUE(std::isfinite(l));
+}
+
+// ---------- GPU reuse buffer ----------
+
+TEST(ReuseBuffer, EvictsOldestWhenOverBudget) {
+  gpusim::Device dev(1 << 20);
+  runtime::GpuReuseBuffer buf(dev);
+  buf.set_budget(300);
+  EXPECT_TRUE(buf.insert(1, 100));
+  EXPECT_TRUE(buf.insert(2, 100));
+  EXPECT_TRUE(buf.insert(3, 100));
+  EXPECT_TRUE(buf.insert(4, 100));  // Evicts snapshot 1.
+  EXPECT_FALSE(buf.contains(1));
+  EXPECT_TRUE(buf.contains(2) && buf.contains(3) && buf.contains(4));
+  EXPECT_EQ(buf.used(), 300u);
+  EXPECT_EQ(dev.used(), 300u);
+}
+
+TEST(ReuseBuffer, RejectsEntriesLargerThanBudget) {
+  gpusim::Device dev(1 << 20);
+  runtime::GpuReuseBuffer buf(dev);
+  buf.set_budget(50);
+  EXPECT_FALSE(buf.insert(1, 100));
+  EXPECT_EQ(dev.used(), 0u);
+}
+
+TEST(ReuseBuffer, EvictBeforeDropsStaleEntriesAndReleasesMemory) {
+  gpusim::Device dev(1 << 20);
+  runtime::GpuReuseBuffer buf(dev);
+  buf.set_budget(1000);
+  for (int t = 0; t < 8; ++t) buf.insert(t, 50);
+  buf.evict_before(5);
+  EXPECT_EQ(buf.entries(), 3u);
+  EXPECT_EQ(dev.used(), 150u);
+}
+
+// ---------- Offline analysis (Fig. 9 shapes) ----------
+
+TEST(OfflineAnalysis, SpeedupGrowsWithOverlapRate) {
+  // Workload sized so kernels clear the launch-latency floor.
+  gpusim::CostModel cm((gpusim::SimConfig()));
+  runtime::WorkloadShape w{200000, 2000000, 2, 6, 32, 4};
+  const double lo = runtime::estimate_parallel_speedup(cm, w, 4, 0.2);
+  const double hi = runtime::estimate_parallel_speedup(cm, w, 4, 0.9);
+  EXPECT_GT(hi, lo);
+  EXPECT_GT(hi, 1.0);
+}
+
+TEST(OfflineAnalysis, LargerSperWinsAtEqualOverlap) {
+  // Fig. 9a: under the same OR, larger S_per is preferred.
+  gpusim::CostModel cm((gpusim::SimConfig()));
+  runtime::WorkloadShape w{200000, 2000000, 2, 6, 32, 4};
+  const double s2 = runtime::estimate_parallel_speedup(cm, w, 2, 0.8);
+  const double s4 = runtime::estimate_parallel_speedup(cm, w, 4, 0.8);
+  const double s8 = runtime::estimate_parallel_speedup(cm, w, 8, 0.8);
+  EXPECT_GT(s4, s2);
+  EXPECT_GT(s8, s4);
+}
+
+TEST(OfflineAnalysis, ParallelNeverSlowerThanSequentialAtFullOverlap) {
+  gpusim::CostModel cm((gpusim::SimConfig()));
+  for (int f : {2, 8, 16, 64}) {
+    runtime::WorkloadShape w{8000, 40000, f, 32, 32, 4};
+    for (int s : {2, 4, 8}) {
+      EXPECT_GE(runtime::estimate_parallel_speedup(cm, w, s, 1.0), 1.0)
+          << "F=" << f << " S=" << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pipad

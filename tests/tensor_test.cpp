@@ -1,0 +1,155 @@
+// Tensor/ops tests: GEMM in all transpose modes against a naive reference,
+// elementwise maps, gate helpers, losses.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/ops.hpp"
+
+namespace pipad {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const int m = ta ? a.cols() : a.rows();
+  const int k = ta ? a.rows() : a.cols();
+  const int n = tb ? b.rows() : b.cols();
+  Tensor c(m, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = ta ? a.at(kk, i) : a.at(i, kk);
+        const float bv = tb ? b.at(j, kk) : b.at(kk, j);
+        s += static_cast<double>(av) * bv;
+      }
+      c.at(i, j) = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+class GemmModes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool, bool>> {
+};
+
+TEST_P(GemmModes, MatchesNaive) {
+  const auto [m, k, n, ta, tb] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1000 + k * 100 + n));
+  const Tensor a = ta ? Tensor::randn(k, m, rng) : Tensor::randn(m, k, rng);
+  const Tensor b = tb ? Tensor::randn(n, k, rng) : Tensor::randn(k, n, rng);
+  const Tensor c = ops::matmul(a, b, ta, tb);
+  EXPECT_LT(ops::max_abs_diff(c, naive_matmul(a, b, ta, tb)), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmModes,
+    ::testing::Combine(::testing::Values(1, 5, 33), ::testing::Values(1, 7, 32),
+                       ::testing::Values(1, 6, 40), ::testing::Bool(),
+                       ::testing::Bool()));
+
+TEST(Gemm, BetaAccumulates) {
+  Rng rng(1);
+  const Tensor a = Tensor::randn(4, 3, rng);
+  const Tensor b = Tensor::randn(3, 5, rng);
+  Tensor c = Tensor::full(4, 5, 1.0f);
+  ops::gemm(a, b, c, false, false, 1.0f, 1.0f);
+  Tensor expect = naive_matmul(a, b, false, false);
+  ops::add_inplace(expect, Tensor::full(4, 5, 1.0f));
+  EXPECT_LT(ops::max_abs_diff(c, expect), 1e-4f);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  const Tensor a(4, 3), b(4, 5);
+  Tensor c(4, 5);
+  EXPECT_THROW(ops::gemm(a, b, c), Error);
+}
+
+TEST(Ops, BiasAddAndGradRoundTrip) {
+  Rng rng(2);
+  Tensor y = Tensor::zeros(6, 4);
+  const Tensor bias = Tensor::randn(1, 4, rng);
+  ops::add_bias(y, bias);
+  for (int r = 0; r < 6; ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(y.at(r, c), bias.at(0, c));
+  }
+  const Tensor g = ops::bias_grad(y);
+  for (int c = 0; c < 4; ++c) EXPECT_NEAR(g.at(0, c), 6 * bias.at(0, c), 1e-5f);
+}
+
+TEST(Ops, ActivationsAndGrads) {
+  Rng rng(3);
+  const Tensor x = Tensor::randn(5, 5, rng);
+  const Tensor r = ops::relu(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(r.data()[i], std::max(0.0f, x.data()[i]));
+  }
+  const Tensor s = ops::sigmoid(x);
+  const Tensor t = ops::tanh(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(s.data()[i], 1.0f / (1.0f + std::exp(-x.data()[i])), 1e-6f);
+    EXPECT_NEAR(t.data()[i], std::tanh(x.data()[i]), 1e-6f);
+  }
+  // Grad identities: d sigmoid = y(1-y), d tanh = 1-y^2.
+  const Tensor ones = Tensor::full(5, 5, 1.0f);
+  const Tensor ds = ops::sigmoid_grad(ones, s);
+  const Tensor dt = ops::tanh_grad(ones, t);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(ds.data()[i], s.data()[i] * (1 - s.data()[i]), 1e-6f);
+    EXPECT_NEAR(dt.data()[i], 1 - t.data()[i] * t.data()[i], 1e-6f);
+  }
+}
+
+TEST(Ops, ConcatSplitRoundTrip) {
+  Rng rng(4);
+  const Tensor a = Tensor::randn(7, 3, rng);
+  const Tensor b = Tensor::randn(7, 5, rng);
+  const Tensor ab = ops::concat_cols(a, b);
+  EXPECT_EQ(ab.cols(), 8);
+  auto [a2, b2] = ops::split_cols(ab, 3);
+  EXPECT_EQ(ops::max_abs_diff(a, a2), 0.0f);
+  EXPECT_EQ(ops::max_abs_diff(b, b2), 0.0f);
+}
+
+TEST(Ops, SliceColsAndScatter) {
+  Rng rng(5);
+  const Tensor t = Tensor::randn(4, 10, rng);
+  const Tensor mid = ops::slice_cols(t, 3, 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(mid.at(r, c), t.at(r, 3 + c));
+  }
+  Tensor dst = Tensor::zeros(4, 10);
+  ops::add_into_cols(dst, mid, 3);
+  ops::add_into_cols(dst, mid, 3);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(dst.at(r, 0), 0.0f);
+    EXPECT_NEAR(dst.at(r, 5), 2 * t.at(r, 5), 1e-6f);
+  }
+}
+
+TEST(Ops, MseLossAndGradient) {
+  Tensor pred = Tensor::full(2, 2, 3.0f);
+  Tensor target = Tensor::full(2, 2, 1.0f);
+  Tensor grad;
+  const float loss = ops::mse_loss(pred, target, &grad);
+  EXPECT_NEAR(loss, 4.0f, 1e-6f);  // (3-1)^2.
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    EXPECT_NEAR(grad.data()[i], 2.0f * 2.0f / 4.0f, 1e-6f);
+  }
+}
+
+TEST(Ops, AllFiniteDetectsNan) {
+  Tensor t = Tensor::zeros(2, 2);
+  EXPECT_TRUE(ops::all_finite(t));
+  t.at(1, 1) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(ops::all_finite(t));
+}
+
+TEST(Tensor, RandnDeterministicPerSeed) {
+  Rng r1(5), r2(5);
+  const Tensor a = Tensor::randn(8, 8, r1);
+  const Tensor b = Tensor::randn(8, 8, r2);
+  EXPECT_EQ(ops::max_abs_diff(a, b), 0.0f);
+}
+
+}  // namespace
+}  // namespace pipad

@@ -1,0 +1,109 @@
+// Shared helpers for model/trainer tests: tiny deterministic datasets and a
+// plain sequential executor that computes ground-truth math with no
+// simulation, for comparing every runtime against.
+#pragma once
+
+#include "graph/generator.hpp"
+#include "kernels/aggregate.hpp"
+#include "models/executor.hpp"
+#include "tensor/ops.hpp"
+
+namespace pipad::testutil {
+
+inline graph::DatasetConfig tiny_config(int nodes = 40, int snapshots = 8,
+                                        int feat = 3,
+                                        std::uint64_t seed = 77) {
+  graph::DatasetConfig cfg;
+  cfg.name = "tiny";
+  cfg.num_nodes = nodes;
+  cfg.raw_events = nodes * 8;
+  cfg.num_snapshots = snapshots;
+  cfg.feat_dim = feat;
+  cfg.edge_life = 4.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Reference executor: per-snapshot ref_spmm + exact normalization; no
+/// recorder, no simulation. The ground truth all runtimes must reproduce.
+class ReferenceExecutor final : public models::FrameExecutor {
+ public:
+  ReferenceExecutor(const graph::DTDG& data, graph::Frame frame)
+      : data_(data), frame_(frame) {}
+
+  void set_frame(graph::Frame frame) { frame_ = frame; }
+
+  std::vector<Tensor> aggregate(const std::vector<const Tensor*>& xs, int,
+                                const std::string&) override {
+    std::vector<Tensor> out(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const auto& snap = data_.snapshots[frame_.start + static_cast<int>(i)];
+      Tensor agg(xs[i]->rows(), xs[i]->cols());
+      kernels::ref_spmm(snap.adj, *xs[i], agg);
+      out[i] = Tensor(agg.rows(), agg.cols());
+      kernels::gcn_normalize(kernels::degrees(snap.adj), *xs[i], agg, out[i]);
+    }
+    return out;
+  }
+
+  std::vector<Tensor> aggregate_backward(const std::vector<Tensor>& d_h, int,
+                                         const std::string&) override {
+    std::vector<Tensor> out(d_h.size());
+    for (std::size_t i = 0; i < d_h.size(); ++i) {
+      const auto& snap = data_.snapshots[frame_.start + static_cast<int>(i)];
+      Tensor d_agg(d_h[i].rows(), d_h[i].cols());
+      Tensor d_direct(d_h[i].rows(), d_h[i].cols());
+      kernels::gcn_normalize_backward(kernels::degrees(snap.adj), d_h[i],
+                                      d_agg, d_direct);
+      out[i] = Tensor(d_h[i].rows(), d_h[i].cols());
+      kernels::ref_spmm(snap.adj_t, d_agg, out[i]);
+      ops::add_inplace(out[i], d_direct);
+    }
+    return out;
+  }
+
+  std::vector<Tensor> update(const std::vector<const Tensor*>& hs,
+                             nn::Linear& lin,
+                             const std::string& tag) override {
+    std::vector<Tensor> out(hs.size());
+    for (std::size_t i = 0; i < hs.size(); ++i) {
+      out[i] = lin.forward(*hs[i], nullptr, tag);
+    }
+    return out;
+  }
+
+  std::vector<Tensor> update_backward(const std::vector<Tensor>& d_y,
+                                      const std::vector<const Tensor*>& hs,
+                                      nn::Linear& lin,
+                                      const std::string& tag) override {
+    std::vector<Tensor> out(d_y.size());
+    for (std::size_t i = 0; i < d_y.size(); ++i) {
+      out[i] = lin.backward(*hs[i], d_y[i], nullptr, tag);
+    }
+    return out;
+  }
+
+  kernels::KernelRecorder* recorder() override { return nullptr; }
+
+ private:
+  const graph::DTDG& data_;
+  graph::Frame frame_;
+};
+
+inline std::vector<const Tensor*> frame_features(const graph::DTDG& g,
+                                                 graph::Frame f) {
+  std::vector<const Tensor*> out;
+  for (int i = 0; i < f.size; ++i) {
+    out.push_back(&g.snapshots[f.start + i].features);
+  }
+  return out;
+}
+
+inline std::vector<const Tensor*> frame_targets(const graph::DTDG& g,
+                                                graph::Frame f) {
+  std::vector<const Tensor*> out;
+  for (int i = 0; i < f.size; ++i) out.push_back(&g.targets[f.start + i]);
+  return out;
+}
+
+}  // namespace pipad::testutil
