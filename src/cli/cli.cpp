@@ -1,0 +1,390 @@
+#include "cli/cli.hpp"
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "baselines/baseline_trainer.hpp"
+#include "common/error.hpp"
+#include "gpusim/trace.hpp"
+#include "graph/generator.hpp"
+#include "models/training.hpp"
+#include "pipad/pipad_trainer.hpp"
+
+namespace pipad::cli {
+
+namespace {
+
+const char* const kModels[] = {"gcn", "tgcn", "evolvegcn", "mpnn-lstm"};
+const char* const kRuntimes[] = {"pipad", "pygt", "pygt-a", "pygt-r",
+                                 "pygt-g"};
+
+bool is_one_of(const std::string& v, const char* const* set, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v == set[i]) return true;
+  }
+  return false;
+}
+
+bool parse_ll(const std::string& s, long long& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_f(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+models::ModelType model_type(const std::string& name) {
+  if (name == "gcn") return models::ModelType::Gcn;
+  if (name == "tgcn") return models::ModelType::TGcn;
+  if (name == "evolvegcn") return models::ModelType::EvolveGcn;
+  PIPAD_CHECK_MSG(name == "mpnn-lstm", "unknown model " << name);
+  return models::ModelType::MpnnLstm;
+}
+
+baselines::Variant baseline_variant(const std::string& runtime) {
+  if (runtime == "pygt-a") return baselines::Variant::PyGTA;
+  if (runtime == "pygt-r") return baselines::Variant::PyGTR;
+  if (runtime == "pygt-g") return baselines::Variant::PyGTG;
+  return baselines::Variant::PyGT;
+}
+
+graph::DTDG build_dataset(const Options& o) {
+  graph::DatasetConfig cfg;
+  if (o.dataset == "synthetic") {
+    cfg.name = "synthetic";
+    cfg.num_nodes = o.nodes;
+    cfg.raw_events = o.events;
+    cfg.num_snapshots = o.snapshots > 0 ? o.snapshots : 24;
+    cfg.feat_dim = o.feat_dim;
+    cfg.edge_life = o.edge_life;
+    cfg.seed = o.seed;
+  } else {
+    cfg = graph::dataset_by_name(o.dataset, o.scale_large, o.scale_small);
+    if (o.snapshots > 0) cfg.num_snapshots = o.snapshots;
+  }
+  return graph::generate(cfg);
+}
+
+models::TrainConfig train_config(const Options& o) {
+  models::TrainConfig tcfg;
+  tcfg.model = model_type(o.model);
+  tcfg.frame_size = o.frame_size;
+  tcfg.epochs = o.epochs;
+  tcfg.max_frames_per_epoch = o.frames;
+  tcfg.seed = o.seed;
+  return tcfg;
+}
+
+runtime::PipadOptions pipad_options(const Options& o) {
+  runtime::PipadOptions popts;
+  if (o.threads > 0) popts.host_prep_parallelism = o.threads;
+  return popts;
+}
+
+/// Train under the named runtime on a fresh Gpu, leaving the timeline in
+/// `gpu` for callers that want to render it.
+models::TrainResult run_method(const Options& o, const std::string& runtime,
+                               gpusim::Gpu& gpu, const graph::DTDG& data) {
+  const models::TrainConfig tcfg = train_config(o);
+  if (runtime == "pipad") {
+    runtime::PipadTrainer trainer(gpu, data, tcfg, pipad_options(o));
+    return trainer.train();
+  }
+  baselines::BaselineTrainer trainer(gpu, data, tcfg,
+                                     baseline_variant(runtime));
+  return trainer.train();
+}
+
+void print_header() {
+  std::printf("%-8s %14s %14s %14s %10s %10s\n", "method", "sim total (us)",
+              "transfer (us)", "compute (us)", "SM util", "last loss");
+}
+
+void print_result(const std::string& method, const models::TrainResult& r) {
+  std::printf("%-8s %14.0f %14.0f %14.0f %9.1f%% %10.4f\n", method.c_str(),
+              r.total_us, r.transfer_us, r.compute_us,
+              100.0 * r.sm_utilization, r.final_loss());
+}
+
+void print_dataset(const graph::DTDG& data) {
+  std::printf("dataset %s: %d vertices, %zu edge instances, %d snapshots, "
+              "feat dim %d\n",
+              data.name.c_str(), data.num_nodes, data.total_edges(),
+              data.num_snapshots(), data.feat_dim);
+}
+
+int cmd_train(const Options& o) {
+  const graph::DTDG data = build_dataset(o);
+  print_dataset(data);
+  std::printf("training %s under %s: %d epochs, frame size %d\n",
+              models::model_type_name(model_type(o.model)), o.runtime.c_str(),
+              o.epochs, o.frame_size);
+  gpusim::Gpu gpu;
+  const auto r = run_method(o, o.runtime, gpu, data);
+  print_header();
+  print_result(o.runtime, r);
+  return 0;
+}
+
+int cmd_bench(const Options& o) {
+  const graph::DTDG data = build_dataset(o);
+  print_dataset(data);
+  // Compare PiPAD against the requested baseline (plain PyGT unless the
+  // user picked a specific variant).
+  const std::string base = o.runtime == "pipad" ? "pygt" : o.runtime;
+  gpusim::Gpu gpu_base;
+  const auto rb = run_method(o, base, gpu_base, data);
+  gpusim::Gpu gpu_pipad;
+  const auto rp = run_method(o, "pipad", gpu_pipad, data);
+  print_header();
+  print_result(base, rb);
+  print_result("pipad", rp);
+  std::printf("\nPiPAD end-to-end speedup over %s: %.2fx\n", base.c_str(),
+              rb.total_us / rp.total_us);
+  return 0;
+}
+
+int cmd_trace(const Options& o) {
+  const graph::DTDG data = build_dataset(o);
+  print_dataset(data);
+  const std::string base = o.runtime == "pipad" ? "pygt" : o.runtime;
+  gpusim::Gpu gpu_base;
+  run_method(o, base, gpu_base, data);
+  gpusim::Gpu gpu_pipad;
+  run_method(o, "pipad", gpu_pipad, data);
+
+  gpusim::GanttOptions gopts;
+  gopts.width = 100;
+  std::printf("=== %s ===\n%s\n", base.c_str(),
+              gpusim::render_gantt(gpu_base.timeline(), gopts).c_str());
+  std::printf("=== pipad ===\n%s\n",
+              gpusim::render_gantt(gpu_pipad.timeline(), gopts).c_str());
+  using gpusim::Resource;
+  std::printf("copy/compute overlap: %s %.0f%%   pipad %.0f%%\n", base.c_str(),
+              100.0 * gpusim::overlap_fraction(gpu_base.timeline(),
+                                               Resource::H2D,
+                                               Resource::Compute),
+              100.0 * gpusim::overlap_fraction(gpu_pipad.timeline(),
+                                               Resource::H2D,
+                                               Resource::Compute));
+  if (!o.out.empty()) {
+    std::ofstream csv(o.out);
+    if (!csv) {
+      std::fprintf(stderr, "pipad: cannot open %s for writing\n",
+                   o.out.c_str());
+      return 1;
+    }
+    gpusim::write_trace_csv(gpu_pipad.timeline(), csv);
+    std::printf("PiPAD trace written to %s (%zu ops)\n", o.out.c_str(),
+                gpu_pipad.timeline().records().size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "usage: pipad <train|bench|trace> [flags]\n"
+      "\n"
+      "subcommands:\n"
+      "  train   train one model under one runtime, print the sim summary\n"
+      "  bench   train under a baseline and under PiPAD, print the speedup\n"
+      "  trace   like bench, plus ASCII Gantt charts and an optional CSV\n"
+      "\n"
+      "flags:\n"
+      "  --model NAME       gcn | tgcn | evolvegcn | mpnn-lstm  [tgcn]\n"
+      "  --runtime NAME     pipad | pygt | pygt-a | pygt-r | pygt-g  [pipad]\n"
+      "  --dataset NAME     synthetic, or a Table-1 name (flickr, youtube,\n"
+      "                     amz-automotive, epinions, hepth, pems08,\n"
+      "                     covid19-england)  [synthetic]\n"
+      "  --snapshots N      override the dataset's snapshot count\n"
+      "  --nodes N          synthetic: vertex count  [2000]\n"
+      "  --events N         synthetic: distinct temporal edges  [40000]\n"
+      "  --feat-dim N       synthetic: feature dimension  [2]\n"
+      "  --edge-life X      synthetic: mean snapshots an edge lives  [8]\n"
+      "  --scale-large N    divisor for the four large named graphs  [256]\n"
+      "  --scale-small N    divisor for hepth  [8]\n"
+      "  --epochs N         training epochs  [2]\n"
+      "  --frame-size N     sliding-window size  [8]\n"
+      "  --frames N         max frames per epoch, 0 = all  [4]\n"
+      "  --threads N        PiPAD host-prep worker lanes, 0 = default  [0]\n"
+      "  --seed N           dataset + model RNG seed  [2023]\n"
+      "  --out FILE         trace: write the PiPAD timeline as CSV\n"
+      "  --help             print this text\n";
+}
+
+ParseResult parse_args(const std::vector<std::string>& args) {
+  ParseResult res;
+  Options& o = res.options;
+
+  if (args.empty()) {
+    res.error = "missing subcommand (train | bench | trace)";
+    return res;
+  }
+
+  std::size_t i = 0;
+  const std::string& cmd = args[i];
+  if (cmd == "train") {
+    o.command = Command::Train;
+  } else if (cmd == "bench") {
+    o.command = Command::Bench;
+  } else if (cmd == "trace") {
+    o.command = Command::Trace;
+  } else if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    o.command = Command::Help;
+    res.ok = true;
+    return res;
+  } else {
+    res.error = "unknown subcommand '" + cmd + "'";
+    return res;
+  }
+  ++i;
+
+  for (; i < args.size(); ++i) {
+    std::string flag = args[i];
+    std::string value;
+    bool has_value = false;
+    const auto eq = flag.find('=');
+    if (eq != std::string::npos) {
+      value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+      has_value = true;
+    }
+
+    if (flag == "--help" || flag == "-h") {
+      o.command = Command::Help;
+      res.ok = true;
+      return res;
+    }
+
+    // Every remaining flag takes a value.
+    if (!has_value) {
+      if (i + 1 >= args.size()) {
+        res.error = "flag " + flag + " expects a value";
+        return res;
+      }
+      value = args[++i];
+    }
+
+    long long n = 0;
+    if (flag == "--model") {
+      if (!is_one_of(value, kModels, std::size(kModels))) {
+        res.error = "unknown model '" + value +
+                    "' (expected gcn | tgcn | evolvegcn | mpnn-lstm)";
+        return res;
+      }
+      o.model = value;
+    } else if (flag == "--runtime") {
+      if (!is_one_of(value, kRuntimes, std::size(kRuntimes))) {
+        res.error = "unknown runtime '" + value +
+                    "' (expected pipad | pygt | pygt-a | pygt-r | pygt-g)";
+        return res;
+      }
+      o.runtime = value;
+    } else if (flag == "--dataset") {
+      o.dataset = value;
+    } else if (flag == "--out") {
+      o.out = value;
+    } else if (flag == "--edge-life") {
+      double x = 0.0;
+      if (!parse_f(value, x) || x < 1.0) {
+        res.error = "--edge-life expects a number >= 1, got '" + value + "'";
+        return res;
+      }
+      o.edge_life = x;
+    } else if (flag == "--snapshots" || flag == "--nodes" ||
+               flag == "--events" || flag == "--feat-dim" ||
+               flag == "--scale-large" || flag == "--scale-small" ||
+               flag == "--epochs" || flag == "--frame-size" ||
+               flag == "--frames" || flag == "--threads" ||
+               flag == "--seed") {
+      if (!parse_ll(value, n) || n < 0) {
+        res.error = flag + " expects a non-negative integer, got '" + value +
+                    "'";
+        return res;
+      }
+      // Everything except --events and --seed lands in an int.
+      if (flag != "--events" && flag != "--seed" && n > INT_MAX) {
+        res.error = flag + " value " + value + " is out of range";
+        return res;
+      }
+      if (flag == "--snapshots") o.snapshots = static_cast<int>(n);
+      else if (flag == "--nodes") o.nodes = static_cast<int>(n);
+      else if (flag == "--events") o.events = n;
+      else if (flag == "--feat-dim") o.feat_dim = static_cast<int>(n);
+      else if (flag == "--scale-large") o.scale_large = static_cast<int>(n);
+      else if (flag == "--scale-small") o.scale_small = static_cast<int>(n);
+      else if (flag == "--epochs") o.epochs = static_cast<int>(n);
+      else if (flag == "--frame-size") o.frame_size = static_cast<int>(n);
+      else if (flag == "--frames") o.frames = static_cast<int>(n);
+      else if (flag == "--threads") o.threads = static_cast<int>(n);
+      else o.seed = static_cast<std::uint64_t>(n);
+    } else {
+      res.error = "unknown flag '" + flag + "'";
+      return res;
+    }
+  }
+
+  if (o.nodes <= 0 || o.epochs <= 0 || o.frame_size <= 0 ||
+      o.feat_dim <= 0 || o.events <= 0) {
+    res.error =
+        "--nodes, --events, --feat-dim, --epochs and --frame-size must be "
+        "positive";
+    return res;
+  }
+  if (o.scale_large <= 0 || o.scale_small <= 0) {
+    res.error = "--scale-large and --scale-small must be positive";
+    return res;
+  }
+
+  res.ok = true;
+  return res;
+}
+
+int run(const Options& opts) {
+  switch (opts.command) {
+    case Command::Help:
+      std::printf("%s", usage().c_str());
+      return 0;
+    case Command::Train:
+      return cmd_train(opts);
+    case Command::Bench:
+      return cmd_bench(opts);
+    case Command::Trace:
+      return cmd_trace(opts);
+  }
+  return 2;
+}
+
+int main_impl(int argc, const char* const* argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const ParseResult parsed = parse_args(args);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "pipad: %s\n\n%s", parsed.error.c_str(),
+                 usage().c_str());
+    return 2;
+  }
+  try {
+    return run(parsed.options);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "pipad: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace pipad::cli

@@ -1,0 +1,67 @@
+// Unified command-line driver: every scenario the examples hard-code,
+// reachable from one production-style entry point.
+//
+//   pipad train --model tgcn --dataset epinions --runtime pipad
+//   pipad bench --model mpnn-lstm --snapshots 24
+//   pipad trace --dataset epinions --out trace.csv
+//
+// Parsing and execution are separated (and main()-free) so the gtest suite
+// can exercise both without spawning processes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipad::cli {
+
+enum class Command { Train, Bench, Trace, Help };
+
+struct Options {
+  Command command = Command::Help;
+
+  // What to train.
+  std::string model = "tgcn";       ///< gcn | tgcn | evolvegcn | mpnn-lstm.
+  std::string runtime = "pipad";    ///< pipad | pygt | pygt-a | pygt-r | pygt-g.
+
+  // Dataset: one of the seven Table-1 names, or "synthetic" (generated from
+  // the --nodes/--events/--feat-dim/--edge-life knobs below).
+  std::string dataset = "synthetic";
+  int snapshots = 0;        ///< >0 overrides the dataset's snapshot count.
+  int nodes = 2000;         ///< Synthetic vertex count.
+  long long events = 40000; ///< Synthetic distinct temporal edges.
+  int feat_dim = 2;         ///< Synthetic feature dimension.
+  double edge_life = 8.0;   ///< Synthetic mean snapshots an edge stays alive.
+  int scale_large = 256;    ///< Divisor for the four large named graphs.
+  int scale_small = 8;      ///< Divisor for HepTh.
+
+  // Training loop.
+  int epochs = 2;
+  int frame_size = 8;
+  int frames = 4;           ///< Max frames per epoch (0 = every frame).
+  int threads = 0;          ///< Host-prep worker lanes for the PiPAD runtime
+                            ///< (0 = library default).
+  std::uint64_t seed = 2023;
+
+  std::string out;          ///< `trace`: CSV output path (empty = stdout only).
+};
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;  ///< Set when !ok (empty for a clean --help).
+  Options options;
+};
+
+/// Parse arguments (program name excluded). Pure: no I/O, never exits.
+ParseResult parse_args(const std::vector<std::string>& args);
+
+/// The --help text.
+std::string usage();
+
+/// Execute a parsed command. Returns the process exit code.
+int run(const Options& opts);
+
+/// parse + report errors + run — the whole of main().
+int main_impl(int argc, const char* const* argv);
+
+}  // namespace pipad::cli

@@ -1,0 +1,3 @@
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) { return pipad::cli::main_impl(argc, argv); }

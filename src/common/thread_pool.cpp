@@ -42,18 +42,21 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   // Chunked static partition; the chunk count tracks pool width to bound
-  // scheduling overhead on small n.
+  // scheduling overhead on small n. The first n % chunks chunks take one
+  // extra element, so every chunk is non-empty and the sizes are exact —
+  // no empty trailing chunks to skip.
   const std::size_t chunks = std::min(n, workers_.size() * 4);
-  const std::size_t per = (n + chunks - 1) / chunks;
+  const std::size_t per = n / chunks;
+  const std::size_t extra = n % chunks;
   std::vector<std::future<void>> futs;
   futs.reserve(chunks);
+  std::size_t lo = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = c * per;
-    const std::size_t hi = std::min(n, lo + per);
-    if (lo >= hi) break;
+    const std::size_t hi = lo + per + (c < extra ? 1 : 0);
     futs.push_back(submit([lo, hi, &fn] {
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
+    lo = hi;
   }
   for (auto& f : futs) f.get();
 }

@@ -1,4 +1,5 @@
-// GCN layer over a frame of snapshots (Eq. 1 with mean aggregation).
+// GCN layer over a frame of snapshots (Eq. 1 with mean aggregation), plus a
+// standalone snapshot-wise GCN model.
 //
 // forward:  out_t = act( (A_t x_t + x_t)/(deg_t+1) * W + b )
 // The aggregation and update are delegated to the FrameExecutor so the same
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "models/executor.hpp"
+#include "models/model.hpp"
 #include "nn/linear.hpp"
 
 namespace pipad::models {
@@ -42,6 +44,30 @@ class GcnLayer {
  private:
   nn::Linear lin_;
   bool relu_ = true;
+};
+
+/// Standalone 2-layer GCN (Eq. 1): every snapshot is embedded and regressed
+/// independently — MPNN-LSTM's GNN portion without the recurrent chain. All
+/// work is snapshot-parallel, which makes it the purest stress test of the
+/// parallel multi-snapshot aggregation path (§4.2).
+class Gcn final : public DgnnModel {
+ public:
+  Gcn(int in_dim, int hidden_dim, Rng& rng);
+
+  std::string name() const override { return "GCN"; }
+  float train_frame(FrameExecutor& ex, const std::vector<const Tensor*>& xs,
+                    const std::vector<const Tensor*>& targets) override;
+  float eval_frame(FrameExecutor& ex, const std::vector<const Tensor*>& xs,
+                   const std::vector<const Tensor*>& targets) override;
+  std::vector<nn::Parameter*> params() override;
+  int num_agg_layers() const override { return 2; }
+
+ private:
+  float run_frame(FrameExecutor& ex, const std::vector<const Tensor*>& xs,
+                  const std::vector<const Tensor*>& targets, bool train);
+
+  GcnLayer gcn1_, gcn2_;
+  nn::Linear head_;
 };
 
 }  // namespace pipad::models

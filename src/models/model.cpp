@@ -1,9 +1,12 @@
 #include "models/model.hpp"
 
 #include "common/error.hpp"
+#include "kernels/stats_builders.hpp"
 #include "models/evolvegcn.hpp"
+#include "models/gcn.hpp"
 #include "models/mpnn_lstm.hpp"
 #include "models/tgcn.hpp"
+#include "tensor/ops.hpp"
 
 namespace pipad::models {
 
@@ -15,6 +18,8 @@ const char* model_type_name(ModelType t) {
       return "EvolveGCN";
     case ModelType::TGcn:
       return "T-GCN";
+    case ModelType::Gcn:
+      return "GCN";
   }
   return "?";
 }
@@ -28,8 +33,33 @@ std::unique_ptr<DgnnModel> make_model(ModelType type, int in_dim,
       return std::make_unique<EvolveGcn>(in_dim, hidden_dim, rng);
     case ModelType::TGcn:
       return std::make_unique<TGcn>(in_dim, hidden_dim, rng);
+    case ModelType::Gcn:
+      return std::make_unique<Gcn>(in_dim, hidden_dim, rng);
   }
   throw Error("unknown model type");
+}
+
+float frame_mse_loss(const std::vector<Tensor>& preds,
+                     const std::vector<const Tensor*>& targets, bool train,
+                     std::vector<Tensor>& d_preds,
+                     kernels::KernelRecorder* rec) {
+  PIPAD_CHECK(preds.size() == targets.size() && !preds.empty());
+  const int T = static_cast<int>(preds.size());
+  d_preds.assign(T, Tensor());
+  float loss = 0.0f;
+  for (int t = 0; t < T; ++t) {
+    Tensor g;
+    loss += ops::mse_loss(preds[t], *targets[t], train ? &g : nullptr);
+    if (train) {
+      ops::scale_inplace(g, 1.0f / static_cast<float>(T));
+      d_preds[t] = std::move(g);
+    }
+    if (rec != nullptr) {
+      rec->record("ew:loss",
+                  kernels::elementwise_stats(preds[t].size(), 2, 3));
+    }
+  }
+  return loss / static_cast<float>(T);
 }
 
 }  // namespace pipad::models

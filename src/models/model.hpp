@@ -46,7 +46,7 @@ class DgnnModel {
   virtual int num_agg_layers() const = 0;
 };
 
-enum class ModelType { MpnnLstm, EvolveGcn, TGcn };
+enum class ModelType { MpnnLstm, EvolveGcn, TGcn, Gcn };
 
 const char* model_type_name(ModelType t);
 
@@ -57,5 +57,14 @@ std::unique_ptr<DgnnModel> make_model(ModelType type, int in_dim,
 
 /// The paper's hidden-size rule (§5.1): D=2 -> hidden 6, D=16 -> hidden 32.
 inline int default_hidden_dim(int in_dim) { return in_dim <= 2 ? 6 : 32; }
+
+/// Mean-MSE regression loss over a frame's per-snapshot predictions — the
+/// head-loss every DGNN shares. When `train`, fills `d_preds` with the
+/// 1/T-scaled gradients; records one ew:loss kernel per snapshot on `rec`
+/// (nullptr = no recording).
+float frame_mse_loss(const std::vector<Tensor>& preds,
+                     const std::vector<const Tensor*>& targets, bool train,
+                     std::vector<Tensor>& d_preds,
+                     kernels::KernelRecorder* rec);
 
 }  // namespace pipad::models

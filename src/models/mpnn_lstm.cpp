@@ -29,7 +29,6 @@ float MpnnLstm::run_frame(FrameExecutor& ex,
                           const std::vector<const Tensor*>& targets,
                           bool train) {
   PIPAD_CHECK(xs.size() == targets.size() && !xs.empty());
-  const int T = static_cast<int>(xs.size());
 
   // ---- GNN portion (snapshot-parallel) ----
   GcnLayer::Cache c1, c2;
@@ -53,21 +52,9 @@ float MpnnLstm::run_frame(FrameExecutor& ex,
   for (const auto& t : h2) h2p.push_back(&t);
   std::vector<Tensor> preds = ex.update(h2p, head_, "head.fc");
 
-  float loss = 0.0f;
-  std::vector<Tensor> d_preds(T);
-  for (int t = 0; t < T; ++t) {
-    Tensor g;
-    loss += ops::mse_loss(preds[t], *targets[t], train ? &g : nullptr);
-    if (train) {
-      ops::scale_inplace(g, 1.0f / static_cast<float>(T));
-      d_preds[t] = std::move(g);
-    }
-    if (ex.recorder() != nullptr) {
-      ex.recorder()->record(
-          "ew:loss", kernels::elementwise_stats(preds[t].size(), 2, 3));
-    }
-  }
-  loss /= static_cast<float>(T);
+  std::vector<Tensor> d_preds;
+  const float loss =
+      frame_mse_loss(preds, targets, train, d_preds, ex.recorder());
   if (!train) return loss;
 
   // ---- Backward ----

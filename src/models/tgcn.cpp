@@ -117,19 +117,8 @@ float TGcn::run_frame(FrameExecutor& ex, const std::vector<const Tensor*>& xs,
   for (const auto& t : hs) hsp.push_back(&t);
   std::vector<Tensor> preds = ex.update(hsp, head_, "head.fc");
 
-  float loss = 0.0f;
-  std::vector<Tensor> d_preds(T);
-  for (int t = 0; t < T; ++t) {
-    Tensor g;
-    loss += ops::mse_loss(preds[t], *targets[t], train ? &g : nullptr);
-    if (train) {
-      ops::scale_inplace(g, 1.0f / static_cast<float>(T));
-      d_preds[t] = std::move(g);
-    }
-    record(rec, "ew:loss",
-           kernels::elementwise_stats(preds[t].size(), 2, 3));
-  }
-  loss /= static_cast<float>(T);
+  std::vector<Tensor> d_preds;
+  const float loss = frame_mse_loss(preds, targets, train, d_preds, rec);
   if (!train) return loss;
 
   // ---- Backward ----

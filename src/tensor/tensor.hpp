@@ -76,7 +76,15 @@ class Tensor {
   }
 
   std::string shape_str() const {
-    return "[" + std::to_string(rows_) + "x" + std::to_string(cols_) + "]";
+    // Built with append() rather than operator+ chains: GCC 12's -Wrestrict
+    // fires a false positive on `const char* + std::string&&` at -O2
+    // (GCC PR 105651), which -Werror turns fatal.
+    std::string s = "[";
+    s += std::to_string(rows_);
+    s += 'x';
+    s += std::to_string(cols_);
+    s += ']';
+    return s;
   }
 
  private:

@@ -1,0 +1,206 @@
+// cli/ tests: argument parsing for the unified `pipad` driver, plus an
+// in-process end-to-end run of each subcommand on a tiny synthetic graph.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+namespace pipad::cli {
+namespace {
+
+ParseResult parse(std::initializer_list<const char*> args) {
+  return parse_args(std::vector<std::string>(args.begin(), args.end()));
+}
+
+TEST(CliParse, MissingSubcommandIsAnError) {
+  const auto r = parse({});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("subcommand"), std::string::npos);
+}
+
+TEST(CliParse, UnknownSubcommandIsAnError) {
+  const auto r = parse({"tarin"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("tarin"), std::string::npos);
+}
+
+TEST(CliParse, DefaultsAreApplied) {
+  const auto r = parse({"train"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.command, Command::Train);
+  EXPECT_EQ(r.options.model, "tgcn");
+  EXPECT_EQ(r.options.runtime, "pipad");
+  EXPECT_EQ(r.options.dataset, "synthetic");
+  EXPECT_EQ(r.options.snapshots, 0);
+  EXPECT_EQ(r.options.threads, 0);
+}
+
+TEST(CliParse, AllSubcommandsRecognized) {
+  EXPECT_EQ(parse({"train"}).options.command, Command::Train);
+  EXPECT_EQ(parse({"bench"}).options.command, Command::Bench);
+  EXPECT_EQ(parse({"trace"}).options.command, Command::Trace);
+  EXPECT_EQ(parse({"help"}).options.command, Command::Help);
+}
+
+TEST(CliParse, SpaceAndEqualsFormsBothWork) {
+  const auto a = parse({"train", "--model", "mpnn-lstm", "--snapshots", "4"});
+  ASSERT_TRUE(a.ok) << a.error;
+  EXPECT_EQ(a.options.model, "mpnn-lstm");
+  EXPECT_EQ(a.options.snapshots, 4);
+
+  const auto b = parse({"train", "--model=mpnn-lstm", "--snapshots=4"});
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(b.options.model, "mpnn-lstm");
+  EXPECT_EQ(b.options.snapshots, 4);
+}
+
+TEST(CliParse, EveryModelNameIsAccepted) {
+  for (const char* m : {"gcn", "tgcn", "evolvegcn", "mpnn-lstm"}) {
+    const auto r = parse({"train", "--model", m});
+    EXPECT_TRUE(r.ok) << m << ": " << r.error;
+    EXPECT_EQ(r.options.model, m);
+  }
+}
+
+TEST(CliParse, EveryRuntimeNameIsAccepted) {
+  for (const char* rt : {"pipad", "pygt", "pygt-a", "pygt-r", "pygt-g"}) {
+    const auto r = parse({"train", "--runtime", rt});
+    EXPECT_TRUE(r.ok) << rt << ": " << r.error;
+    EXPECT_EQ(r.options.runtime, rt);
+  }
+}
+
+TEST(CliParse, UnknownModelIsAnError) {
+  const auto r = parse({"train", "--model", "transformer"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("transformer"), std::string::npos);
+}
+
+TEST(CliParse, UnknownRuntimeIsAnError) {
+  EXPECT_FALSE(parse({"train", "--runtime", "cuda"}).ok);
+}
+
+TEST(CliParse, UnknownFlagIsAnError) {
+  const auto r = parse({"train", "--modle", "tgcn"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--modle"), std::string::npos);
+}
+
+TEST(CliParse, MissingValueIsAnError) {
+  const auto r = parse({"train", "--snapshots"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--snapshots"), std::string::npos);
+}
+
+TEST(CliParse, NonNumericValueIsAnError) {
+  EXPECT_FALSE(parse({"train", "--snapshots", "many"}).ok);
+  EXPECT_FALSE(parse({"train", "--epochs", "2.5"}).ok);
+  EXPECT_FALSE(parse({"train", "--nodes", "-5"}).ok);
+}
+
+TEST(CliParse, NumericFlagsLand) {
+  const auto r = parse({"bench", "--nodes=300", "--events=2000",
+                        "--feat-dim=16", "--epochs=1", "--frame-size=4",
+                        "--frames=2", "--threads=8", "--seed=42",
+                        "--edge-life=4.5", "--scale-large=64",
+                        "--scale-small=4"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.nodes, 300);
+  EXPECT_EQ(r.options.events, 2000);
+  EXPECT_EQ(r.options.feat_dim, 16);
+  EXPECT_EQ(r.options.epochs, 1);
+  EXPECT_EQ(r.options.frame_size, 4);
+  EXPECT_EQ(r.options.frames, 2);
+  EXPECT_EQ(r.options.threads, 8);
+  EXPECT_EQ(r.options.seed, 42u);
+  EXPECT_DOUBLE_EQ(r.options.edge_life, 4.5);
+  EXPECT_EQ(r.options.scale_large, 64);
+  EXPECT_EQ(r.options.scale_small, 4);
+}
+
+TEST(CliParse, HelpShortCircuits) {
+  const auto r = parse({"train", "--help"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.options.command, Command::Help);
+}
+
+TEST(CliParse, ZeroEpochsRejected) {
+  EXPECT_FALSE(parse({"train", "--epochs", "0"}).ok);
+}
+
+TEST(CliParse, ZeroFeatDimAndScalesRejected) {
+  EXPECT_FALSE(parse({"train", "--feat-dim", "0"}).ok);
+  EXPECT_FALSE(parse({"train", "--scale-large", "0"}).ok);
+  EXPECT_FALSE(parse({"train", "--scale-small", "0"}).ok);
+}
+
+TEST(CliParse, IntOverflowRejectedInsteadOfWrapping) {
+  // 2^32 + 4 would silently truncate to 4 under a bare static_cast<int>.
+  const auto r = parse({"train", "--snapshots", "4294967300"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--snapshots"), std::string::npos);
+  // Beyond long long entirely.
+  EXPECT_FALSE(parse({"train", "--events", "99999999999999999999"}).ok);
+  // 64-bit flags still take values past INT_MAX.
+  const auto ok = parse({"train", "--seed", "4294967300"});
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.options.seed, 4294967300u);
+}
+
+TEST(CliUsage, MentionsEverySubcommandAndModel) {
+  const std::string u = usage();
+  for (const char* s : {"train", "bench", "trace", "gcn", "tgcn", "evolvegcn",
+                        "mpnn-lstm", "--snapshots", "--threads"}) {
+    EXPECT_NE(u.find(s), std::string::npos) << s;
+  }
+}
+
+// ---- end-to-end: run() on a tiny synthetic dataset, in process ----
+
+Options tiny(Command cmd) {
+  Options o;
+  o.command = cmd;
+  o.nodes = 200;
+  o.events = 1500;
+  o.snapshots = 4;
+  o.frame_size = 4;
+  o.epochs = 1;
+  o.frames = 2;
+  return o;
+}
+
+TEST(CliRun, TrainEveryModelUnderPipad) {
+  for (const char* m : {"gcn", "tgcn", "evolvegcn", "mpnn-lstm"}) {
+    Options o = tiny(Command::Train);
+    o.model = m;
+    EXPECT_EQ(run(o), 0) << m;
+  }
+}
+
+TEST(CliRun, TrainUnderBaselineRuntime) {
+  Options o = tiny(Command::Train);
+  o.runtime = "pygt-r";
+  EXPECT_EQ(run(o), 0);
+}
+
+TEST(CliRun, BenchCompletes) {
+  Options o = tiny(Command::Bench);
+  EXPECT_EQ(run(o), 0);
+}
+
+TEST(CliRun, UnknownDatasetFailsCleanly) {
+  const char* argv[] = {"pipad", "train", "--dataset", "no-such-graph",
+                        "--nodes", "200"};
+  // run() throws pipad::Error; main_impl converts it to exit code 1.
+  EXPECT_EQ(main_impl(6, argv), 1);
+}
+
+TEST(CliRun, MainImplReportsParseErrorsWithExitCode2) {
+  const char* argv[] = {"pipad", "launch"};
+  EXPECT_EQ(main_impl(2, argv), 2);
+}
+
+}  // namespace
+}  // namespace pipad::cli

@@ -113,6 +113,41 @@ TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, ParallelForSmallerThanPoolCoversRangeExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  std::atomic<std::size_t> seen{99};
+  pool.parallel_for(1, [&](std::size_t i) {
+    hits.fetch_add(1);
+    seen.store(i);
+  });
+  EXPECT_EQ(hits.load(), 1);
+  EXPECT_EQ(seen.load(), 0u);
+}
+
+TEST(ThreadPool, ParallelForZeroIsANoOp) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForUnevenSplitCoversRangeExactlyOnce) {
+  // n chosen so n % chunks != 0 for a 4-wide pool (chunks = 16): the
+  // remainder must be spread over the leading chunks, not dropped.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(19);
+  pool.parallel_for(19, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, PropagatesReturnValues) {
   ThreadPool pool(2);
   auto f = pool.submit([] { return 42; });
@@ -136,8 +171,10 @@ TEST(Errors, OomIsAnError) {
 
 TEST(Timer, MeasuresElapsedTime) {
   Timer t;
+  // Compound assignment on a volatile lvalue is deprecated in C++20
+  // (-Wvolatile); split the read and the write to keep -Werror clean.
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GT(t.elapsed_us(), 0.0);
   (void)sink;
 }

@@ -104,7 +104,7 @@ TEST_P(ModelTrains, NumericalGradientSpotCheck) {
 INSTANTIATE_TEST_SUITE_P(AllModels, ModelTrains,
                          ::testing::Values(ModelType::MpnnLstm,
                                            ModelType::EvolveGcn,
-                                           ModelType::TGcn),
+                                           ModelType::TGcn, ModelType::Gcn),
                          [](const auto& info) {
                            std::string n = models::model_type_name(info.param);
                            for (auto& c : n) {
@@ -121,6 +121,8 @@ TEST(ModelStructure, AggLayerCounts) {
                 ->num_agg_layers(), 2);
   EXPECT_EQ(models::make_model(ModelType::TGcn, 2, 4, rng)->num_agg_layers(),
             1);
+  EXPECT_EQ(models::make_model(ModelType::Gcn, 2, 4, rng)->num_agg_layers(),
+            2);
 }
 
 TEST(ModelStructure, OnlyEvolveGcnEvolvesWeights) {
@@ -131,6 +133,8 @@ TEST(ModelStructure, OnlyEvolveGcnEvolvesWeights) {
       models::make_model(ModelType::EvolveGcn, 2, 4, rng)->weights_evolve());
   EXPECT_FALSE(
       models::make_model(ModelType::TGcn, 2, 4, rng)->weights_evolve());
+  EXPECT_FALSE(
+      models::make_model(ModelType::Gcn, 2, 4, rng)->weights_evolve());
 }
 
 TEST(ModelStructure, HiddenDimRuleMatchesPaper) {
