@@ -1,5 +1,5 @@
 // Shared benchmark scaffolding: flag parsing, dataset caching, method
-// runners and table printing.
+// runners, table printing and the bench-to-JSON harness.
 //
 // Every bench binary accepts:
 //   --scale-large=N   divisor for the four large graphs   (default 256)
@@ -8,12 +8,22 @@
 //   --frames=N        max frames per epoch                 (default 4)
 //   --frame-size=N    sliding-window size                  (default 8;
 //                     paper uses 16 — raise for fidelity, costs runtime)
+//   --threads=N       host-prep worker threads, 0 = auto   (default 0)
 //   --datasets=a,b    comma-separated subset               (default all 7)
-// Defaults are sized for a single-core CI run; the *shape* of each figure
-// is stable across scales because it derives from the analytic cost model.
+//   --json=FILE       write per-run records to FILE as JSON (wired into
+//                     fig10_end2end and ablation_sper; other binaries
+//                     accept but ignore it until they adopt JsonReport)
+// Unknown flags and non-positive scales are rejected with a usage message
+// (exit code 2), mirroring the CLI driver. Defaults are sized for a
+// single-core CI run; the *shape* of each figure is stable across scales
+// because it derives from the analytic cost model.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,6 +32,7 @@
 #include "baselines/baseline_trainer.hpp"
 #include "common/util.hpp"
 #include "graph/generator.hpp"
+#include "host/host_lane.hpp"
 #include "pipad/pipad_trainer.hpp"
 
 namespace pipad::bench {
@@ -32,31 +43,83 @@ struct Flags {
   int epochs = 2;
   int frames = 4;
   int frame_size = 8;
+  int threads = 0;  ///< Host-prep worker threads (0 = HostLane default).
   std::vector<std::string> datasets;
+  std::string json;  ///< Non-empty: write run records to this file.
 
+  static std::string usage(const char* prog) {
+    std::string p = prog != nullptr ? prog : "bench";
+    return "usage: " + p +
+           " [--scale-large=N] [--scale-small=N] [--epochs=N] [--frames=N]"
+           " [--frame-size=N]\n        [--threads=N] [--datasets=a,b,...]"
+           " [--json=FILE]\n"
+           "  --scale-large / --scale-small / --epochs / --frame-size"
+           " must be >= 1,\n"
+           "  --frames / --threads must be >= 0,\n"
+           "  --datasets names must come from the Table-1 set.\n";
+  }
+
+  /// Strict parse: unknown flags, malformed numbers, out-of-range values
+  /// and unknown dataset names all print a usage message and exit(2), like
+  /// the `pipad` CLI. Never returns on error.
   static Flags parse(int argc, char** argv) {
     Flags f;
+    const auto die = [&](const std::string& msg) {
+      std::fprintf(stderr, "%s: %s\n\n%s", argv[0], msg.c_str(),
+                   usage(argv[0]).c_str());
+      std::exit(2);
+    };
+    const auto parse_int = [&](const char* flag, const char* v, int min) {
+      char* end = nullptr;
+      errno = 0;
+      const long n = std::strtol(v, &end, 10);
+      if (*v == '\0' || end == nullptr || *end != '\0' || errno == ERANGE ||
+          n < min || n > 1000000000L) {
+        die(std::string(flag) + " expects an integer >= " +
+            std::to_string(min) + ", got '" + v + "'");
+      }
+      return static_cast<int>(n);
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      auto val = [&](const char* key) -> const char* {
-        const std::string prefix = std::string(key) + "=";
-        return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size()
-                                         : nullptr;
-      };
-      if (const char* v = val("--scale-large")) f.scale_large = std::atoi(v);
-      if (const char* v = val("--scale-small")) f.scale_small = std::atoi(v);
-      if (const char* v = val("--epochs")) f.epochs = std::atoi(v);
-      if (const char* v = val("--frames")) f.frames = std::atoi(v);
-      if (const char* v = val("--frame-size")) f.frame_size = std::atoi(v);
-      if (const char* v = val("--datasets")) {
-        std::string s = v;
+      const auto eq = arg.find('=');
+      if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+        die("unknown argument '" + arg + "' (flags are --name=value)");
+      }
+      const std::string key = arg.substr(0, eq);
+      const std::string value = arg.substr(eq + 1);
+      if (key == "--scale-large") {
+        f.scale_large = parse_int("--scale-large", value.c_str(), 1);
+      } else if (key == "--scale-small") {
+        f.scale_small = parse_int("--scale-small", value.c_str(), 1);
+      } else if (key == "--epochs") {
+        f.epochs = parse_int("--epochs", value.c_str(), 1);
+      } else if (key == "--frames") {
+        f.frames = parse_int("--frames", value.c_str(), 0);
+      } else if (key == "--frame-size") {
+        f.frame_size = parse_int("--frame-size", value.c_str(), 1);
+      } else if (key == "--threads") {
+        f.threads = parse_int("--threads", value.c_str(), 0);
+      } else if (key == "--json") {
+        if (value.empty()) die("--json expects a file path");
+        f.json = value;
+      } else if (key == "--datasets") {
+        if (value.empty()) die("--datasets expects a comma-separated list");
         std::size_t pos = 0;
         while (pos != std::string::npos) {
-          const auto next = s.find(',', pos);
-          f.datasets.push_back(s.substr(
-              pos, next == std::string::npos ? next : next - pos));
+          const auto next = value.find(',', pos);
+          const std::string name = value.substr(
+              pos, next == std::string::npos ? next : next - pos);
+          bool known = false;
+          for (const auto& c : graph::evaluation_datasets()) {
+            if (c.name == name) known = true;
+          }
+          if (!known) die("unknown dataset '" + name + "'");
+          f.datasets.push_back(name);
           pos = next == std::string::npos ? next : next + 1;
         }
+      } else {
+        die("unknown flag '" + key + "'");
       }
     }
     return f;
@@ -75,20 +138,34 @@ struct Flags {
   }
 };
 
-/// Dataset generation is the slow part; cache per process.
+/// PiPAD runtime options derived from the shared flags.
+inline runtime::PipadOptions pipad_options(const Flags& f) {
+  runtime::PipadOptions o;
+  o.host_threads = f.threads;
+  return o;
+}
+
+/// Dataset generation is the slow part; cache per process and build each
+/// snapshot on the pool. Pass Flags::threads so --threads=N governs
+/// generation too (0 = library default).
 class DatasetCache {
  public:
+  explicit DatasetCache(int threads = 0)
+      : pool_(threads > 0 ? static_cast<std::size_t>(threads)
+                          : host::default_prep_threads()) {}
+
   const graph::DTDG& get(const graph::DatasetConfig& cfg) {
     auto it = cache_.find(cfg.name);
     if (it == cache_.end()) {
       std::fprintf(stderr, "[bench] generating %s ...\n", cfg.name.c_str());
-      it = cache_.emplace(cfg.name, graph::generate(cfg)).first;
+      it = cache_.emplace(cfg.name, graph::generate(cfg, &pool_)).first;
     }
     return it->second;
   }
 
  private:
   std::map<std::string, graph::DTDG> cache_;
+  ThreadPool pool_;
 };
 
 inline models::TrainConfig train_config(const Flags& f, models::ModelType m) {
@@ -170,5 +247,79 @@ inline std::string short_name(const std::string& dataset) {
   if (dataset == "pems08") return "PE";
   return dataset;
 }
+
+/// Bench-to-JSON harness: collects one record per (dataset, model, method)
+/// run and writes them as a stable JSON document so the perf trajectory can
+/// be diffed across commits (BENCH_*.json baselines, CI artifacts).
+class JsonReport {
+ public:
+  JsonReport(std::string bench, const Flags& flags)
+      : bench_(std::move(bench)), flags_(flags) {}
+
+  void add(const std::string& dataset, const std::string& model,
+           const std::string& method, const models::TrainResult& r) {
+    rows_.push_back(Row{dataset, model, method, r.total_us,
+                        r.total_us / flags_.epochs, r.transfer_us,
+                        r.compute_us, r.prep_us, r.sm_utilization,
+                        r.final_loss()});
+  }
+
+  bool empty() const { return rows_.empty(); }
+
+  /// Write the collected records; returns false (with a message on stderr)
+  /// when the file cannot be opened.
+  bool write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "[bench] cannot open %s for writing\n",
+                   path.c_str());
+      return false;
+    }
+    os << "{\n  \"bench\": \"" << bench_ << "\",\n"
+       << "  \"flags\": {\"scale_large\": " << flags_.scale_large
+       << ", \"scale_small\": " << flags_.scale_small
+       << ", \"epochs\": " << flags_.epochs
+       << ", \"frames\": " << flags_.frames
+       << ", \"frame_size\": " << flags_.frame_size
+       << ", \"threads\": " << flags_.threads << "},\n"
+       << "  \"records\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"dataset\": \"%s\", \"model\": \"%s\", "
+                    "\"method\": \"%s\", \"epoch_us\": %.1f, "
+                    "\"total_us\": %.1f, \"transfer_us\": %.1f, "
+                    "\"compute_us\": %.1f, \"prep_us\": %.1f, "
+                    "\"sm_util\": %.4f, \"final_loss\": %.6f}%s\n",
+                    r.dataset.c_str(), r.model.c_str(), r.method.c_str(),
+                    r.epoch_us, r.total_us, r.transfer_us, r.compute_us,
+                    r.prep_us, r.sm_util, r.final_loss,
+                    i + 1 < rows_.size() ? "," : "");
+      os << buf;
+    }
+    os << "  ]\n}\n";
+    return static_cast<bool>(os);
+  }
+
+  /// Write when --json was given; prints a confirmation line.
+  bool write_if_requested() const {
+    if (flags_.json.empty()) return true;
+    if (!write(flags_.json)) return false;
+    std::printf("\n[bench] %zu records written to %s\n", rows_.size(),
+                flags_.json.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string dataset, model, method;
+    double total_us, epoch_us, transfer_us, compute_us, prep_us, sm_util,
+        final_loss;
+  };
+  std::string bench_;
+  Flags flags_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace pipad::bench

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "gpusim/trace.hpp"
 #include "graph/generator.hpp"
+#include "host/host_lane.hpp"
 #include "models/training.hpp"
 #include "pipad/pipad_trainer.hpp"
 
@@ -76,7 +77,11 @@ graph::DTDG build_dataset(const Options& o) {
     cfg = graph::dataset_by_name(o.dataset, o.scale_large, o.scale_small);
     if (o.snapshots > 0) cfg.num_snapshots = o.snapshots;
   }
-  return graph::generate(cfg);
+  // Snapshot construction parallelizes on the same thread budget the
+  // trainer's host prep will use (deterministic for any size).
+  ThreadPool pool(o.threads > 0 ? static_cast<std::size_t>(o.threads)
+                                : host::default_prep_threads());
+  return graph::generate(cfg, &pool);
 }
 
 models::TrainConfig train_config(const Options& o) {
@@ -91,7 +96,7 @@ models::TrainConfig train_config(const Options& o) {
 
 runtime::PipadOptions pipad_options(const Options& o) {
   runtime::PipadOptions popts;
-  if (o.threads > 0) popts.host_prep_parallelism = o.threads;
+  popts.host_threads = o.threads;  // 0 = HostLane default.
   return popts;
 }
 

@@ -5,26 +5,38 @@
 
 namespace pipad {
 
+namespace {
+thread_local std::size_t tl_worker_index = ThreadPool::npos;
+}  // namespace
+
+std::size_t ThreadPool::worker_index() { return tl_worker_index; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_worker_index = index;
   for (;;) {
     std::function<void()> task;
     {
@@ -58,7 +70,17 @@ void ThreadPool::parallel_for(std::size_t n,
     }));
     lo = hi;
   }
-  for (auto& f : futs) f.get();
+  // Drain every chunk before rethrowing so no chunk is left referencing fn
+  // after this frame unwinds.
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace pipad

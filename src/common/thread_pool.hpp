@@ -2,8 +2,8 @@
 //
 // PiPAD's runtime overlaps CPU-side preparation (graph slicing, overlap
 // extraction, partition assembly) with simulated device work (§4.3). The pool
-// executes that host work for real; simulated time for it is accounted
-// separately on the Timeline's CPU resource.
+// executes that host work for real; host::HostLane measures each job and
+// charges the simulated time to the Timeline worker lane it actually ran on.
 #pragma once
 
 #include <condition_variable>
@@ -28,7 +28,18 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; the returned future yields its result.
+  /// Stop accepting work and join the workers after the queue drains.
+  /// Idempotent; submit() after shutdown() throws.
+  void shutdown();
+
+  /// Index of the pool worker executing the current thread, or npos when
+  /// called from a thread that does not belong to a pool. Jobs use this to
+  /// attribute their measured cost to the correct simulated worker lane.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  static std::size_t worker_index();
+
+  /// Enqueue a task; the returned future yields its result (or rethrows the
+  /// exception the task exited with).
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -44,11 +55,28 @@ class ThreadPool {
     return fut;
   }
 
+  /// Bulk map: enqueue fn(i) for i in [0, n) as n independent tasks and
+  /// return their futures without waiting. The caller decides when (and in
+  /// what order) to harvest results; each future rethrows its task's
+  /// exception.
+  template <typename F>
+  auto map(std::size_t n, F&& fn)
+      -> std::vector<std::future<std::invoke_result_t<F, std::size_t>>> {
+    using R = std::invoke_result_t<F, std::size_t>;
+    std::vector<std::future<R>> futs;
+    futs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futs.push_back(submit([fn, i] { return fn(i); }));
+    }
+    return futs;
+  }
+
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// The first exception thrown by any chunk is rethrown here.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

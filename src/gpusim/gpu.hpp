@@ -112,11 +112,17 @@ class Gpu {
     return timeline_.submit(0, Resource::Cpu, "host:" + name, duration_us);
   }
 
-  /// Host-side work on the background worker lane (PiPAD's async prep).
-  double worker_op(const std::string& name, double duration_us,
-                   double not_before_us = 0.0) {
-    return timeline_.submit(0, Resource::CpuWorker, "prep:" + name,
-                            duration_us, not_before_us);
+  /// Declare how many background worker lanes exist (one per host::HostLane
+  /// pool thread).
+  void set_worker_lanes(std::size_t n) { timeline_.set_worker_lanes(n); }
+
+  /// Host-side work on one background worker lane (PiPAD's async prep).
+  /// The duration is the job's measured wall-clock; the lane is the pool
+  /// thread it actually ran on.
+  double worker_op(std::size_t lane, const std::string& name,
+                   double duration_us, double not_before_us = 0.0) {
+    return timeline_.submit_worker(lane, "prep:" + name, duration_us,
+                                   not_before_us);
   }
 
   EventId record_event(StreamId stream) {

@@ -20,11 +20,24 @@ const char* resource_name(Resource r) {
   return "?";
 }
 
-Timeline::Timeline() { streams_.push_back({"default", 0.0}); }
+Timeline::Timeline()
+    : worker_ready_(1, 0.0), worker_busy_(1, 0.0) {
+  streams_.push_back({"default", 0.0});
+}
 
 StreamId Timeline::create_stream(std::string name) {
   streams_.push_back({std::move(name), 0.0});
   return streams_.size() - 1;
+}
+
+void Timeline::set_worker_lanes(std::size_t n) {
+  PIPAD_CHECK_MSG(n >= 1, "need at least one worker lane");
+  // Grow-only: shrinking would drop accumulated lane busy time and orphan
+  // records whose lane no longer has a Gantt row.
+  if (n > worker_ready_.size()) {
+    worker_ready_.resize(n, 0.0);
+    worker_busy_.resize(n, 0.0);
+  }
 }
 
 double Timeline::submit(StreamId stream, Resource res, std::string name,
@@ -32,6 +45,9 @@ double Timeline::submit(StreamId stream, Resource res, std::string name,
                         std::size_t bytes, const KernelStats* stats) {
   PIPAD_CHECK_MSG(stream < streams_.size(), "unknown stream " << stream);
   PIPAD_CHECK_MSG(duration_us >= 0.0, "negative op duration for " << name);
+  PIPAD_CHECK_MSG(res != Resource::CpuWorker,
+                  "CpuWorker ops are lane-scoped; use submit_worker for "
+                      << name);
   const int ri = static_cast<int>(res);
 
   const double start = std::max(
@@ -55,9 +71,44 @@ double Timeline::submit(StreamId stream, Resource res, std::string name,
   return end;
 }
 
+double Timeline::submit_worker(std::size_t lane, std::string name,
+                               double duration_us, double extra_ready_us) {
+  PIPAD_CHECK_MSG(lane < worker_ready_.size(),
+                  "unknown worker lane " << lane << " (have "
+                                         << worker_ready_.size() << ")");
+  PIPAD_CHECK_MSG(duration_us >= 0.0, "negative op duration for " << name);
+
+  const double start = std::max(worker_ready_[lane], extra_ready_us);
+  const double end = start + duration_us;
+  worker_ready_[lane] = end;
+  worker_busy_[lane] += duration_us;
+  makespan_ = std::max(makespan_, end);
+
+  OpRecord rec;
+  rec.name = std::move(name);
+  rec.resource = Resource::CpuWorker;
+  rec.stream = 0;
+  rec.start_us = start;
+  rec.end_us = end;
+  rec.lane = lane;
+  records_.push_back(std::move(rec));
+  return end;
+}
+
+double Timeline::worker_lane_ready(std::size_t lane) const {
+  PIPAD_CHECK_MSG(lane < worker_ready_.size(), "unknown worker lane " << lane);
+  return worker_ready_[lane];
+}
+
 EventId Timeline::record_event(StreamId stream) {
   PIPAD_CHECK_MSG(stream < streams_.size(), "unknown stream " << stream);
   events_.push_back(streams_[stream].ready_us);
+  return events_.size() - 1;
+}
+
+EventId Timeline::record_event_at(double time_us) {
+  PIPAD_CHECK_MSG(time_us >= 0.0, "negative event time");
+  events_.push_back(time_us);
   return events_.size() - 1;
 }
 
@@ -74,10 +125,18 @@ double Timeline::stream_ready(StreamId stream) const {
 }
 
 double Timeline::resource_ready(Resource res) const {
+  if (res == Resource::CpuWorker) {
+    return *std::max_element(worker_ready_.begin(), worker_ready_.end());
+  }
   return resource_ready_[static_cast<int>(res)];
 }
 
 double Timeline::busy_us(Resource res) const {
+  if (res == Resource::CpuWorker) {
+    double sum = 0.0;
+    for (double b : worker_busy_) sum += b;
+    return sum;
+  }
   return resource_busy_[static_cast<int>(res)];
 }
 
@@ -136,6 +195,8 @@ void Timeline::reset() {
   for (auto& s : streams_) s.ready_us = 0.0;
   std::fill(std::begin(resource_ready_), std::end(resource_ready_), 0.0);
   std::fill(std::begin(resource_busy_), std::end(resource_busy_), 0.0);
+  std::fill(worker_ready_.begin(), worker_ready_.end(), 0.0);
+  std::fill(worker_busy_.begin(), worker_busy_.end(), 0.0);
   events_.clear();
   records_.clear();
   makespan_ = 0.0;

@@ -8,23 +8,52 @@
 namespace pipad::gpusim {
 
 void write_trace_csv(const Timeline& tl, std::ostream& os) {
-  os << "name,resource,stream,start_us,end_us,bytes\n";
+  os << "name,resource,stream,start_us,end_us,bytes,lane\n";
   for (const auto& rec : tl.records()) {
     os << rec.name << ',' << resource_name(rec.resource) << ','
        << rec.stream << ',' << rec.start_us << ',' << rec.end_us << ','
-       << rec.bytes << '\n';
+       << rec.bytes << ',' << rec.lane << '\n';
   }
 }
 
 namespace {
 
-std::vector<char> lane_cells(const Timeline& tl, Resource r, double from,
-                             double to, int width) {
+/// One rendered row of the Gantt chart. For CpuWorker there is a row per
+/// worker lane; every other resource is a single row.
+struct GanttRow {
+  Resource resource;
+  std::size_t lane = 0;
+  std::string label;
+
+  bool matches(const OpRecord& rec) const {
+    return rec.resource == resource &&
+           (resource != Resource::CpuWorker || rec.lane == lane);
+  }
+};
+
+std::vector<GanttRow> gantt_rows(const Timeline& tl) {
+  std::vector<GanttRow> rows;
+  rows.push_back({Resource::Cpu, 0, "cpu"});
+  if (tl.worker_lanes() == 1) {
+    rows.push_back({Resource::CpuWorker, 0, "cpu-worker"});
+  } else {
+    for (std::size_t l = 0; l < tl.worker_lanes(); ++l) {
+      rows.push_back({Resource::CpuWorker, l, "cpu-w" + std::to_string(l)});
+    }
+  }
+  rows.push_back({Resource::H2D, 0, "h2d"});
+  rows.push_back({Resource::D2H, 0, "d2h"});
+  rows.push_back({Resource::Compute, 0, "compute"});
+  return rows;
+}
+
+std::vector<char> lane_cells(const Timeline& tl, const GanttRow& row,
+                             double from, double to, int width) {
   std::vector<char> cells(width, '.');
   const double span = to - from;
   if (span <= 0.0) return cells;
   for (const auto& rec : tl.records()) {
-    if (rec.resource != r) continue;
+    if (!row.matches(rec)) continue;
     const double lo = std::max(rec.start_us, from);
     const double hi = std::min(rec.end_us, to);
     if (hi <= lo) continue;
@@ -46,24 +75,22 @@ std::string render_gantt(const Timeline& tl, const GanttOptions& opts) {
   std::ostringstream os;
   os << "time window [" << opts.from_us << ", " << to << ") us, '"
      << '#' << "' = busy\n";
-  static const Resource lanes[] = {Resource::Cpu, Resource::CpuWorker,
-                                   Resource::H2D, Resource::D2H,
-                                   Resource::Compute};
-  for (Resource r : lanes) {
-    const auto cells = lane_cells(tl, r, opts.from_us, to, opts.width);
+  const auto rows = gantt_rows(tl);
+  for (const auto& row : rows) {
+    const auto cells = lane_cells(tl, row, opts.from_us, to, opts.width);
     os.width(11);
     os << std::left;
-    os << resource_name(r);
+    os << row.label;
     os << ' ';
     os.write(cells.data(), static_cast<std::streamsize>(cells.size()));
     os << '\n';
   }
   if (opts.label_ops) {
-    // Top-3 time consumers per lane, as a legend.
-    for (Resource r : lanes) {
+    // Top-3 time consumers per row, as a legend.
+    for (const auto& row : rows) {
       std::map<std::string, double> by_name;
       for (const auto& rec : tl.records()) {
-        if (rec.resource == r) {
+        if (row.matches(rec)) {
           by_name[rec.name] += rec.end_us - rec.start_us;
         }
       }
@@ -71,7 +98,7 @@ std::string render_gantt(const Timeline& tl, const GanttOptions& opts) {
       for (const auto& [name, us] : by_name) top.emplace_back(us, name);
       std::sort(top.rbegin(), top.rend());
       if (top.empty()) continue;
-      os << resource_name(r) << ':';
+      os << row.label << ':';
       for (std::size_t i = 0; i < std::min<std::size_t>(3, top.size()); ++i) {
         os << ' ' << top[i].second << " (" << top[i].first << " us)";
       }

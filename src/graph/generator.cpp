@@ -70,7 +70,7 @@ struct EdgeEvent {
 
 }  // namespace
 
-DTDG generate(const DatasetConfig& cfg) {
+DTDG generate(const DatasetConfig& cfg, ThreadPool* pool) {
   PIPAD_CHECK(cfg.num_nodes > 0 && cfg.num_snapshots > 0 && cfg.feat_dim > 0);
   Rng rng(cfg.seed);
 
@@ -116,14 +116,45 @@ DTDG generate(const DatasetConfig& cfg) {
   g.num_nodes = n;
   g.feat_dim = cfg.feat_dim;
   g.sim_scale = cfg.sim_scale;
-  g.snapshots.reserve(S);
-  g.targets.reserve(S);
+  g.snapshots.resize(S);
+  g.targets.resize(S);
 
-  // Active multiset keyed by death time: maintain a vector of live events.
+  // ---- Sequential phase: everything that consumes the RNG or the live
+  // sliding window, in the exact order of the serial generator (so the
+  // dataset is identical for any pool size).
   std::vector<const EdgeEvent*> live;
-  std::vector<std::uint64_t> keys;
+  // Parallel builds stage every snapshot's raw keys before fanning out (a
+  // transient ~sum-of-live-edges x 8 B); the serial path reuses one buffer
+  // and builds in-loop, keeping the old memory footprint.
+  std::vector<std::vector<std::uint64_t>> keys_at(pool != nullptr ? S : 0);
+  std::vector<std::uint64_t> keys_buf;
 
-  // ---- Features: temporally correlated random walk with a periodic term ----
+  // Per-snapshot sort/dedup, CSR build, transpose and target computation —
+  // the expensive half; touches only snapshot t's slots and `keys`.
+  const auto build_snapshot = [&](int t, std::vector<std::uint64_t>& keys) {
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    Snapshot& snap = g.snapshots[t];
+    snap.adj = csr_from_sorted_keys(n, n, keys);
+    snap.adj_t = transpose(snap.adj);
+
+    // Target: normalized in-degree blended with the node's mean feature —
+    // depends on both structure and signal, so a DGNN can learn it.
+    const float season =
+        std::sin(2.0f * 3.14159265f * static_cast<float>(t) / 12.0f);
+    Tensor y(n, 1);
+    for (int v = 0; v < n; ++v) {
+      const float deg = static_cast<float>(snap.adj.degree(v));
+      float fmean = 0.0f;
+      for (int d = 0; d < cfg.feat_dim; ++d) fmean += snap.features.at(v, d);
+      fmean /= static_cast<float>(cfg.feat_dim);
+      y.at(v, 0) = 0.5f * std::log1p(deg) + 0.5f * fmean + 0.1f * season;
+    }
+    g.targets[t] = std::move(y);
+  };
+
+  // Features: temporally correlated random walk with a periodic term.
   Tensor feat = Tensor::randn(n, cfg.feat_dim, rng, 1.0f);
 
   for (int t = 0; t < S; ++t) {
@@ -133,15 +164,10 @@ DTDG generate(const DatasetConfig& cfg) {
                live.end());
     for (const EdgeEvent* e : born_at[t]) live.push_back(e);
 
+    auto& keys = pool != nullptr ? keys_at[t] : keys_buf;
     keys.clear();
     keys.reserve(live.size());
     for (const EdgeEvent* e : live) keys.push_back(e->key);
-    std::sort(keys.begin(), keys.end());
-    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-
-    Snapshot snap;
-    snap.adj = csr_from_sorted_keys(n, n, keys);
-    snap.adj_t = transpose(snap.adj);
 
     // Evolve features: AR(1) walk plus a shared seasonal signal so the
     // regression task has temporal structure the RNNs can exploit.
@@ -154,20 +180,16 @@ DTDG generate(const DatasetConfig& cfg) {
         feat.at(v, d) = x;
       }
     }
-    snap.features = feat;
+    g.snapshots[t].features = feat;
 
-    // Target: normalized in-degree blended with the node's mean feature —
-    // depends on both structure and signal, so a DGNN can learn it.
-    Tensor y(n, 1);
-    for (int v = 0; v < n; ++v) {
-      const float deg = static_cast<float>(snap.adj.degree(v));
-      float fmean = 0.0f;
-      for (int d = 0; d < cfg.feat_dim; ++d) fmean += feat.at(v, d);
-      fmean /= static_cast<float>(cfg.feat_dim);
-      y.at(v, 0) = 0.5f * std::log1p(deg) + 0.5f * fmean + 0.1f * season;
-    }
-    g.targets.push_back(std::move(y));
-    g.snapshots.push_back(std::move(snap));
+    if (pool == nullptr) build_snapshot(t, keys_buf);
+  }
+
+  if (pool != nullptr) {
+    pool->parallel_for(S, [&](std::size_t t) {
+      build_snapshot(static_cast<int>(t), keys_at[t]);
+      keys_at[t] = {};  // Free the raw keys as soon as the CSR exists.
+    });
   }
   return g;
 }

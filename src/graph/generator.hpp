@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "graph/dtdg.hpp"
 
 namespace pipad::graph {
@@ -58,7 +59,11 @@ DatasetConfig dataset_by_name(const std::string& name, int scale_large = 64,
                               int scale_small = 4);
 
 /// Generate the full DTDG (adjacency + transpose + features + targets).
-DTDG generate(const DatasetConfig& cfg);
+/// With a pool, per-snapshot CSR construction (sort, build, transpose,
+/// targets) runs as parallel tasks; every RNG draw stays on the calling
+/// thread in a fixed order, so the generated dataset is bit-identical to
+/// the serial build for any pool size.
+DTDG generate(const DatasetConfig& cfg, ThreadPool* pool = nullptr);
 
 /// Statistics used by bench/table1_datasets.
 struct DtdgStats {

@@ -1,0 +1,79 @@
+#include "host/host_lane.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/timer.hpp"
+
+namespace pipad::host {
+
+std::size_t default_prep_threads() {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return std::min<std::size_t>(hw, 8);
+}
+
+HostLane::HostLane(gpusim::Gpu& gpu, std::size_t threads)
+    : gpu_(gpu), pool_(threads != 0 ? threads : default_prep_threads()) {
+  gpu_.set_worker_lanes(pool_.size());
+}
+
+BatchResult HostLane::run(const std::string& name, std::size_t n,
+                          const std::function<void(std::size_t)>& job,
+                          double not_before_us) {
+  BatchResult res;
+  res.job_end_us.assign(n, not_before_us);
+  res.end_us = not_before_us;
+  if (n == 0) return res;
+
+  struct JobRec {
+    std::size_t index;
+    double wall_us;
+  };
+  // Indexed by lane; each inner vector is only touched by its own pool
+  // thread, so no lock is needed.
+  std::vector<std::vector<JobRec>> per_lane(pool_.size());
+
+  auto futs = pool_.map(n, [&](std::size_t i) {
+    const std::size_t lane = ThreadPool::worker_index();
+    Timer timer;
+    job(i);
+    per_lane[lane].push_back({i, timer.elapsed_us()});
+  });
+  // Drain the whole batch before rethrowing so per_lane stays alive for
+  // every in-flight job.
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+
+  // Charge the timeline on the main thread (the Timeline is not
+  // thread-safe): per lane, in the order that lane executed its jobs, so
+  // the simulated schedule mirrors the real one.
+  for (std::size_t lane = 0; lane < per_lane.size(); ++lane) {
+    for (const JobRec& jr : per_lane[lane]) {
+      const double end = gpu_.worker_op(lane, name, jr.wall_us, not_before_us);
+      res.job_end_us[jr.index] = end;
+      res.end_us = std::max(res.end_us, end);
+    }
+  }
+  return res;
+}
+
+double HostLane::charge_all(const std::string& name, double wall_us,
+                            double not_before_us, std::size_t tasks) {
+  const std::size_t lanes =
+      tasks == 0 ? pool_.size() : std::min(tasks, pool_.size());
+  double end = not_before_us;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    end = std::max(end, gpu_.worker_op(lane, name, wall_us, not_before_us));
+  }
+  return end;
+}
+
+}  // namespace pipad::host

@@ -1,0 +1,71 @@
+// HostLane: real parallel execution of PiPAD's host-side preparation (§4.3).
+//
+// The trainer's prep work — per-snapshot slicing and degree builds, the
+// profiling scans of the preparing epochs, and per-partition overlap
+// extraction — runs here on an owned ThreadPool. Each job's wall-clock is
+// measured on the pool thread that executed it and charged to the matching
+// simulated CpuWorker lane, so the Timeline shows true prep/device overlap
+// instead of a single-thread measurement divided by an assumed parallelism
+// factor. Per-job simulated completion times come back to the caller so
+// device transfers can wait on exactly the job that produced their data.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "gpusim/gpu.hpp"
+
+namespace pipad::host {
+
+/// The library default for host-side prep pools: min(hardware_concurrency,
+/// 8). Prep work saturates well below the core count of a training node;
+/// the paper's testbed dedicates a fraction of a 24-core Xeon to it.
+std::size_t default_prep_threads();
+
+/// Simulated completion times of one batch of prep jobs.
+struct BatchResult {
+  std::vector<double> job_end_us;  ///< Per job, indexed like the batch.
+  double end_us = 0.0;             ///< Latest job end (batch completion).
+};
+
+class HostLane {
+ public:
+  /// threads == 0 picks a default sized for prep work:
+  /// min(hardware_concurrency, 8). Registers the lane count with the Gpu's
+  /// timeline.
+  explicit HostLane(gpusim::Gpu& gpu, std::size_t threads = 0);
+
+  std::size_t threads() const { return pool_.size(); }
+
+  /// The owned pool, for callers that parallelize inside one job-sized
+  /// region from the main thread (e.g. sliced::build_partition). Never
+  /// submit to it from within a run() job: nested waits can deadlock a
+  /// fixed-size pool.
+  ThreadPool& pool() { return pool_; }
+
+  /// Execute job(i) for i in [0, n) on the pool and wait. Every job's
+  /// measured wall-clock is charged to the worker lane it actually ran on,
+  /// in that lane's execution order, starting no earlier than
+  /// not_before_us. Results written by the jobs must go to disjoint slots;
+  /// the first job exception is rethrown after the batch drains.
+  BatchResult run(const std::string& name, std::size_t n,
+                  const std::function<void(std::size_t)>& job,
+                  double not_before_us = 0.0);
+
+  /// Charge a parallel region driven from the main thread (an
+  /// internally-parallel build) for a measured wall_us. `tasks` bounds the
+  /// region's concurrency: only min(tasks, threads()) lanes were actually
+  /// busy and get charged (0 = the whole pool). Returns the simulated end
+  /// time.
+  double charge_all(const std::string& name, double wall_us,
+                    double not_before_us = 0.0, std::size_t tasks = 0);
+
+ private:
+  gpusim::Gpu& gpu_;
+  ThreadPool pool_;
+};
+
+}  // namespace pipad::host

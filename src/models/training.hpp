@@ -29,6 +29,8 @@ struct TrainResult {
   double transfer_us = 0.0;     ///< H2D + D2H busy time.
   double compute_us = 0.0;      ///< Compute-engine busy time.
   double host_us = 0.0;         ///< CPU (launch + framework) busy time.
+  double prep_us = 0.0;         ///< Worker-lane host prep busy time, summed
+                                ///< over lanes (measured, §4.3).
   double sm_utilization = 0.0;  ///< Compute busy fraction (Fig. 3 right axis).
   double device_active = 0.0;   ///< nvidia-smi style utilization (Table 2).
 
@@ -66,6 +68,7 @@ inline void summarize_timeline(const gpusim::Timeline& tl, TrainResult& r) {
   r.transfer_us = tl.busy_us(Resource::H2D) + tl.busy_us(Resource::D2H);
   r.compute_us = tl.busy_us(Resource::Compute);
   r.host_us = tl.busy_us(Resource::Cpu) + tl.busy_us(Resource::CpuWorker);
+  r.prep_us = tl.busy_us(Resource::CpuWorker);
   r.sm_utilization = tl.utilization(Resource::Compute);
   r.device_active = tl.device_active_fraction();
   r.gnn_us = r.rnn_us = r.other_us = 0.0;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/timer.hpp"
+#include "host/host_lane.hpp"
 #include "kernels/aggregate.hpp"
 #include "kernels/stats_builders.hpp"
 #include "kernels/update.hpp"
@@ -356,6 +357,7 @@ struct PipadTrainer::Impl {
   const graph::DTDG& data;
   TrainConfig cfg;
   PipadOptions opts;
+  host::HostLane lane;  ///< Executes + measures all host prep (§4.3).
   Rng rng;
   std::unique_ptr<models::DgnnModel> model;
   nn::Adam optim;
@@ -380,6 +382,9 @@ struct PipadTrainer::Impl {
         data(d),
         cfg(c),
         opts(std::move(o)),
+        lane(g, opts.host_threads > 0
+                    ? static_cast<std::size_t>(opts.host_threads)
+                    : 0),
         rng(c.seed),
         model(models::make_model(
             c.model, d.feat_dim,
@@ -398,38 +403,52 @@ struct PipadTrainer::Impl {
     return model->num_agg_layers() > 1 || !opts.enable_reuse;
   }
 
-  /// ❶ Online graph analyzer: slice every snapshot, charging the real
-  /// measured host time to the background CPU lane.
+  /// ❶ Online graph analyzer: slice every snapshot as one HostLane job
+  /// each; the measured per-job wall-clock lands on the worker lane that
+  /// executed it, so slicing overlaps across lanes on the timeline.
   void run_analyzer() {
-    Timer timer;
-    sliced.resize(data.num_snapshots());
-    for (int t = 0; t < data.num_snapshots(); ++t) {
-      sliced[t].adj = sliced::slice(data.snapshots[t].adj, opts.slice_bound);
-      sliced[t].adj_t =
-          sliced::slice(data.snapshots[t].adj_t, opts.slice_bound);
-      sliced[t].deg = kernels::degrees(data.snapshots[t].adj);
-    }
-    gpu.worker_op("graph-analyzer", timer.elapsed_us());
+    const int n = data.num_snapshots();
+    sliced.resize(n);
+    lane.run("graph-analyzer", static_cast<std::size_t>(n),
+             [&](std::size_t t) {
+               sliced[t].adj =
+                   sliced::slice(data.snapshots[t].adj, opts.slice_bound);
+               sliced[t].adj_t =
+                   sliced::slice(data.snapshots[t].adj_t, opts.slice_bound);
+               sliced[t].deg = kernels::degrees(data.snapshots[t].adj);
+             });
     exec.set_sliced(&sliced);
   }
 
-  /// Online profiling of topology statistics (preparing epochs).
+  /// Online profiling of topology statistics (preparing epochs). Per-t
+  /// scans run as parallel lane jobs into disjoint slots; the reduction is
+  /// a serial pass on the main thread so the statistics are bit-identical
+  /// for every thread count.
   void run_profiling(const std::vector<graph::Frame>& frames) {
-    Timer timer;
-    double or_sum = 0.0;
-    int or_cnt = 0;
-    std::uint64_t nnz_sum = 0;
     int lo = data.num_snapshots(), hi = 0;
     for (const auto& f : frames) {
       lo = std::min(lo, f.start);
       hi = std::max(hi, f.end());
     }
-    for (int t = lo; t < hi && t < data.num_snapshots(); ++t) {
-      nnz_sum += data.snapshots[t].adj.nnz();
+    const int last = std::min(hi, data.num_snapshots());
+    const int cnt = std::max(0, last - lo);
+    std::vector<std::uint64_t> nnz(cnt, 0);
+    std::vector<double> pair_or(cnt, -1.0);  ///< -1 = no successor pair.
+    lane.run("profiling", static_cast<std::size_t>(cnt), [&](std::size_t j) {
+      const int t = lo + static_cast<int>(j);
+      nnz[j] = data.snapshots[t].adj.nnz();
       if (t + 1 < hi && t + 1 < data.num_snapshots()) {
-        or_sum +=
-            graph::overlap_rate(data.snapshots[t].adj,
-                                data.snapshots[t + 1].adj);
+        pair_or[j] = graph::overlap_rate(data.snapshots[t].adj,
+                                         data.snapshots[t + 1].adj);
+      }
+    });
+    double or_sum = 0.0;
+    int or_cnt = 0;
+    std::uint64_t nnz_sum = 0;
+    for (int j = 0; j < cnt; ++j) {
+      nnz_sum += nnz[j];
+      if (pair_or[j] >= 0.0) {
+        or_sum += pair_or[j];
         ++or_cnt;
       }
     }
@@ -443,44 +462,65 @@ struct PipadTrainer::Impl {
         n * (data.feat_dim + static_cast<std::size_t>(hid) *
                                  (model->num_agg_layers() + 2)) *
             sizeof(float);
-    gpu.worker_op("profiling", timer.elapsed_us());
   }
 
   const sliced::FramePartition& partition(int start, int count) {
     auto key = std::make_pair(start, count);
     auto it = partition_cache.find(key);
     if (it == partition_cache.end()) {
+      // On-demand miss (prepare_steady covers the common case): build with
+      // the pool-parallel path and charge the measured wall-clock to every
+      // lane the build occupied.
       Timer timer;
-      auto part =
-          sliced::build_partition(data, start, count, opts.slice_bound);
-      // ❷ Data preparation runs asynchronously on the CPU worker lane
-      // (ThreadPool-parallel on the host) and overlaps device work of
-      // earlier partitions (§4.3, Fig. 8).
-      gpu.worker_op("overlap-extract",
-                    timer.elapsed_us() / opts.host_prep_parallelism);
-      partition_ready[key] = gpu.timeline().record_event(0);
+      auto part = sliced::build_partition(data, start, count,
+                                          opts.slice_bound, &lane.pool());
+      // The build fans out into 2 overlap + 2*count exclusive slice tasks;
+      // only that many lanes were busy.
+      const double end =
+          lane.charge_all("overlap-extract", timer.elapsed_us(), 0.0,
+                          2 + 2 * static_cast<std::size_t>(count));
+      partition_ready[key] = gpu.timeline().record_event_at(end);
       it = partition_cache.emplace(key, std::move(part)).first;
     }
     return it->second;
   }
 
   /// One-off steady-state preparation (§4.3): decide S_per for every frame
-  /// using the preparing-epoch statistics, then extract all needed
-  /// partitions on the background lane. Extraction of later frames'
-  /// partitions overlaps device work of earlier frames — each frame's
-  /// transfers wait only on the events of its own partitions.
+  /// using the preparing-epoch statistics, then extract every needed
+  /// partition as a parallel HostLane job (❷). Extraction overlaps device
+  /// work of earlier frames — each frame's transfers wait only on the
+  /// completion event of exactly the job that built its partition.
   void prepare_steady(const std::vector<graph::Frame>& frames) {
     if (steady_prepared) return;
     steady_prepared = true;
+    std::vector<std::pair<int, int>> keys;
     for (const auto& frame : frames) {
       const int s = decide_sper(frame);
       int pos = frame.start;
       const int end = std::min(frame.end(), data.num_snapshots());
       while (pos < end) {
         const int take = std::min(s, end - pos);
-        partition(pos, take);
+        const auto key = std::make_pair(pos, take);
+        // Sliding frames revisit partitions; extract each key once.
+        if (partition_cache.count(key) == 0 &&
+            std::find(keys.begin(), keys.end(), key) == keys.end()) {
+          keys.push_back(key);
+        }
         pos += take;
       }
+    }
+    if (keys.empty()) return;
+    std::vector<sliced::FramePartition> parts(keys.size());
+    const auto batch = lane.run(
+        "overlap-extract", keys.size(), [&](std::size_t j) {
+          parts[j] = sliced::build_partition(data, keys[j].first,
+                                             keys[j].second,
+                                             opts.slice_bound);
+        });
+    for (std::size_t j = 0; j < keys.size(); ++j) {
+      partition_ready[keys[j]] =
+          gpu.timeline().record_event_at(batch.job_end_us[j]);
+      partition_cache.emplace(keys[j], std::move(parts[j]));
     }
   }
 

@@ -36,11 +36,11 @@ struct PipadOptions {
   bool enable_weight_reuse = true; ///< Locality-optimized update (§4.2).
   int forced_sper = 0;             ///< >0 bypasses the tuner (ablations).
   double framework_us_per_launch = 2.0;  ///< Lean C++ host path.
-  /// Host-side preparation (slicing, overlap extraction) runs on the
-  /// library ThreadPool; the paper's testbed is a 24-core Xeon. Measured
-  /// single-thread cost is divided by this before being charged to the
-  /// simulated background-CPU lane.
-  double host_prep_parallelism = 8.0;
+  /// Host-side preparation (slicing, overlap extraction) executes on the
+  /// trainer's host::HostLane thread pool; each job's measured wall-clock
+  /// is charged to the worker lane it ran on. 0 = library default
+  /// (min(hardware_concurrency, 8)).
+  int host_threads = 0;
   double stall_tolerance = 1.25;   ///< Transfer/compute ratio the pipeline
                                    ///< absorbs before an option is rejected.
   std::size_t gpu_reuse_budget = 0;  ///< 0 = auto (remaining device memory).

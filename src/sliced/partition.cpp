@@ -20,7 +20,7 @@ std::size_t FramePartition::unshared_topology_bytes() const {
 }
 
 FramePartition build_partition(const graph::DTDG& g, int start, int count,
-                               int slice_bound) {
+                               int slice_bound, ThreadPool* pool) {
   PIPAD_CHECK(start >= 0 && count > 0 &&
               start + count <= g.num_snapshots());
   FramePartition p;
@@ -36,13 +36,34 @@ FramePartition build_partition(const graph::DTDG& g, int start, int count,
   auto decomp = graph::decompose_group(group);
   p.group_overlap_rate = graph::group_overlap_rate(group);
 
-  p.overlap = slice(decomp.overlap, slice_bound);
-  p.overlap_t = slice(graph::transpose(decomp.overlap), slice_bound);
-  p.exclusive.reserve(count);
-  p.exclusive_t.reserve(count);
-  for (auto& ex : decomp.exclusive) {
-    p.exclusive.push_back(slice(ex, slice_bound));
-    p.exclusive_t.push_back(slice(graph::transpose(ex), slice_bound));
+  p.exclusive.resize(count);
+  p.exclusive_t.resize(count);
+  // Tasks 0/1 build the shared overlap (forward/transposed); tasks 2 + 2i
+  // and 3 + 2i build member i's exclusive pair. Every task writes its own
+  // slot, so the parallel build is race-free and bit-identical to serial.
+  const auto build_one = [&](std::size_t task) {
+    const std::size_t member = (task - 2) / 2;
+    switch (task) {
+      case 0:
+        p.overlap = slice(decomp.overlap, slice_bound);
+        break;
+      case 1:
+        p.overlap_t = slice(graph::transpose(decomp.overlap), slice_bound);
+        break;
+      default:
+        if (task % 2 == 0) {
+          p.exclusive[member] = slice(decomp.exclusive[member], slice_bound);
+        } else {
+          p.exclusive_t[member] =
+              slice(graph::transpose(decomp.exclusive[member]), slice_bound);
+        }
+    }
+  };
+  const std::size_t tasks = 2 + 2 * static_cast<std::size_t>(count);
+  if (pool != nullptr) {
+    pool->parallel_for(tasks, build_one);
+  } else {
+    for (std::size_t t = 0; t < tasks; ++t) build_one(t);
   }
   return p;
 }

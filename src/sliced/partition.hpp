@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "graph/dtdg.hpp"
 #include "graph/overlap.hpp"
 #include "sliced/sliced_csr.hpp"
@@ -43,9 +44,14 @@ struct FramePartition {
   std::size_t unshared_topology_bytes() const;
 };
 
-/// Build one partition over snapshots [start, start+count).
+/// Build one partition over snapshots [start, start+count). With a pool, the
+/// per-member slice/transpose builds run as parallel tasks (each task writes
+/// a disjoint slot, so the result is identical to the serial build); call
+/// only from outside the pool — a pool thread waiting on the same pool can
+/// deadlock.
 FramePartition build_partition(const graph::DTDG& g, int start, int count,
-                               int slice_bound = kDefaultSliceBound);
+                               int slice_bound = kDefaultSliceBound,
+                               ThreadPool* pool = nullptr);
 
 /// Partition a frame into ceil(frame.size / s_per) chunks of (up to) s_per
 /// contiguous snapshots — §4.4 distributes snapshots uniformly.
