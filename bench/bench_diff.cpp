@@ -1,0 +1,238 @@
+// bench_diff: compare two bench-to-JSON records and flag perf regressions.
+//
+//   bench_diff BASELINE.json FRESH.json [--threshold=0.15] [--metric=epoch_us]
+//
+// Both files must be JsonReport documents (see bench_util.hpp): a "records"
+// array of flat objects keyed by (dataset, model, method). For every record
+// present in the baseline, the fresh value of --metric may exceed the
+// baseline by at most --threshold (fractional; 0.15 = +15%). Records missing
+// from the fresh file also fail; records new in the fresh file are reported
+// but pass (the trajectory can grow). Exit codes: 0 ok, 1 regression or
+// missing record, 2 usage/parse error — so CI can gate on it.
+//
+// The parser handles exactly the subset of JSON our writer emits (flat
+// string/number fields, no nesting inside records, no escapes); it rejects
+// anything it cannot understand rather than guessing.
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Record {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+};
+
+struct Document {
+  std::vector<Record> records;
+};
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "bench_diff: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+std::string parse_string(const std::string& s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') die("expected '\"' at offset " +
+                                        std::to_string(i));
+  const std::size_t end = s.find('"', i + 1);
+  if (end == std::string::npos) die("unterminated string");
+  std::string out = s.substr(i + 1, end - i - 1);
+  i = end + 1;
+  return out;
+}
+
+double parse_number(const std::string& s, std::size_t& i) {
+  char* endp = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str() + i, &endp);
+  if (endp == s.c_str() + i || errno == ERANGE) {
+    die("malformed number at offset " + std::to_string(i));
+  }
+  i = static_cast<std::size_t>(endp - s.c_str());
+  return v;
+}
+
+/// Parse one flat {"key": value, ...} object starting at s[i] == '{'.
+Record parse_record(const std::string& s, std::size_t& i) {
+  Record r;
+  ++i;  // '{'
+  for (;;) {
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return r;
+    }
+    const std::string key = parse_string(s, i);
+    skip_ws(s, i);
+    if (i >= s.size() || s[i] != ':') die("expected ':' after \"" + key + '"');
+    ++i;
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == '"') {
+      r.strings[key] = parse_string(s, i);
+    } else {
+      r.numbers[key] = parse_number(s, i);
+    }
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == ',') ++i;
+  }
+}
+
+Document parse_document(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) die("cannot open " + path);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string s = buf.str();
+
+  const std::size_t key = s.find("\"records\"");
+  if (key == std::string::npos) die(path + ": no \"records\" array");
+  std::size_t i = s.find('[', key);
+  if (i == std::string::npos) die(path + ": no '[' after \"records\"");
+  ++i;
+  Document doc;
+  for (;;) {
+    skip_ws(s, i);
+    if (i >= s.size()) die(path + ": unterminated records array");
+    if (s[i] == ']') break;
+    if (s[i] != '{') die(path + ": expected record object");
+    doc.records.push_back(parse_record(s, i));
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == ',') ++i;
+  }
+  return doc;
+}
+
+std::string record_key(const Record& r) {
+  const auto get = [&](const char* k) {
+    const auto it = r.strings.find(k);
+    return it == r.strings.end() ? std::string("?") : it->second;
+  };
+  return get("dataset") + " | " + get("model") + " | " + get("method");
+}
+
+void usage_and_exit(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json FRESH.json [--threshold=F]"
+               " [--metric=NAME] [--min-delta-us=N]\n"
+               "  --threshold=F      allowed fractional increase"
+               " (default 0.15)\n"
+               "  --metric=NAME      numeric record field to compare"
+               " (default epoch_us)\n"
+               "  --min-delta-us=N   ignore regressions whose absolute"
+               " increase is below N\n"
+               "                     (floor for noisy tiny records;"
+               " default 0)\n",
+               prog);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, fresh_path;
+  double threshold = 0.15;
+  double min_delta_us = 0.0;
+  std::string metric = "epoch_us";
+
+  std::vector<std::string> positional;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      char* end = nullptr;
+      threshold = std::strtod(arg.c_str() + 12, &end);
+      if (end == nullptr || *end != '\0' || threshold < 0.0) {
+        usage_and_exit(argv[0]);
+      }
+    } else if (arg.rfind("--min-delta-us=", 0) == 0) {
+      char* end = nullptr;
+      min_delta_us = std::strtod(arg.c_str() + 15, &end);
+      if (end == nullptr || *end != '\0' || min_delta_us < 0.0) {
+        usage_and_exit(argv[0]);
+      }
+    } else if (arg.rfind("--metric=", 0) == 0) {
+      metric = arg.substr(9);
+      if (metric.empty()) usage_and_exit(argv[0]);
+    } else if (arg.rfind("--", 0) == 0) {
+      usage_and_exit(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) usage_and_exit(argv[0]);
+  baseline_path = positional[0];
+  fresh_path = positional[1];
+
+  const Document base = parse_document(baseline_path);
+  const Document fresh = parse_document(fresh_path);
+  if (base.records.empty()) die(baseline_path + ": no records");
+
+  std::map<std::string, const Record*> fresh_by_key;
+  for (const auto& r : fresh.records) fresh_by_key[record_key(r)] = &r;
+  std::map<std::string, const Record*> base_by_key;
+  for (const auto& r : base.records) base_by_key[record_key(r)] = &r;
+
+  std::printf("%-44s %12s %12s %8s\n", "record", "baseline", "fresh",
+              "delta");
+  int regressions = 0, missing = 0, compared = 0;
+  for (const auto& r : base.records) {
+    const std::string key = record_key(r);
+    const auto bit = r.numbers.find(metric);
+    if (bit == r.numbers.end()) {
+      die(baseline_path + ": record '" + key + "' has no metric '" + metric +
+          "'");
+    }
+    const auto fit = fresh_by_key.find(key);
+    if (fit == fresh_by_key.end()) {
+      std::printf("%-44s %12.1f %12s  MISSING\n", key.c_str(), bit->second,
+                  "-");
+      ++missing;
+      continue;
+    }
+    const auto fnum = fit->second->numbers.find(metric);
+    if (fnum == fit->second->numbers.end()) {
+      die(fresh_path + ": record '" + key + "' has no metric '" + metric +
+          "'");
+    }
+    const double b = bit->second;
+    const double f = fnum->second;
+    const double delta = b > 0.0 ? f / b - 1.0 : 0.0;
+    const bool bad = delta > threshold && (f - b) > min_delta_us;
+    std::printf("%-44s %12.1f %12.1f %+7.1f%%%s\n", key.c_str(), b, f,
+                100.0 * delta, bad ? "  REGRESSION" : "");
+    ++compared;
+    if (bad) ++regressions;
+  }
+  int added = 0;
+  for (const auto& r : fresh.records) {
+    if (base_by_key.count(record_key(r)) == 0) {
+      std::printf("%-44s %12s %12.1f  new\n", record_key(r).c_str(), "-",
+                  r.numbers.count(metric) ? r.numbers.at(metric) : 0.0);
+      ++added;
+    }
+  }
+
+  std::printf(
+      "\n%d compared on %s (threshold +%.0f%%): %d regression(s), "
+      "%d missing, %d new\n",
+      compared, metric.c_str(), 100.0 * threshold, regressions, missing,
+      added);
+  if (regressions > 0 || missing > 0) {
+    std::fprintf(stderr, "bench_diff: FAIL\n");
+    return 1;
+  }
+  std::printf("bench_diff: OK\n");
+  return 0;
+}

@@ -8,7 +8,8 @@
 //   --frames=N        max frames per epoch                 (default 4)
 //   --frame-size=N    sliding-window size                  (default 8;
 //                     paper uses 16 — raise for fidelity, costs runtime)
-//   --threads=N       host-prep worker threads, 0 = auto   (default 0)
+//   --threads=N       ComputePool workers (prep + numeric kernels),
+//                     0 = auto                             (default 0)
 //   --datasets=a,b    comma-separated subset               (default all 7)
 //   --json=FILE       write per-run records to FILE as JSON (wired into
 //                     fig10_end2end and ablation_sper; other binaries
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "baselines/baseline_trainer.hpp"
+#include "common/compute_pool.hpp"
 #include "common/util.hpp"
 #include "graph/generator.hpp"
 #include "host/host_lane.hpp"
@@ -43,7 +45,7 @@ struct Flags {
   int epochs = 2;
   int frames = 4;
   int frame_size = 8;
-  int threads = 0;  ///< Host-prep worker threads (0 = HostLane default).
+  int threads = 0;  ///< ComputePool workers (0 = library default).
   std::vector<std::string> datasets;
   std::string json;  ///< Non-empty: write run records to this file.
 
@@ -146,26 +148,29 @@ inline runtime::PipadOptions pipad_options(const Flags& f) {
 }
 
 /// Dataset generation is the slow part; cache per process and build each
-/// snapshot on the pool. Pass Flags::threads so --threads=N governs
-/// generation too (0 = library default).
+/// snapshot on the process-wide ComputePool. Pass Flags::threads so
+/// --threads=N governs generation, host prep and the numeric kernels alike
+/// (0 = library default).
 class DatasetCache {
  public:
-  explicit DatasetCache(int threads = 0)
-      : pool_(threads > 0 ? static_cast<std::size_t>(threads)
-                          : host::default_prep_threads()) {}
+  explicit DatasetCache(int threads = 0) {
+    ComputePool::instance().configure(
+        threads > 0 ? static_cast<std::size_t>(threads) : 0);
+  }
 
   const graph::DTDG& get(const graph::DatasetConfig& cfg) {
     auto it = cache_.find(cfg.name);
     if (it == cache_.end()) {
       std::fprintf(stderr, "[bench] generating %s ...\n", cfg.name.c_str());
-      it = cache_.emplace(cfg.name, graph::generate(cfg, &pool_)).first;
+      it = cache_.emplace(cfg.name,
+                          graph::generate(cfg, &ComputePool::instance().pool()))
+               .first;
     }
     return it->second;
   }
 
  private:
   std::map<std::string, graph::DTDG> cache_;
-  ThreadPool pool_;
 };
 
 inline models::TrainConfig train_config(const Flags& f, models::ModelType m) {

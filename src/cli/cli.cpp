@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "baselines/baseline_trainer.hpp"
+#include "common/compute_pool.hpp"
 #include "common/error.hpp"
 #include "gpusim/trace.hpp"
 #include "graph/generator.hpp"
@@ -77,11 +78,12 @@ graph::DTDG build_dataset(const Options& o) {
     cfg = graph::dataset_by_name(o.dataset, o.scale_large, o.scale_small);
     if (o.snapshots > 0) cfg.num_snapshots = o.snapshots;
   }
-  // Snapshot construction parallelizes on the same thread budget the
-  // trainer's host prep will use (deterministic for any size).
-  ThreadPool pool(o.threads > 0 ? static_cast<std::size_t>(o.threads)
-                                : host::default_prep_threads());
-  return graph::generate(cfg, &pool);
+  // Snapshot construction parallelizes on the process-wide ComputePool —
+  // the same lanes the trainer's host prep and numeric kernels will use
+  // (deterministic for any thread count).
+  ComputePool::instance().configure(
+      o.threads > 0 ? static_cast<std::size_t>(o.threads) : 0);
+  return graph::generate(cfg, &ComputePool::instance().pool());
 }
 
 models::TrainConfig train_config(const Options& o) {
@@ -227,7 +229,8 @@ std::string usage() {
       "  --epochs N         training epochs  [2]\n"
       "  --frame-size N     sliding-window size  [8]\n"
       "  --frames N         max frames per epoch, 0 = all  [4]\n"
-      "  --threads N        PiPAD host-prep worker lanes, 0 = default  [0]\n"
+      "  --threads N        ComputePool worker lanes (host prep + numeric\n"
+      "                     kernels), 0 = default  [0]\n"
       "  --seed N           dataset + model RNG seed  [2023]\n"
       "  --out FILE         trace: write the PiPAD timeline as CSV\n"
       "  --help             print this text\n";

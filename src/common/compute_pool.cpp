@@ -1,0 +1,199 @@
+#include "common/compute_pool.hpp"
+
+#include <ctime>
+
+#include <algorithm>
+#include <exception>
+
+namespace pipad {
+
+namespace {
+
+/// Per-thread CPU time in microseconds. Blocks are costed with this rather
+/// than wall-clock so a machine with fewer cores than pool workers (CI
+/// containers) does not inflate block costs with scheduler interleaving.
+double thread_cpu_us() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return ts.tv_sec * 1e6 + ts.tv_nsec * 1e-3;
+  }
+#endif
+  return 0.0;
+}
+
+/// Place per-block measured costs onto `width` simulated lanes: each block
+/// goes to the least-loaded lane, in block order (ties to the lowest
+/// index). Deterministic — placement depends on the measured costs only,
+/// not on which pool worker happened to dequeue a block.
+std::vector<double> place_on_lanes(const std::vector<double>& block_us,
+                                   std::size_t width) {
+  std::vector<double> lane_us(std::max<std::size_t>(1, width), 0.0);
+  for (double cost : block_us) {
+    std::size_t best = 0;
+    for (std::size_t l = 1; l < lane_us.size(); ++l) {
+      if (lane_us[l] < lane_us[best]) best = l;
+    }
+    lane_us[best] += cost;
+  }
+  return lane_us;
+}
+
+}  // namespace
+
+std::size_t default_compute_threads() {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return std::min<std::size_t>(hw, 8);
+}
+
+ComputePool& ComputePool::instance() {
+  static ComputePool pool;
+  return pool;
+}
+
+ThreadPool& ComputePool::pool_locked() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(default_compute_threads());
+  return *pool_;
+}
+
+ThreadPool& ComputePool::pool() {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  return pool_locked();
+}
+
+void ComputePool::configure(std::size_t threads) {
+  if (threads == 0) threads = default_compute_threads();
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_ && pool_->size() == threads) return;
+  pool_.reset();  // Join the old workers before starting the new ones.
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+std::size_t ComputePool::threads() { return pool().size(); }
+
+std::size_t ComputePool::block_count(std::size_t n, std::size_t total_work) {
+  if (n == 0) return 0;
+  const std::size_t by_work = total_work / kMinRegionWork;
+  return std::min({n, kMaxBlocks, std::max<std::size_t>(1, by_work)});
+}
+
+void ComputePool::record_region(const char* name,
+                                const std::vector<double>& lane_us) {
+  std::lock_guard<std::mutex> lock(region_mutex_);
+  Region& r = regions_[name];
+  if (r.lane_us.size() < lane_us.size()) r.lane_us.resize(lane_us.size());
+  for (std::size_t l = 0; l < lane_us.size(); ++l) {
+    r.lane_us[l] += lane_us[l];
+  }
+  ++r.count;
+}
+
+ComputePool::Ranges ComputePool::even_ranges(std::size_t n,
+                                             std::size_t blocks) {
+  Ranges ranges;
+  if (n == 0 || blocks == 0) return ranges;
+  ranges.reserve(blocks);
+  const std::size_t per = n / blocks;
+  const std::size_t extra = n % blocks;
+  std::size_t lo = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t hi = lo + per + (b < extra ? 1 : 0);
+    ranges.emplace_back(lo, hi);
+    lo = hi;
+  }
+  return ranges;
+}
+
+void ComputePool::for_blocks_erased(const char* name, std::size_t n,
+                                    std::size_t total_work,
+                                    const BlockFn& fn) {
+  run_ranges(name, even_ranges(n, block_count(n, total_work)), total_work,
+             fn);
+}
+
+void ComputePool::run_ranges(const char* name, const Ranges& ranges,
+                             std::size_t total_work, const BlockFn& fn) {
+  if (ranges.empty()) return;
+  ThreadPool& candidate = pool();
+  const std::size_t width = candidate.size();
+  // A nested region (we *are* a worker of this pool) must run inline —
+  // submitting would risk deadlock — and must not record: the enclosing
+  // job/region already accounts for its cost.
+  const bool nested = ThreadPool::current_pool() == &candidate;
+  const bool measured = !nested && total_work >= kMinRegionWork;
+
+  if (nested || ranges.size() == 1 || width <= 1) {
+    // Same block layout as the parallel path, so order-sensitive per-block
+    // math stays bit-identical across thread counts.
+    if (!measured) {
+      for (const auto& [lo, hi] : ranges) fn(lo, hi);
+      return;
+    }
+    std::vector<double> block_us(ranges.size(), 0.0);
+    for (std::size_t b = 0; b < ranges.size(); ++b) {
+      const double t0 = thread_cpu_us();
+      fn(ranges[b].first, ranges[b].second);
+      block_us[b] = thread_cpu_us() - t0;
+    }
+    record_region(name, place_on_lanes(block_us, width));
+    return;
+  }
+
+  // Parallel dispatch: one task per block; each measures its own cost into
+  // its private slot (pool workers run one task at a time, and the main
+  // thread reads only after the future joins, so no lock is needed).
+  std::vector<double> block_us(ranges.size(), 0.0);
+  std::vector<std::future<void>> futs;
+  futs.reserve(ranges.size());
+  for (std::size_t b = 0; b < ranges.size(); ++b) {
+    const auto [lo, hi] = ranges[b];
+    futs.push_back(
+        candidate.submit([lo = lo, hi = hi, b, &fn, &block_us] {
+          const double t0 = thread_cpu_us();
+          fn(lo, hi);
+          block_us[b] = thread_cpu_us() - t0;
+        }));
+  }
+  // Drain every block before rethrowing so none outlives fn's frame.
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (measured && !first) {
+    record_region(name, place_on_lanes(block_us, width));
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void ComputePool::run_serial(const char* name, std::size_t total_work,
+                             const std::function<void()>& fn) {
+  if (ThreadPool::current_pool() == &pool() ||
+      total_work < kMinRegionWork) {
+    fn();
+    return;
+  }
+  // One lane: this kernel's access pattern cannot decompose, so its whole
+  // measured cost serializes on the first worker lane.
+  const double t0 = thread_cpu_us();
+  fn();
+  record_region(name, {thread_cpu_us() - t0});
+}
+
+std::map<std::string, ComputePool::Region> ComputePool::drain_regions() {
+  std::lock_guard<std::mutex> lock(region_mutex_);
+  std::map<std::string, Region> out;
+  out.swap(regions_);
+  return out;
+}
+
+void ComputePool::discard_regions() {
+  std::lock_guard<std::mutex> lock(region_mutex_);
+  regions_.clear();
+}
+
+}  // namespace pipad

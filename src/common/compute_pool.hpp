@@ -1,0 +1,141 @@
+// ComputePool: the process-wide thread pool behind every parallel region.
+//
+// PiPAD's numeric hot path (aggregation, GEMM, elementwise maps) and the
+// host-side preparation (HostLane) share one pool instead of each subsystem
+// owning threads. `--threads N` configures it once and scales everything.
+//
+// Parallel regions are *deterministic by construction*: the block
+// partitioning of a region depends only on the problem size and fixed
+// constants — never on the pool width — and every block writes disjoint
+// output rows/elements, so results are bit-identical for any thread count
+// (including the inline serial fallback). Reductions whose rounding depends
+// on combine order (losses, norms) stay serial in their callers.
+//
+// Each region's blocks are measured individually (thread-CPU time) and
+// placed onto per-lane cost bins (aggregated per kernel name) so trainers
+// can charge them to the simulated Timeline worker lanes the same way
+// host::HostLane charges prep jobs — `pipad bench` epoch times reflect
+// measured compute decomposed across `--threads N` lanes, not an assumed
+// speedup factor.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace pipad {
+
+/// Library default pool width: min(hardware_concurrency, 8). Both prep and
+/// compute saturate well below the core count of a training node.
+std::size_t default_compute_threads();
+
+class ComputePool {
+ public:
+  /// The process-wide instance. Subsystems hold references to this, never
+  /// to the underlying ThreadPool (configure() may replace it).
+  static ComputePool& instance();
+
+  /// Resize the pool (0 = default_compute_threads()). No-op when the width
+  /// is unchanged. Must not be called while parallel regions are in flight;
+  /// trainers call it once at construction.
+  void configure(std::size_t threads);
+
+  std::size_t threads();
+
+  /// The underlying pool, for callers that schedule whole jobs on it
+  /// (HostLane batches, dataset generation). The reference is valid until
+  /// the next configure() with a different width.
+  ThreadPool& pool();
+
+  /// A measured region, aggregated per kernel name between drains. Each
+  /// block's execution cost is measured (thread-CPU time, so a machine with
+  /// fewer cores than pool workers does not inflate it) and placed on the
+  /// least-loaded simulated lane in block order — the same per-lane
+  /// accounting HostLane applies to prep jobs, kept deterministic by
+  /// placing blocks instead of recording which worker happened to grab
+  /// them.
+  struct Region {
+    std::vector<double> lane_us;  ///< Summed measured cost per lane.
+    std::size_t count = 0;        ///< Number of regions aggregated.
+
+    double total_us() const {
+      double s = 0.0;
+      for (double v : lane_us) s += v;
+      return s;
+    }
+    std::size_t lanes() const { return lane_us.size(); }
+  };
+
+  using BlockFn = std::function<void(std::size_t, std::size_t)>;
+  using Ranges = std::vector<std::pair<std::size_t, std::size_t>>;
+
+  /// Run fn(lo, hi) over contiguous blocks covering [0, n). The block
+  /// layout derives from n and total_work only (never the pool width), so
+  /// any order-sensitive per-block math is reproducible across thread
+  /// counts. Small regions (total_work < kMinRegionWork) run inline and are
+  /// not logged — on that path fn is called directly, without type
+  /// erasure, so tiny ops stay cheap. fn must write only block-disjoint
+  /// state. The first block exception is rethrown after the region drains.
+  template <typename F>
+  void for_blocks(const char* name, std::size_t n, std::size_t total_work,
+                  F&& fn) {
+    if (n == 0) return;
+    if (total_work < kMinRegionWork) {
+      fn(std::size_t{0}, n);
+      return;
+    }
+    for_blocks_erased(name, n, total_work, BlockFn(std::forward<F>(fn)));
+  }
+
+  /// Run caller-computed contiguous ranges (e.g. blocks aligned to
+  /// destination-row boundaries) as one region. Ranges must be disjoint;
+  /// determinism requires that they not depend on the pool width.
+  void run_ranges(const char* name, const Ranges& ranges,
+                  std::size_t total_work, const BlockFn& fn);
+
+  /// Run fn() serially but measure and log it like a parallel region with
+  /// lanes = 1 (kernels whose access pattern does not decompose into
+  /// disjoint blocks, e.g. COO scatter-add).
+  void run_serial(const char* name, std::size_t total_work,
+                  const std::function<void()>& fn);
+
+  /// Number of blocks for_blocks() would use — exposed for tests.
+  static std::size_t block_count(std::size_t n, std::size_t total_work);
+
+  /// Exact even split of [0, n) into `blocks` contiguous ranges (the first
+  /// n % blocks ranges take one extra element). The one chunking formula
+  /// shared by for_blocks() and callers that post-process boundaries
+  /// before run_ranges() (e.g. agg_sliced's destination-row alignment).
+  static Ranges even_ranges(std::size_t n, std::size_t blocks);
+
+  /// Regions measured since the last drain, keyed by kernel name.
+  std::map<std::string, Region> drain_regions();
+  void discard_regions();
+
+  /// Below this many scalar operations a region runs inline, unmeasured.
+  static constexpr std::size_t kMinRegionWork = 16384;
+  /// Upper bound on blocks per region (fixed so the layout is independent
+  /// of the pool width).
+  static constexpr std::size_t kMaxBlocks = 32;
+
+ private:
+  ComputePool() = default;
+  ThreadPool& pool_locked();
+  void for_blocks_erased(const char* name, std::size_t n,
+                         std::size_t total_work, const BlockFn& fn);
+  void record_region(const char* name, const std::vector<double>& lane_us);
+
+  std::mutex pool_mutex_;  ///< Guards pool_ creation/replacement.
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex region_mutex_;  ///< Guards regions_.
+  std::map<std::string, Region> regions_;
+};
+
+}  // namespace pipad

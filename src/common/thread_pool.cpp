@@ -2,14 +2,27 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 
 namespace pipad {
 
 namespace {
 thread_local std::size_t tl_worker_index = ThreadPool::npos;
+thread_local const ThreadPool* tl_pool = nullptr;
 }  // namespace
 
 std::size_t ThreadPool::worker_index() { return tl_worker_index; }
+
+const ThreadPool* ThreadPool::current_pool() { return tl_pool; }
+
+void ThreadPool::reject_nested_submit() const {
+  if (tl_pool == this) {
+    throw std::runtime_error(
+        "ThreadPool::submit called from a worker thread of the same pool; "
+        "a worker waiting on its own pool can deadlock — run nested work "
+        "inline (see ThreadPool::current_pool)");
+  }
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -37,6 +50,7 @@ void ThreadPool::shutdown() {
 
 void ThreadPool::worker_loop(std::size_t index) {
   tl_worker_index = index;
+  tl_pool = this;
   for (;;) {
     std::function<void()> task;
     {

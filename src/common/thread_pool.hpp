@@ -38,11 +38,21 @@ class ThreadPool {
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   static std::size_t worker_index();
 
+  /// The pool the current thread is a worker of, or nullptr for external
+  /// threads. Callers that might run on a pool worker (nested parallel
+  /// regions) use this to fall back to inline execution instead of
+  /// deadlocking on their own pool.
+  static const ThreadPool* current_pool();
+
   /// Enqueue a task; the returned future yields its result (or rethrows the
-  /// exception the task exited with).
+  /// exception the task exited with). Submitting from a worker thread of
+  /// this same pool throws: a worker that enqueues and then waits on its
+  /// own pool can deadlock once every worker does the same, so nested work
+  /// must run inline instead.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
+    reject_nested_submit();
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
@@ -77,6 +87,9 @@ class ThreadPool {
 
  private:
   void worker_loop(std::size_t index);
+  /// Throws when the calling thread is a worker of this pool (deadlock
+  /// hazard; see submit()).
+  void reject_nested_submit() const;
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

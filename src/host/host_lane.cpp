@@ -7,15 +7,11 @@
 
 namespace pipad::host {
 
-std::size_t default_prep_threads() {
-  const std::size_t hw =
-      std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  return std::min<std::size_t>(hw, 8);
-}
+std::size_t default_prep_threads() { return default_compute_threads(); }
 
-HostLane::HostLane(gpusim::Gpu& gpu, std::size_t threads)
-    : gpu_(gpu), pool_(threads != 0 ? threads : default_prep_threads()) {
-  gpu_.set_worker_lanes(pool_.size());
+HostLane::HostLane(gpusim::Gpu& gpu, std::size_t threads) : gpu_(gpu) {
+  ComputePool::instance().configure(threads);
+  gpu_.set_worker_lanes(pool().size());
 }
 
 BatchResult HostLane::run(const std::string& name, std::size_t n,
@@ -30,11 +26,12 @@ BatchResult HostLane::run(const std::string& name, std::size_t n,
     std::size_t index;
     double wall_us;
   };
+  ThreadPool& p = pool();
   // Indexed by lane; each inner vector is only touched by its own pool
   // thread, so no lock is needed.
-  std::vector<std::vector<JobRec>> per_lane(pool_.size());
+  std::vector<std::vector<JobRec>> per_lane(p.size());
 
-  auto futs = pool_.map(n, [&](std::size_t i) {
+  auto futs = p.map(n, [&](std::size_t i) {
     const std::size_t lane = ThreadPool::worker_index();
     Timer timer;
     job(i);
@@ -67,13 +64,26 @@ BatchResult HostLane::run(const std::string& name, std::size_t n,
 
 double HostLane::charge_all(const std::string& name, double wall_us,
                             double not_before_us, std::size_t tasks) {
-  const std::size_t lanes =
-      tasks == 0 ? pool_.size() : std::min(tasks, pool_.size());
+  const std::size_t width = pool().size();
+  const std::size_t lanes = tasks == 0 ? width : std::min(tasks, width);
   double end = not_before_us;
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     end = std::max(end, gpu_.worker_op(lane, name, wall_us, not_before_us));
   }
   return end;
+}
+
+void charge_compute(gpusim::Gpu& gpu) {
+  const auto regions = ComputePool::instance().drain_regions();
+  auto& tl = gpu.timeline();
+  const std::size_t max_lanes = std::max<std::size_t>(1, tl.worker_lanes());
+  for (const auto& [name, region] : regions) {
+    for (std::size_t lane = 0; lane < region.lane_us.size(); ++lane) {
+      if (region.lane_us[lane] <= 0.0) continue;
+      tl.submit_worker(lane % max_lanes, "compute:" + name,
+                       region.lane_us[lane]);
+    }
+  }
 }
 
 }  // namespace pipad::host

@@ -2,12 +2,14 @@
 //
 // The trainer's prep work — per-snapshot slicing and degree builds, the
 // profiling scans of the preparing epochs, and per-partition overlap
-// extraction — runs here on an owned ThreadPool. Each job's wall-clock is
-// measured on the pool thread that executed it and charged to the matching
-// simulated CpuWorker lane, so the Timeline shows true prep/device overlap
-// instead of a single-thread measurement divided by an assumed parallelism
-// factor. Per-job simulated completion times come back to the caller so
-// device transfers can wait on exactly the job that produced their data.
+// extraction — runs on the process-wide common::ComputePool (injected, not
+// owned: the same lanes execute the numeric kernels). Each job's wall-clock
+// is measured on the pool thread that executed it and charged to the
+// matching simulated CpuWorker lane, so the Timeline shows true prep/device
+// overlap instead of a single-thread measurement divided by an assumed
+// parallelism factor. Per-job simulated completion times come back to the
+// caller so device transfers can wait on exactly the job that produced
+// their data.
 #pragma once
 
 #include <cstddef>
@@ -15,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "common/thread_pool.hpp"
+#include "common/compute_pool.hpp"
 #include "gpusim/gpu.hpp"
 
 namespace pipad::host {
@@ -23,6 +25,7 @@ namespace pipad::host {
 /// The library default for host-side prep pools: min(hardware_concurrency,
 /// 8). Prep work saturates well below the core count of a training node;
 /// the paper's testbed dedicates a fraction of a 24-core Xeon to it.
+/// (Alias of default_compute_threads(): prep and compute share one pool.)
 std::size_t default_prep_threads();
 
 /// Simulated completion times of one batch of prep jobs.
@@ -33,18 +36,18 @@ struct BatchResult {
 
 class HostLane {
  public:
-  /// threads == 0 picks a default sized for prep work:
-  /// min(hardware_concurrency, 8). Registers the lane count with the Gpu's
-  /// timeline.
+  /// Configures the process-wide ComputePool to `threads` workers (0 picks
+  /// the library default, min(hardware_concurrency, 8)) and registers the
+  /// lane count with the Gpu's timeline.
   explicit HostLane(gpusim::Gpu& gpu, std::size_t threads = 0);
 
-  std::size_t threads() const { return pool_.size(); }
+  std::size_t threads() { return pool().size(); }
 
-  /// The owned pool, for callers that parallelize inside one job-sized
+  /// The shared pool, for callers that parallelize inside one job-sized
   /// region from the main thread (e.g. sliced::build_partition). Never
   /// submit to it from within a run() job: nested waits can deadlock a
-  /// fixed-size pool.
-  ThreadPool& pool() { return pool_; }
+  /// fixed-size pool (ThreadPool::submit rejects that case).
+  ThreadPool& pool() { return ComputePool::instance().pool(); }
 
   /// Execute job(i) for i in [0, n) on the pool and wait. Every job's
   /// measured wall-clock is charged to the worker lane it actually ran on,
@@ -65,7 +68,13 @@ class HostLane {
 
  private:
   gpusim::Gpu& gpu_;
-  ThreadPool pool_;
 };
+
+/// Drain the ComputePool's measured kernel regions and charge each to the
+/// Gpu's worker lanes as a "compute:<name>" op per occupied lane — the same
+/// accounting HostLane applies to prep jobs, so `--threads N` scales the
+/// simulated cost of the numeric hot path from real measurements. Trainers
+/// call this once per trained frame.
+void charge_compute(gpusim::Gpu& gpu);
 
 }  // namespace pipad::host

@@ -1,13 +1,41 @@
 #include "kernels/aggregate.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/compute_pool.hpp"
 #include "common/util.hpp"
 #include "kernels/stats_builders.hpp"
 
 namespace pipad::kernels {
 
 namespace {
+
+/// Dimension-aware chunking for the sliced kernel: partition [0, num_slices)
+/// into at most ComputePool::kMaxBlocks contiguous ranges whose boundaries
+/// never split one destination row's run of slices (slice() and
+/// slice_from_sorted_keys() emit each row's slices contiguously). Blocks
+/// therefore write disjoint output rows — no atomics — and the layout
+/// depends only on the topology and the work size, so results stay
+/// bit-identical to the serial loop for every thread count.
+ComputePool::Ranges slice_blocks(const sliced::SlicedCSR& a,
+                                 std::size_t total_work) {
+  const std::size_t n = a.num_slices();
+  const ComputePool::Ranges even =
+      ComputePool::even_ranges(n, ComputePool::block_count(n, total_work));
+  ComputePool::Ranges ranges;
+  ranges.reserve(even.size());
+  std::size_t lo = 0;
+  for (const auto& r : even) {
+    std::size_t hi = r.second;
+    if (hi <= lo) continue;  // Swallowed by an earlier boundary pull.
+    // Pull the boundary forward past slices that continue lo..hi's last row.
+    while (hi < n && a.row_idx[hi] == a.row_idx[hi - 1]) ++hi;
+    ranges.emplace_back(lo, hi);
+    lo = hi;
+  }
+  return ranges;
+}
 
 /// Per-row feature access of the warp-per-sparse-element pattern (§3.2):
 /// one warp loads one F-float row per outer iteration.
@@ -51,13 +79,19 @@ void ref_spmm(const graph::CSR& a, const Tensor& x, Tensor& out,
   check_spmm_shapes(a.rows, a.cols, x, out);
   if (!accumulate) out.fill(0.0f);
   const int f = x.cols();
-  for (int r = 0; r < a.rows; ++r) {
-    float* orow = out.row(r);
-    for (int i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
-      const float* xrow = x.row(a.col_idx[i]);
-      for (int d = 0; d < f; ++d) orow[d] += xrow[d];
-    }
-  }
+  // Row-blocked: each destination row is owned by exactly one block and
+  // accumulates its neighbors in CSR order, as the serial loop would.
+  ComputePool::instance().for_blocks(
+      "agg:spmm", static_cast<std::size_t>(a.rows), a.nnz() * f,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          float* orow = out.row(static_cast<int>(r));
+          for (int i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+            const float* xrow = x.row(a.col_idx[i]);
+            for (int d = 0; d < f; ++d) orow[d] += xrow[d];
+          }
+        }
+      });
 }
 
 KernelStats agg_coo(const graph::COO& a, const Tensor& x, Tensor& out,
@@ -67,11 +101,18 @@ KernelStats agg_coo(const graph::COO& a, const Tensor& x, Tensor& out,
   const int f = x.cols();
   const std::uint64_t nnz = a.nnz();
 
-  for (std::size_t i = 0; i < a.nnz(); ++i) {
-    const float* xrow = x.row(a.col[i]);
-    float* orow = out.row(a.row[i]);
-    for (int d = 0; d < f; ++d) orow[d] += xrow[d];
-  }
+  // Per-edge scatter to arbitrary destination rows: the pattern that needs
+  // atomics on a GPU and does not decompose into disjoint row blocks here.
+  // Runs serially (measured, so the baseline's compute is charged to the
+  // timeline like everything else) — mirroring how PyG's scatter-add gains
+  // nothing from dimension-aware parallelism.
+  ComputePool::instance().run_serial("agg:coo", nnz * f, [&] {
+    for (std::size_t i = 0; i < a.nnz(); ++i) {
+      const float* xrow = x.row(a.col[i]);
+      float* orow = out.row(a.row[i]);
+      for (int d = 0; d < f; ++d) orow[d] += xrow[d];
+    }
+  });
 
   KernelStats s;
   const std::uint64_t fu = static_cast<std::uint64_t>(f);
@@ -233,15 +274,22 @@ KernelStats agg_sliced(const sliced::SlicedCSR& a, const Tensor& x,
 
   const int fc = x.cols();
   // Real math: slice-by-slice accumulation (mirrors the per-TG partial
-  // result + atomicAdd structure of Algorithm 1, which is order-insensitive
-  // because addition is the only combine).
-  for (std::size_t sl = 0; sl < a.num_slices(); ++sl) {
-    float* orow = out.row(a.row_idx[sl]);
-    for (int i = a.slice_off[sl]; i < a.slice_off[sl + 1]; ++i) {
-      const float* xrow = x.row(a.col_idx[i]);
-      for (int d = 0; d < fc; ++d) orow[d] += xrow[d];
-    }
-  }
+  // result + atomicAdd structure of Algorithm 1). Chunked over
+  // destination-row-aligned slice blocks: each output row belongs to one
+  // block, so no atomics are needed and every row accumulates its slices in
+  // serial order — bit-identical results for any thread count.
+  const std::size_t work = a.nnz() * static_cast<std::size_t>(fc);
+  ComputePool::instance().run_ranges(
+      "agg:sliced", slice_blocks(a, work), work,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t sl = lo; sl < hi; ++sl) {
+          float* orow = out.row(a.row_idx[sl]);
+          for (int i = a.slice_off[sl]; i < a.slice_off[sl + 1]; ++i) {
+            const float* xrow = x.row(a.col_idx[i]);
+            for (int d = 0; d < fc; ++d) orow[d] += xrow[d];
+          }
+        }
+      });
   KernelStats s = sliced_agg_stats(a.nnz(), a.num_slices(), fc, coalesce_num);
   s.imbalance = sliced::sliced_load_balance(a, kBalanceUnits).imbalance();
   return s;
@@ -255,19 +303,24 @@ KernelStats gcn_normalize_backward_coalesced(
   PIPAD_CHECK(d_out.cols() % static_cast<int>(degs.size()) == 0);
   const int parts = static_cast<int>(degs.size());
   const int f = d_out.cols() / parts;
-  for (int v = 0; v < d_out.rows(); ++v) {
-    const float* g = d_out.row(v);
-    float* ga = d_agg.row(v);
-    float* gx = d_x_direct.row(v);
-    for (int p = 0; p < parts; ++p) {
-      const float inv = 1.0f / static_cast<float>((*degs[p])[v] + 1);
-      for (int d = 0; d < f; ++d) {
-        const int c = p * f + d;
-        ga[c] = g[c] * inv;
-        gx[c] = g[c] * inv;
-      }
-    }
-  }
+  ComputePool::instance().for_blocks(
+      "normalize", static_cast<std::size_t>(d_out.rows()), 2 * d_out.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t vv = lo; vv < hi; ++vv) {
+          const int v = static_cast<int>(vv);
+          const float* g = d_out.row(v);
+          float* ga = d_agg.row(v);
+          float* gx = d_x_direct.row(v);
+          for (int p = 0; p < parts; ++p) {
+            const float inv = 1.0f / static_cast<float>((*degs[p])[v] + 1);
+            for (int d = 0; d < f; ++d) {
+              const int c = p * f + d;
+              ga[c] = g[c] * inv;
+              gx[c] = g[c] * inv;
+            }
+          }
+        }
+      });
   KernelStats s = elementwise_stats(d_out.size(), 1, 2);
   s.global_requests += parts * requests_for(d_out.rows() * 4);
   s.global_transactions += parts * transactions_for(d_out.rows() * 4);
@@ -280,13 +333,18 @@ KernelStats gcn_normalize(const std::vector<int>& deg, const Tensor& x,
   PIPAD_CHECK(x.same_shape(agg));
   PIPAD_CHECK(x.same_shape(out));
   const int f = x.cols();
-  for (int v = 0; v < x.rows(); ++v) {
-    const float inv = 1.0f / static_cast<float>(deg[v] + 1);
-    const float* xr = x.row(v);
-    const float* ar = agg.row(v);
-    float* orow = out.row(v);
-    for (int d = 0; d < f; ++d) orow[d] = (ar[d] + xr[d]) * inv;
-  }
+  ComputePool::instance().for_blocks(
+      "normalize", static_cast<std::size_t>(x.rows()), 2 * x.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t vv = lo; vv < hi; ++vv) {
+          const int v = static_cast<int>(vv);
+          const float inv = 1.0f / static_cast<float>(deg[v] + 1);
+          const float* xr = x.row(v);
+          const float* ar = agg.row(v);
+          float* orow = out.row(v);
+          for (int d = 0; d < f; ++d) orow[d] = (ar[d] + xr[d]) * inv;
+        }
+      });
   KernelStats s = elementwise_stats(x.size(), 2, 2);
   // Degree vector read, coalesced.
   s.global_requests += requests_for(deg.size() * 4);
@@ -302,18 +360,23 @@ KernelStats gcn_normalize_coalesced(
   PIPAD_CHECK(x.cols() % static_cast<int>(degs.size()) == 0);
   const int parts = static_cast<int>(degs.size());
   const int f = x.cols() / parts;
-  for (int v = 0; v < x.rows(); ++v) {
-    const float* xr = x.row(v);
-    const float* ar = agg.row(v);
-    float* orow = out.row(v);
-    for (int p = 0; p < parts; ++p) {
-      const float inv = 1.0f / static_cast<float>((*degs[p])[v] + 1);
-      for (int d = 0; d < f; ++d) {
-        const int c = p * f + d;
-        orow[c] = (ar[c] + xr[c]) * inv;
-      }
-    }
-  }
+  ComputePool::instance().for_blocks(
+      "normalize", static_cast<std::size_t>(x.rows()), 2 * x.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t vv = lo; vv < hi; ++vv) {
+          const int v = static_cast<int>(vv);
+          const float* xr = x.row(v);
+          const float* ar = agg.row(v);
+          float* orow = out.row(v);
+          for (int p = 0; p < parts; ++p) {
+            const float inv = 1.0f / static_cast<float>((*degs[p])[v] + 1);
+            for (int d = 0; d < f; ++d) {
+              const int c = p * f + d;
+              orow[c] = (ar[c] + xr[c]) * inv;
+            }
+          }
+        }
+      });
   KernelStats s = elementwise_stats(x.size(), 2, 2);
   s.global_requests += parts * requests_for(x.rows() * 4);
   s.global_transactions += parts * transactions_for(x.rows() * 4);
@@ -326,16 +389,21 @@ KernelStats gcn_normalize_backward(const std::vector<int>& deg,
   PIPAD_CHECK(static_cast<int>(deg.size()) == d_out.rows());
   PIPAD_CHECK(d_out.same_shape(d_agg) && d_out.same_shape(d_x_direct));
   const int f = d_out.cols();
-  for (int v = 0; v < d_out.rows(); ++v) {
-    const float inv = 1.0f / static_cast<float>(deg[v] + 1);
-    const float* g = d_out.row(v);
-    float* ga = d_agg.row(v);
-    float* gx = d_x_direct.row(v);
-    for (int d = 0; d < f; ++d) {
-      ga[d] = g[d] * inv;
-      gx[d] = g[d] * inv;
-    }
-  }
+  ComputePool::instance().for_blocks(
+      "normalize", static_cast<std::size_t>(d_out.rows()), 2 * d_out.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t vv = lo; vv < hi; ++vv) {
+          const int v = static_cast<int>(vv);
+          const float inv = 1.0f / static_cast<float>(deg[v] + 1);
+          const float* g = d_out.row(v);
+          float* ga = d_agg.row(v);
+          float* gx = d_x_direct.row(v);
+          for (int d = 0; d < f; ++d) {
+            ga[d] = g[d] * inv;
+            gx[d] = g[d] * inv;
+          }
+        }
+      });
   return elementwise_stats(d_out.size(), 1, 2);
 }
 

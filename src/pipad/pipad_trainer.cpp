@@ -596,6 +596,9 @@ struct PipadTrainer::Impl {
     }
     auto params = model->params();
 
+    // Kernel regions measured before training (dataset generation, other
+    // trainers in the same process) are not this run's to charge.
+    ComputePool::instance().discard_regions();
     run_analyzer();
     run_profiling(frames);
 
@@ -745,6 +748,10 @@ struct PipadTrainer::Impl {
                   kernels::elementwise_stats(p->value.size(), 3, 8));
     }
     exec.flush();
+    // The frame's numeric kernels ran for real on the ComputePool; charge
+    // their measured wall-clock to the worker lanes they occupied (§4.2's
+    // parallel GNN, executed rather than assumed).
+    host::charge_compute(gpu);
     gpu.memcpy_d2h(copy_stream, "loss", sizeof(float), true);
   }
 };

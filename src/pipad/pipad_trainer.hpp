@@ -36,9 +36,11 @@ struct PipadOptions {
   bool enable_weight_reuse = true; ///< Locality-optimized update (§4.2).
   int forced_sper = 0;             ///< >0 bypasses the tuner (ablations).
   double framework_us_per_launch = 2.0;  ///< Lean C++ host path.
-  /// Host-side preparation (slicing, overlap extraction) executes on the
-  /// trainer's host::HostLane thread pool; each job's measured wall-clock
-  /// is charged to the worker lane it ran on. 0 = library default
+  /// Width of the process-wide common::ComputePool, which executes both
+  /// host-side preparation (slicing, overlap extraction — via
+  /// host::HostLane) and the numeric hot path (aggregation, GEMM,
+  /// elementwise kernels). Every job/kernel's measured wall-clock is
+  /// charged to the worker lane(s) it ran on. 0 = library default
   /// (min(hardware_concurrency, 8)).
   int host_threads = 0;
   double stall_tolerance = 1.25;   ///< Transfer/compute ratio the pipeline

@@ -2,12 +2,34 @@
 
 #include <cmath>
 
+#include "common/compute_pool.hpp"
+
 namespace pipad::ops {
 
 namespace {
 // Logical element access under optional transpose.
 inline float get(const Tensor& t, bool trans, int r, int c) {
   return trans ? t.at(c, r) : t.at(r, c);
+}
+
+// Row-blocked and element-blocked dispatch through the shared ComputePool.
+// Every op here computes each output row/element exactly as the serial code
+// would, so results are bit-identical for any thread count; only ops whose
+// rounding depends on a cross-row combine order (the reductions at the
+// bottom of this file) stay serial.
+template <typename F>
+inline void par_rows(const char* name, int rows, std::size_t total_work,
+                     const F& fn) {
+  ComputePool::instance().for_blocks(
+      name, static_cast<std::size_t>(rows), total_work,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) fn(static_cast<int>(r));
+      });
+}
+
+template <typename F>
+inline void par_elems(const char* name, std::size_t n, const F& fn) {
+  ComputePool::instance().for_blocks(name, n, n, fn);
 }
 }  // namespace
 
@@ -30,9 +52,12 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool trans_a,
     scale_inplace(c, beta);
   }
 
-  // i-k-j ordering: streaming access over C and (untransposed) B rows.
+  const std::size_t work = static_cast<std::size_t>(m) * k * n;
+  // i-k-j ordering: streaming access over C and (untransposed) B rows. Rows
+  // of C are independent, so the row-blocked parallel path computes each one
+  // in the exact serial order.
   if (!trans_a && !trans_b) {
-    for (int i = 0; i < m; ++i) {
+    par_rows("gemm", m, work, [&](int i) {
       float* crow = c.row(i);
       const float* arow = a.row(i);
       for (int kk = 0; kk < k; ++kk) {
@@ -41,17 +66,17 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool trans_a,
         const float* brow = b.row(kk);
         for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
       }
-    }
+    });
     return;
   }
-  for (int i = 0; i < m; ++i) {
+  par_rows("gemm", m, work, [&](int i) {
     float* crow = c.row(i);
     for (int kk = 0; kk < k; ++kk) {
       const float av = alpha * get(a, trans_a, i, kk);
       if (av == 0.0f) continue;
       for (int j = 0; j < n; ++j) crow[j] += av * get(b, trans_b, kk, j);
     }
-  }
+  });
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
@@ -66,19 +91,22 @@ void add_bias(Tensor& y, const Tensor& bias) {
   PIPAD_CHECK_MSG(bias.rows() == 1 && bias.cols() == y.cols(),
                   "bias shape " << bias.shape_str() << " vs y "
                                 << y.shape_str());
-  for (int r = 0; r < y.rows(); ++r) {
+  const float* b = bias.row(0);
+  par_rows("elementwise", y.rows(), y.size(), [&](int r) {
     float* row = y.row(r);
-    const float* b = bias.row(0);
     for (int c = 0; c < y.cols(); ++c) row[c] += b[c];
-  }
+  });
 }
 
 Tensor bias_grad(const Tensor& grad) {
   Tensor g(1, grad.cols());
-  for (int r = 0; r < grad.rows(); ++r) {
-    const float* row = grad.row(r);
-    for (int c = 0; c < grad.cols(); ++c) g.at(0, c) += row[c];
-  }
+  // Columns are independent and each column sums rows in serial order, so
+  // the column-blocked parallel path is bit-identical to the serial one.
+  par_rows("elementwise", grad.cols(), grad.size(), [&](int c) {
+    float acc = 0.0f;
+    for (int r = 0; r < grad.rows(); ++r) acc += grad.at(r, c);
+    g.at(0, c) = acc;
+  });
   return g;
 }
 
@@ -88,7 +116,9 @@ void add_inplace(Tensor& a, const Tensor& b, float scale) {
                                        << b.shape_str());
   float* pa = a.data();
   const float* pb = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) pa[i] += scale * pb[i];
+  par_elems("elementwise", a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) pa[i] += scale * pb[i];
+  });
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
@@ -109,19 +139,26 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  for (std::size_t i = 0; i < a.size(); ++i) pc[i] = pa[i] * pb[i];
+  par_elems("elementwise", a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) pc[i] = pa[i] * pb[i];
+  });
   return c;
 }
 
 void scale_inplace(Tensor& a, float s) {
-  for (float* p = a.data(); p != a.data() + a.size(); ++p) *p *= s;
+  float* pa = a.data();
+  par_elems("elementwise", a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) pa[i] *= s;
+  });
 }
 
 Tensor relu(const Tensor& x) {
   Tensor y(x.rows(), x.cols());
   const float* px = x.data();
   float* py = y.data();
-  for (std::size_t i = 0; i < x.size(); ++i) py[i] = px[i] > 0.0f ? px[i] : 0.0f;
+  par_elems("elementwise", x.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) py[i] = px[i] > 0.0f ? px[i] : 0.0f;
+  });
   return y;
 }
 
@@ -131,8 +168,10 @@ Tensor relu_grad(const Tensor& dy, const Tensor& x) {
   const float* pdy = dy.data();
   const float* px = x.data();
   float* pdx = dx.data();
-  for (std::size_t i = 0; i < x.size(); ++i)
-    pdx[i] = px[i] > 0.0f ? pdy[i] : 0.0f;
+  par_elems("elementwise", x.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      pdx[i] = px[i] > 0.0f ? pdy[i] : 0.0f;
+  });
   return dx;
 }
 
@@ -140,8 +179,10 @@ Tensor sigmoid(const Tensor& x) {
   Tensor y(x.rows(), x.cols());
   const float* px = x.data();
   float* py = y.data();
-  for (std::size_t i = 0; i < x.size(); ++i)
-    py[i] = 1.0f / (1.0f + std::exp(-px[i]));
+  par_elems("elementwise", x.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      py[i] = 1.0f / (1.0f + std::exp(-px[i]));
+  });
   return y;
 }
 
@@ -151,8 +192,10 @@ Tensor sigmoid_grad(const Tensor& dy, const Tensor& y) {
   const float* pdy = dy.data();
   const float* py = y.data();
   float* pdx = dx.data();
-  for (std::size_t i = 0; i < y.size(); ++i)
-    pdx[i] = pdy[i] * py[i] * (1.0f - py[i]);
+  par_elems("elementwise", y.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      pdx[i] = pdy[i] * py[i] * (1.0f - py[i]);
+  });
   return dx;
 }
 
@@ -160,7 +203,9 @@ Tensor tanh(const Tensor& x) {
   Tensor y(x.rows(), x.cols());
   const float* px = x.data();
   float* py = y.data();
-  for (std::size_t i = 0; i < x.size(); ++i) py[i] = std::tanh(px[i]);
+  par_elems("elementwise", x.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) py[i] = std::tanh(px[i]);
+  });
   return y;
 }
 
@@ -170,19 +215,21 @@ Tensor tanh_grad(const Tensor& dy, const Tensor& y) {
   const float* pdy = dy.data();
   const float* py = y.data();
   float* pdx = dx.data();
-  for (std::size_t i = 0; i < y.size(); ++i)
-    pdx[i] = pdy[i] * (1.0f - py[i] * py[i]);
+  par_elems("elementwise", y.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      pdx[i] = pdy[i] * (1.0f - py[i] * py[i]);
+  });
   return dx;
 }
 
 Tensor concat_cols(const Tensor& a, const Tensor& b) {
   PIPAD_CHECK_MSG(a.rows() == b.rows(), "concat_cols row mismatch");
   Tensor c(a.rows(), a.cols() + b.cols());
-  for (int r = 0; r < a.rows(); ++r) {
+  par_rows("elementwise", a.rows(), c.size(), [&](int r) {
     float* crow = c.row(r);
     std::copy(a.row(r), a.row(r) + a.cols(), crow);
     std::copy(b.row(r), b.row(r) + b.cols(), crow + a.cols());
-  }
+  });
   return c;
 }
 
@@ -190,11 +237,11 @@ std::pair<Tensor, Tensor> split_cols(const Tensor& ab, int a_cols) {
   PIPAD_CHECK_MSG(a_cols >= 0 && a_cols <= ab.cols(), "split_cols bad split");
   Tensor a(ab.rows(), a_cols);
   Tensor b(ab.rows(), ab.cols() - a_cols);
-  for (int r = 0; r < ab.rows(); ++r) {
+  par_rows("elementwise", ab.rows(), ab.size(), [&](int r) {
     const float* src = ab.row(r);
     std::copy(src, src + a_cols, a.row(r));
     std::copy(src + a_cols, src + ab.cols(), b.row(r));
-  }
+  });
   return {std::move(a), std::move(b)};
 }
 
@@ -202,10 +249,10 @@ Tensor slice_cols(const Tensor& t, int start, int len) {
   PIPAD_CHECK_MSG(start >= 0 && len >= 0 && start + len <= t.cols(),
                   "slice_cols out of range");
   Tensor out(t.rows(), len);
-  for (int r = 0; r < t.rows(); ++r) {
+  par_rows("elementwise", t.rows(), out.size(), [&](int r) {
     const float* src = t.row(r) + start;
     std::copy(src, src + len, out.row(r));
-  }
+  });
   return out;
 }
 
@@ -213,11 +260,11 @@ void add_into_cols(Tensor& dst, const Tensor& src, int start) {
   PIPAD_CHECK_MSG(dst.rows() == src.rows() &&
                       start + src.cols() <= dst.cols(),
                   "add_into_cols shape mismatch");
-  for (int r = 0; r < dst.rows(); ++r) {
+  par_rows("elementwise", dst.rows(), src.size(), [&](int r) {
     float* d = dst.row(r) + start;
     const float* s = src.row(r);
     for (int c = 0; c < src.cols(); ++c) d[c] += s[c];
-  }
+  });
 }
 
 float mse_loss(const Tensor& pred, const Tensor& target, Tensor* grad) {
@@ -226,6 +273,8 @@ float mse_loss(const Tensor& pred, const Tensor& target, Tensor* grad) {
                                                << target.shape_str());
   const std::size_t n = pred.size();
   PIPAD_CHECK_MSG(n > 0, "mse on empty tensor");
+  // Serial: the double accumulator's rounding depends on summation order,
+  // and losses must be bit-identical across thread counts.
   double acc = 0.0;
   if (grad != nullptr && !grad->same_shape(pred)) {
     *grad = Tensor(pred.rows(), pred.cols());

@@ -1,6 +1,11 @@
 // Tensor operations: GEMM, elementwise maps, reductions, concat/split.
 //
-// All operations check shapes via PIPAD_CHECK and are deterministic.
+// All operations check shapes via PIPAD_CHECK and are deterministic. The
+// heavy ops execute as row/element-blocked regions on the process-wide
+// common::ComputePool; block layouts never depend on the pool width and
+// every output row/element is computed in serial order, so results are
+// bit-identical for any --threads value. Order-sensitive reductions
+// (mse_loss, sum, frobenius_norm) run serially for the same reason.
 #pragma once
 
 #include <utility>

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <numeric>
 #include <set>
 #include <stdexcept>
 
+#include "common/compute_pool.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -216,6 +218,135 @@ TEST(ThreadPool, WorkerIndexIdentifiesTheExecutingLane) {
   int total = 0;
   for (auto& h : lane_hits) total += h.load();
   EXPECT_EQ(total, 256);
+}
+
+TEST(ThreadPool, NestedSubmitFromOwnWorkerThrowsInsteadOfDeadlocking) {
+  ThreadPool pool(2);
+  // A worker that submits to its own pool and waits can deadlock once every
+  // worker does the same; the pool must reject it eagerly.
+  auto outer = pool.submit([&pool] {
+    EXPECT_EQ(ThreadPool::current_pool(), &pool);
+    try {
+      pool.submit([] {});
+      ADD_FAILURE() << "nested submit did not throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("worker thread of the same pool"),
+                std::string::npos);
+    }
+  });
+  outer.get();
+  // Submitting to a *different* pool from a worker stays legal.
+  ThreadPool other(1);
+  auto cross = pool.submit([&other] {
+    return other.submit([] { return 7; }).get();
+  });
+  EXPECT_EQ(cross.get(), 7);
+  // The pool survives the rejected submit.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+// ---------- ComputePool ----------
+
+TEST(ComputePool, BlockLayoutIsIndependentOfThreadCount) {
+  // Determinism across --threads rests on this: the layout derives from the
+  // problem size and fixed constants only.
+  const auto blocks_at = [](std::size_t n, std::size_t work) {
+    return ComputePool::block_count(n, work);
+  };
+  EXPECT_EQ(blocks_at(1000, 100), 1u);        // Tiny work: serial.
+  EXPECT_EQ(blocks_at(1000, 1 << 30), 32u);   // Capped at kMaxBlocks.
+  EXPECT_EQ(blocks_at(5, 1 << 30), 5u);       // Never more blocks than items.
+  EXPECT_EQ(blocks_at(1000, 3 * ComputePool::kMinRegionWork), 3u);
+  // The layout must not change when the pool is reconfigured.
+  ComputePool::instance().configure(1);
+  const std::size_t reference = blocks_at(1000, 1 << 20);
+  const auto reference_ranges = ComputePool::even_ranges(1000, reference);
+  for (std::size_t t : {2u, 8u}) {
+    ComputePool::instance().configure(t);
+    EXPECT_EQ(blocks_at(1000, 1 << 20), reference);
+    EXPECT_EQ(ComputePool::even_ranges(1000, reference), reference_ranges);
+    EXPECT_EQ(ComputePool::instance().threads(), t);
+  }
+  ComputePool::instance().configure(0);
+}
+
+TEST(ComputePool, ForBlocksCoversRangeExactlyOnceForAnyWidth) {
+  for (std::size_t t : {1u, 3u, 8u}) {
+    ComputePool::instance().configure(t);
+    std::vector<std::atomic<int>> hits(4097);
+    ComputePool::instance().for_blocks(
+        "test", hits.size(), 1 << 20, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+        });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ComputePool, NestedRegionFallsBackToInlineExecution) {
+  ComputePool::instance().configure(2);
+  std::atomic<int> inner_hits{0};
+  // A region launched from a worker of the same pool must run inline
+  // (submitting would risk deadlock) and still cover the range.
+  ComputePool::instance().for_blocks(
+      "outer", 4, 1 << 20, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          ComputePool::instance().for_blocks(
+              "inner", 100, 1 << 20, [&](std::size_t l2, std::size_t h2) {
+                inner_hits.fetch_add(static_cast<int>(h2 - l2));
+              });
+        }
+      });
+  EXPECT_EQ(inner_hits.load(), 400);
+}
+
+TEST(ComputePool, MeasuredRegionsAggregateAndDrain) {
+  auto& cp = ComputePool::instance();
+  cp.configure(4);
+  cp.discard_regions();
+  // Real arithmetic per block so the measured thread-CPU cost is non-zero.
+  std::atomic<long long> sink{0};
+  const auto burn = [&](std::size_t lo, std::size_t hi) {
+    long long acc = 0;
+    for (std::size_t i = lo * 2000; i < hi * 2000; ++i) {
+      acc += static_cast<long long>(i) * 31;
+    }
+    sink.fetch_add(acc);
+  };
+  const std::size_t big = 1 << 20;  // Above kMinRegionWork: measured.
+  cp.for_blocks("k1", 256, big, burn);
+  cp.for_blocks("k1", 256, big, burn);
+  cp.run_serial("k2", big, [&] { burn(0, 256); });
+  // Below the threshold: runs but is not logged.
+  cp.for_blocks("k3", 16, 16, [&](std::size_t, std::size_t) {});
+
+  const auto regions = cp.drain_regions();
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_EQ(regions.at("k1").count, 2u);
+  EXPECT_GT(regions.at("k1").total_us(), 0.0);
+  // 32 blocks placed over a 4-wide pool: every lane received work.
+  ASSERT_EQ(regions.at("k1").lanes(), 4u);
+  for (double l : regions.at("k1").lane_us) EXPECT_GT(l, 0.0);
+  // Serial region: one lane carries the whole cost.
+  EXPECT_EQ(regions.at("k2").lanes(), 1u);
+  EXPECT_TRUE(cp.drain_regions().empty());  // Drain clears.
+}
+
+TEST(ComputePool, RethrowsBlockExceptionAfterDraining) {
+  auto& cp = ComputePool::instance();
+  cp.configure(4);
+  EXPECT_THROW(
+      cp.for_blocks("boom", 64, 1 << 20,
+                    [&](std::size_t lo, std::size_t) {
+                      if (lo == 0) throw std::runtime_error("block failed");
+                    }),
+      std::runtime_error);
+  // Pool is reusable afterwards.
+  std::atomic<int> ok{0};
+  cp.for_blocks("after", 64, 1 << 20,
+                [&](std::size_t lo, std::size_t hi) {
+                  ok.fetch_add(static_cast<int>(hi - lo));
+                });
+  EXPECT_EQ(ok.load(), 64);
 }
 
 TEST(Errors, CheckThrowsWithContext) {

@@ -3,6 +3,7 @@
 // depend on.
 #include <gtest/gtest.h>
 
+#include "common/compute_pool.hpp"
 #include "graph/generator.hpp"
 #include "kernels/aggregate.hpp"
 #include "kernels/stats_builders.hpp"
@@ -207,6 +208,142 @@ TEST(ParallelAgg, CombinedDegreesMatchSnapshotDegrees) {
     const auto combined =
         kernels::combined_degrees(part.overlap, part.exclusive[i]);
     EXPECT_EQ(combined, kernels::degrees(g.snapshots[i].adj));
+  }
+}
+
+// ---------- Determinism of the pooled kernels across thread counts ----------
+
+/// Run kernel() under a 1-wide and an 8-wide ComputePool: the destination-
+/// row-blocked dispatch must make the outputs bit-identical.
+void expect_kernel_bitwise_stable(const std::function<Tensor()>& kernel) {
+  ComputePool::instance().configure(1);
+  const Tensor serial = kernel();
+  ComputePool::instance().configure(8);
+  const Tensor parallel = kernel();
+  ComputePool::instance().configure(0);
+  ASSERT_EQ(serial.storage().size(), parallel.storage().size());
+  for (std::size_t i = 0; i < serial.storage().size(); ++i) {
+    ASSERT_EQ(serial.storage()[i], parallel.storage()[i]) << "elem " << i;
+  }
+}
+
+TEST(PooledKernels, SlicedAggBitIdenticalAcrossThreadCounts) {
+  Rng rng(40);
+  // Enough nnz * F to clear the parallel threshold; slice bound 8 produces
+  // many slices per hub row, so block boundaries land inside row runs and
+  // must be pulled to the next row change.
+  const CSR a = random_csr(400, 12000, rng);
+  const auto s = sliced::slice(a, 8);
+  const Tensor x = Tensor::randn(400, 17, rng);
+  expect_kernel_bitwise_stable([&] {
+    Tensor out(400, 17);
+    kernels::agg_sliced(s, x, out);
+    return out;
+  });
+}
+
+TEST(PooledKernels, CsrAndGespmmAggBitIdenticalAcrossThreadCounts) {
+  Rng rng(41);
+  const CSR a = random_csr(300, 9000, rng);
+  const Tensor x = Tensor::randn(300, 23, rng);
+  expect_kernel_bitwise_stable([&] {
+    Tensor out(300, 23);
+    kernels::agg_csr(a, x, out);
+    return out;
+  });
+  expect_kernel_bitwise_stable([&] {
+    Tensor out(300, 23);
+    kernels::agg_gespmm(a, x, out);
+    return out;
+  });
+}
+
+TEST(PooledKernels, NormalizeBitIdenticalAcrossThreadCounts) {
+  Rng rng(42);
+  const CSR a = random_csr(500, 6000, rng);
+  const Tensor x = Tensor::randn(500, 33, rng);
+  Tensor agg(500, 33);
+  kernels::ref_spmm(a, x, agg);
+  const auto deg = kernels::degrees(a);
+  expect_kernel_bitwise_stable([&] {
+    Tensor h(500, 33);
+    kernels::gcn_normalize(deg, x, agg, h);
+    return h;
+  });
+  expect_kernel_bitwise_stable([&] {
+    Tensor d_agg(500, 33), d_x(500, 33);
+    kernels::gcn_normalize_backward(deg, x, d_agg, d_x);
+    return d_agg;
+  });
+}
+
+// ---------- Edge shapes through the new blocking logic ----------
+
+class PooledEdgeShapes : public ::testing::Test {
+ protected:
+  void SetUp() override { ComputePool::instance().configure(8); }
+  void TearDown() override { ComputePool::instance().configure(0); }
+};
+
+TEST_F(PooledEdgeShapes, EmptySnapshotProducesZeros) {
+  // A snapshot with no edges slices to zero slices; the blocked kernel must
+  // still zero the output and not dispatch anything.
+  const CSR a{16, 16, std::vector<int>(17, 0), {}};
+  const auto s = sliced::slice(a);
+  EXPECT_EQ(s.num_slices(), 0u);
+  Rng rng(43);
+  const Tensor x = Tensor::randn(16, 5, rng);
+  Tensor out = Tensor::full(16, 5, 7.0f);
+  kernels::agg_sliced(s, x, out);
+  EXPECT_EQ(ops::sum(out), 0.0f);
+  Tensor out2 = Tensor::full(16, 5, 7.0f);
+  kernels::agg_csr(a, x, out2);
+  EXPECT_EQ(ops::sum(out2), 0.0f);
+}
+
+TEST_F(PooledEdgeShapes, SingleRowSliceMatchesReference) {
+  // All edges land in one destination row: every slice shares that row, so
+  // the whole kernel must collapse to a single block (no row is split).
+  const int n = 64;
+  std::vector<graph::Edge> es;
+  for (int i = 0; i < 2048; ++i) es.push_back({5, i % n});
+  const CSR a = graph::csr_from_edges(n, n, std::move(es));
+  const auto s = sliced::slice(a, 4);
+  EXPECT_GT(s.num_slices(), 8u);
+  Rng rng(44);
+  const Tensor x = Tensor::randn(n, 9, rng);
+  Tensor ref(n, 9), got(n, 9);
+  kernels::ref_spmm(a, x, ref);
+  kernels::agg_sliced(s, x, got);
+  for (std::size_t i = 0; i < ref.storage().size(); ++i) {
+    ASSERT_EQ(ref.storage()[i], got.storage()[i]) << "elem " << i;
+  }
+}
+
+TEST_F(PooledEdgeShapes, FeatureDimNotDivisibleByBlockCount) {
+  // 37 rows / odd F: block sizes are uneven and must still cover exactly.
+  Rng rng(45);
+  const CSR a = random_csr(37, 3000, rng);
+  const Tensor x = Tensor::randn(37, 29, rng);
+  Tensor ref(37, 29), got(37, 29);
+  kernels::ref_spmm(a, x, ref);
+  const auto s = sliced::slice(a, 3);
+  kernels::agg_sliced(s, x, got);
+  EXPECT_LT(ops::max_abs_diff(ref, got), 1e-4f);
+}
+
+TEST_F(PooledEdgeShapes, RowsFewerThanThreads) {
+  // 4 destination rows under an 8-wide pool: at most 4 blocks may run and
+  // the result must match the reference exactly.
+  Rng rng(46);
+  const CSR a = random_csr(4, 4096, rng);
+  const Tensor x = Tensor::randn(4, 64, rng);
+  Tensor ref(4, 64), got(4, 64);
+  kernels::ref_spmm(a, x, ref);
+  const auto s = sliced::slice(a, 8);
+  kernels::agg_sliced(s, x, got);
+  for (std::size_t i = 0; i < ref.storage().size(); ++i) {
+    ASSERT_EQ(ref.storage()[i], got.storage()[i]) << "elem " << i;
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/baseline_trainer.hpp"
+#include "common/compute_pool.hpp"
 #include "pipad/offline_analysis.hpp"
 #include "pipad/pipad_trainer.hpp"
 #include "pipad/reuse.hpp"
@@ -72,6 +73,98 @@ INSTANTIATE_TEST_SUITE_P(Models, PipadAllModels,
                            }
                            return n;
                          });
+
+// ---------- Determinism across thread counts (ComputePool hot path) ----------
+
+/// Train PiPAD with the given pool width; return per-frame losses and a
+/// flat copy of every parameter tensor after training.
+std::pair<std::vector<float>, std::vector<float>> train_snapshot(
+    const graph::DTDG& g, const TrainConfig& cfg, int threads,
+    ModelType model) {
+  gpusim::Gpu gpu;
+  PipadOptions opts;
+  opts.host_threads = threads;
+  TrainConfig c = cfg;
+  c.model = model;
+  PipadTrainer pip(gpu, g, c, opts);
+  const auto r = pip.train();
+  std::vector<float> params;
+  for (const auto* p : pip.model().params()) {
+    params.insert(params.end(), p->value.storage().begin(),
+                  p->value.storage().end());
+    params.insert(params.end(), p->grad.storage().begin(),
+                  p->grad.storage().end());
+  }
+  return {r.frame_loss, params};
+}
+
+class PipadThreadDeterminism : public ::testing::TestWithParam<ModelType> {};
+
+TEST_P(PipadThreadDeterminism, LossesAndGradientsBitIdentical) {
+  // Sized so the aggregation + GEMM kernels genuinely fan out at 8 threads
+  // (above ComputePool::kMinRegionWork), not just fall back to serial.
+  const auto g = graph::generate(testutil::tiny_config(512, 10, 8));
+  auto cfg = small_cfg();
+  cfg.hidden_dim = 16;
+  const auto [loss1, par1] = train_snapshot(g, cfg, 1, GetParam());
+  const auto [loss8, par8] = train_snapshot(g, cfg, 8, GetParam());
+  ASSERT_EQ(loss1.size(), loss8.size());
+  ASSERT_FALSE(loss1.empty());
+  for (std::size_t i = 0; i < loss1.size(); ++i) {
+    // Bitwise: the blocked kernels must not change any rounding.
+    EXPECT_EQ(loss1[i], loss8[i]) << "frame " << i;
+  }
+  ASSERT_EQ(par1.size(), par8.size());
+  for (std::size_t i = 0; i < par1.size(); ++i) {
+    ASSERT_EQ(par1[i], par8[i]) << "param/grad elem " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, PipadThreadDeterminism,
+                         ::testing::Values(ModelType::TGcn,
+                                           ModelType::MpnnLstm),
+                         [](const auto& info) {
+                           std::string n = models::model_type_name(info.param);
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Pipad, BaselineLossesBitIdenticalAcrossThreadCounts) {
+  // The PyGT family shares the pooled kernels; its losses must be equally
+  // thread-count-invariant.
+  const auto g = graph::generate(testutil::tiny_config(256, 8, 4));
+  auto run = [&](int threads) {
+    ComputePool::instance().configure(static_cast<std::size_t>(threads));
+    gpusim::Gpu gpu;
+    baselines::BaselineTrainer base(gpu, g, small_cfg(ModelType::TGcn),
+                                    baselines::Variant::PyGTG);
+    return base.train().frame_loss;
+  };
+  const auto l1 = run(1);
+  const auto l8 = run(8);
+  ComputePool::instance().configure(0);
+  ASSERT_EQ(l1.size(), l8.size());
+  for (std::size_t i = 0; i < l1.size(); ++i) {
+    EXPECT_EQ(l1[i], l8[i]) << "frame " << i;
+  }
+}
+
+TEST(Pipad, ComputeChargedToWorkerLanes) {
+  // The measured numeric kernels must land on the timeline as compute:*
+  // worker-lane ops once the workload clears the charge threshold.
+  const auto g = graph::generate(testutil::tiny_config(512, 10, 8));
+  gpusim::Gpu gpu;
+  PipadOptions opts;
+  opts.host_threads = 4;
+  auto cfg = small_cfg(ModelType::TGcn);
+  cfg.hidden_dim = 16;
+  PipadTrainer pip(gpu, g, cfg, opts);
+  pip.train();
+  EXPECT_GT(gpu.timeline().busy_us_with_prefix("compute:"), 0.0);
+  EXPECT_GT(gpu.timeline().busy_us_with_prefix("compute:gemm"), 0.0);
+}
 
 TEST(Pipad, TunerPicksFromConfiguredOptions) {
   const auto g = graph::generate(testutil::tiny_config(64, 16, 2));

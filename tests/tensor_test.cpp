@@ -4,6 +4,7 @@
 
 #include <tuple>
 
+#include "common/compute_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace pipad {
@@ -149,6 +150,109 @@ TEST(Tensor, RandnDeterministicPerSeed) {
   const Tensor a = Tensor::randn(8, 8, r1);
   const Tensor b = Tensor::randn(8, 8, r2);
   EXPECT_EQ(ops::max_abs_diff(a, b), 0.0f);
+}
+
+// ---------- Pooled-op determinism across thread counts ----------
+
+/// Run op() under 1-wide and 8-wide ComputePools; every output must be
+/// bit-identical (the row/element blocking never depends on the width).
+void expect_bitwise_stable(const std::function<Tensor()>& op) {
+  ComputePool::instance().configure(1);
+  const Tensor serial = op();
+  ComputePool::instance().configure(8);
+  const Tensor parallel = op();
+  ComputePool::instance().configure(0);  // Restore the default for peers.
+  ASSERT_EQ(serial.storage().size(), parallel.storage().size());
+  for (std::size_t i = 0; i < serial.storage().size(); ++i) {
+    ASSERT_EQ(serial.storage()[i], parallel.storage()[i]) << "elem " << i;
+  }
+}
+
+TEST(PooledDeterminism, GemmBitIdenticalAcrossThreadCounts) {
+  Rng rng(31);
+  // Big enough that the 8-wide run genuinely fans out (m*k*n >> threshold).
+  const Tensor a = Tensor::randn(301, 64, rng);
+  const Tensor b = Tensor::randn(64, 47, rng);
+  expect_bitwise_stable([&] { return ops::matmul(a, b); });
+  expect_bitwise_stable([&] { return ops::matmul(b, a, true, true); });
+}
+
+TEST(PooledDeterminism, GemmAccumulateBitIdenticalAcrossThreadCounts) {
+  Rng rng(32);
+  const Tensor a = Tensor::randn(257, 33, rng);
+  const Tensor b = Tensor::randn(33, 65, rng);
+  const Tensor seed = Tensor::randn(257, 65, rng);
+  expect_bitwise_stable([&] {
+    Tensor c = seed;
+    ops::gemm(a, b, c, false, false, 0.5f, 1.0f);
+    return c;
+  });
+}
+
+TEST(PooledDeterminism, ElementwiseBitIdenticalAcrossThreadCounts) {
+  Rng rng(33);
+  const Tensor x = Tensor::randn(173, 211, rng);  // Odd sizes: uneven blocks.
+  const Tensor y = Tensor::randn(173, 211, rng);
+  expect_bitwise_stable([&] { return ops::mul(x, y); });
+  expect_bitwise_stable([&] { return ops::sigmoid(x); });
+  expect_bitwise_stable([&] { return ops::tanh(x); });
+  expect_bitwise_stable([&] { return ops::relu_grad(y, x); });
+  expect_bitwise_stable([&] { return ops::bias_grad(x); });
+  expect_bitwise_stable([&] {
+    Tensor t = x;
+    ops::add_inplace(t, y, 0.25f);
+    return t;
+  });
+}
+
+TEST(PooledDeterminism, ConcatSliceScatterBitIdenticalAcrossThreadCounts) {
+  Rng rng(34);
+  const Tensor a = Tensor::randn(209, 97, rng);
+  const Tensor b = Tensor::randn(209, 31, rng);
+  expect_bitwise_stable([&] { return ops::concat_cols(a, b); });
+  expect_bitwise_stable([&] { return ops::slice_cols(a, 13, 41); });
+  expect_bitwise_stable([&] {
+    Tensor dst = a;
+    ops::add_into_cols(dst, b, 5);
+    return dst;
+  });
+}
+
+// ---------- Edge shapes through the blocked paths ----------
+
+TEST(PooledEdgeShapes, RowsFewerThanThreadsAndSingleElement) {
+  ComputePool::instance().configure(8);
+  Rng rng(35);
+  // 3 rows, 8 workers: fewer items than lanes.
+  const Tensor a = Tensor::randn(3, 4000, rng);
+  const Tensor b = Tensor::randn(4000, 2, rng);
+  const Tensor c = ops::matmul(a, b);
+  EXPECT_EQ(c.rows(), 3);
+  for (int i = 0; i < c.rows(); ++i) {
+    for (int j = 0; j < c.cols(); ++j) {
+      double s = 0.0;
+      for (int k = 0; k < 4000; ++k) {
+        s += static_cast<double>(a.at(i, k)) * b.at(k, j);
+      }
+      EXPECT_NEAR(c.at(i, j), s, 1e-2);
+    }
+  }
+  // 1x1 through every elementwise path.
+  const Tensor one = Tensor::full(1, 1, -2.0f);
+  EXPECT_EQ(ops::relu(one).at(0, 0), 0.0f);
+  EXPECT_EQ(ops::mul(one, one).at(0, 0), 4.0f);
+  ComputePool::instance().configure(0);
+}
+
+TEST(PooledEdgeShapes, ZeroRowTensorsAreNoOps) {
+  ComputePool::instance().configure(4);
+  Tensor empty(0, 5), empty2(0, 5);
+  EXPECT_EQ(ops::add(empty, empty2).size(), 0u);
+  EXPECT_EQ(ops::relu(empty).size(), 0u);
+  const Tensor cat = ops::concat_cols(empty, empty2);
+  EXPECT_EQ(cat.rows(), 0);
+  EXPECT_EQ(cat.cols(), 10);
+  ComputePool::instance().configure(0);
 }
 
 }  // namespace
