@@ -10,7 +10,7 @@ int main(int argc, char** argv) {
   using namespace pipad;
   auto flags = bench::Flags::parse(argc, argv);
   if (flags.datasets.empty()) flags.datasets = {"hepth", "epinions"};
-  bench::DatasetCache cache;
+  bench::DatasetCache cache(flags);
 
   struct Config {
     const char* name;

@@ -9,7 +9,7 @@ int main(int argc, char** argv) {
   using namespace pipad;
   auto flags = bench::Flags::parse(argc, argv);
   if (flags.datasets.empty()) flags.datasets = {"epinions", "hepth"};
-  bench::DatasetCache cache;
+  bench::DatasetCache cache(flags);
 
   std::printf(
       "Ablation: slice bound — space vs balance vs end-to-end time\n\n");

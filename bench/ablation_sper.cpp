@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   if (flags.datasets.empty()) {
     flags.datasets = {"hepth", "epinions", "covid19-england"};
   }
-  bench::DatasetCache cache(flags.threads);
+  bench::DatasetCache cache(flags);
   bench::JsonReport report("ablation_sper", flags);
 
   std::printf("Ablation: forced S_per vs the dynamic tuner (total us)\n\n");

@@ -10,7 +10,12 @@
 //                     paper uses 16 — raise for fidelity, costs runtime)
 //   --threads=N       ComputePool workers (prep + numeric kernels),
 //                     0 = auto                             (default 0)
-//   --datasets=a,b    comma-separated subset               (default all 7)
+//   --datasets=a,b    comma-separated subset of the Table-1 names and/or
+//                     file:PATH specs for on-disk datasets (edge list /
+//                     temporal CSV / .dtdg; docs/DATASET_FORMATS.md)
+//                                                          (default all 7)
+//   --snapshot-window=N  file: datasets — fixed time-window width
+//   --cache-dir=DIR   file: datasets — .dtdg snapshot cache
 //   --json=FILE       write per-run records to FILE as JSON (wired into
 //                     fig10_end2end and ablation_sper; other binaries
 //                     accept but ignore it until they adopt JsonReport)
@@ -34,7 +39,9 @@
 #include "common/compute_pool.hpp"
 #include "common/util.hpp"
 #include "graph/generator.hpp"
+#include "graph/io/loader.hpp"
 #include "host/host_lane.hpp"
+#include "models/bench_record.hpp"
 #include "pipad/pipad_trainer.hpp"
 
 namespace pipad::bench {
@@ -48,17 +55,20 @@ struct Flags {
   int threads = 0;  ///< ComputePool workers (0 = library default).
   std::vector<std::string> datasets;
   std::string json;  ///< Non-empty: write run records to this file.
+  long long snapshot_window = 0;  ///< file: datasets — time-window width.
+  std::string cache_dir;          ///< file: datasets — .dtdg cache.
 
   static std::string usage(const char* prog) {
     std::string p = prog != nullptr ? prog : "bench";
     return "usage: " + p +
            " [--scale-large=N] [--scale-small=N] [--epochs=N] [--frames=N]"
            " [--frame-size=N]\n        [--threads=N] [--datasets=a,b,...]"
-           " [--json=FILE]\n"
-           "  --scale-large / --scale-small / --epochs / --frame-size"
-           " must be >= 1,\n"
-           "  --frames / --threads must be >= 0,\n"
-           "  --datasets names must come from the Table-1 set.\n";
+           " [--json=FILE] [--snapshot-window=N]\n        [--cache-dir=DIR]\n"
+           "  --scale-large / --scale-small / --epochs / --frame-size /"
+           " --snapshot-window\n  must be >= 1,"
+           " --frames / --threads must be >= 0,\n"
+           "  --datasets names must come from the Table-1 set or be"
+           " file:PATH specs.\n";
   }
 
   /// Strict parse: unknown flags, malformed numbers, out-of-range values
@@ -105,6 +115,11 @@ struct Flags {
       } else if (key == "--json") {
         if (value.empty()) die("--json expects a file path");
         f.json = value;
+      } else if (key == "--snapshot-window") {
+        f.snapshot_window = parse_int("--snapshot-window", value.c_str(), 1);
+      } else if (key == "--cache-dir") {
+        if (value.empty()) die("--cache-dir expects a directory path");
+        f.cache_dir = value;
       } else if (key == "--datasets") {
         if (value.empty()) die("--datasets expects a comma-separated list");
         std::size_t pos = 0;
@@ -112,7 +127,7 @@ struct Flags {
           const auto next = value.find(',', pos);
           const std::string name = value.substr(
               pos, next == std::string::npos ? next : next - pos);
-          bool known = false;
+          bool known = graph::io::is_file_dataset(name);
           for (const auto& c : graph::evaluation_datasets()) {
             if (c.name == name) known = true;
           }
@@ -132,11 +147,27 @@ struct Flags {
     if (datasets.empty()) return all;
     std::vector<graph::DatasetConfig> out;
     for (const auto& want : datasets) {
+      if (graph::io::is_file_dataset(want)) {
+        // On-disk dataset: the name carries the whole spec; DatasetCache
+        // dispatches on the prefix.
+        graph::DatasetConfig c;
+        c.name = want;
+        out.push_back(c);
+        continue;
+      }
       for (const auto& c : all) {
         if (c.name == want) out.push_back(c);
       }
     }
     return out;
+  }
+
+  /// Loader options for file: dataset specs.
+  graph::io::LoadOptions file_load_options() const {
+    graph::io::LoadOptions o;
+    o.snapshot_window = snapshot_window;
+    o.cache_dir = cache_dir;
+    return o;
   }
 };
 
@@ -147,29 +178,43 @@ inline runtime::PipadOptions pipad_options(const Flags& f) {
   return o;
 }
 
-/// Dataset generation is the slow part; cache per process and build each
-/// snapshot on the process-wide ComputePool. Pass Flags::threads so
-/// --threads=N governs generation, host prep and the numeric kernels alike
-/// (0 = library default).
+/// Dataset construction is the slow part; cache per process and build each
+/// snapshot on the process-wide ComputePool. Constructed from the shared
+/// Flags so --threads=N governs generation, loading, host prep and the
+/// numeric kernels alike (0 = library default), and so file: specs pick up
+/// --snapshot-window/--cache-dir.
 class DatasetCache {
  public:
-  explicit DatasetCache(int threads = 0) {
+  explicit DatasetCache(const Flags& flags)
+      : file_opts_(flags.file_load_options()) {
     ComputePool::instance().configure(
-        threads > 0 ? static_cast<std::size_t>(threads) : 0);
+        flags.threads > 0 ? static_cast<std::size_t>(flags.threads) : 0);
   }
 
   const graph::DTDG& get(const graph::DatasetConfig& cfg) {
     auto it = cache_.find(cfg.name);
     if (it == cache_.end()) {
-      std::fprintf(stderr, "[bench] generating %s ...\n", cfg.name.c_str());
-      it = cache_.emplace(cfg.name,
-                          graph::generate(cfg, &ComputePool::instance().pool()))
-               .first;
+      if (graph::io::is_file_dataset(cfg.name)) {
+        std::fprintf(stderr, "[bench] loading %s ...\n", cfg.name.c_str());
+        it = cache_
+                 .emplace(cfg.name,
+                          graph::io::load_dataset(
+                              graph::io::file_dataset_path(cfg.name),
+                              file_opts_, &ComputePool::instance().pool()))
+                 .first;
+      } else {
+        std::fprintf(stderr, "[bench] generating %s ...\n", cfg.name.c_str());
+        it = cache_
+                 .emplace(cfg.name, graph::generate(
+                                        cfg, &ComputePool::instance().pool()))
+                 .first;
+      }
     }
     return it->second;
   }
 
  private:
+  graph::io::LoadOptions file_opts_;
   std::map<std::string, graph::DTDG> cache_;
 };
 
@@ -263,10 +308,7 @@ class JsonReport {
 
   void add(const std::string& dataset, const std::string& model,
            const std::string& method, const models::TrainResult& r) {
-    rows_.push_back(Row{dataset, model, method, r.total_us,
-                        r.total_us / flags_.epochs, r.transfer_us,
-                        r.compute_us, r.prep_us, r.sm_utilization,
-                        r.final_loss()});
+    rows_.push_back(Row{dataset, model, method, r});
   }
 
   bool empty() const { return rows_.empty(); }
@@ -290,18 +332,10 @@ class JsonReport {
        << "  \"records\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
-      char buf[512];
-      std::snprintf(buf, sizeof(buf),
-                    "    {\"dataset\": \"%s\", \"model\": \"%s\", "
-                    "\"method\": \"%s\", \"epoch_us\": %.1f, "
-                    "\"total_us\": %.1f, \"transfer_us\": %.1f, "
-                    "\"compute_us\": %.1f, \"prep_us\": %.1f, "
-                    "\"sm_util\": %.4f, \"final_loss\": %.6f}%s\n",
-                    r.dataset.c_str(), r.model.c_str(), r.method.c_str(),
-                    r.epoch_us, r.total_us, r.transfer_us, r.compute_us,
-                    r.prep_us, r.sm_util, r.final_loss,
-                    i + 1 < rows_.size() ? "," : "");
-      os << buf;
+      os << models::bench_record_json(r.dataset, r.model, r.method,
+                                      r.result.total_us / flags_.epochs,
+                                      r.result)
+         << (i + 1 < rows_.size() ? ",\n" : "\n");
     }
     os << "  ]\n}\n";
     return static_cast<bool>(os);
@@ -319,8 +353,7 @@ class JsonReport {
  private:
   struct Row {
     std::string dataset, model, method;
-    double total_us, epoch_us, transfer_us, compute_us, prep_us, sm_util,
-        final_loss;
+    models::TrainResult result;
   };
   std::string bench_;
   Flags flags_;

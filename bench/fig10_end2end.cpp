@@ -9,7 +9,7 @@
 int main(int argc, char** argv) {
   using namespace pipad;
   const auto flags = bench::Flags::parse(argc, argv);
-  bench::DatasetCache cache(flags.threads);
+  bench::DatasetCache cache(flags);
   bench::JsonReport report("fig10_end2end", flags);
 
   std::printf("Figure 10: end-to-end training speedup over PyGT\n");

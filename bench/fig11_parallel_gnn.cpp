@@ -90,7 +90,7 @@ GnnRun run_parallel(const graph::DTDG& g, int start, int count, int f,
 int main(int argc, char** argv) {
   using namespace pipad;
   const auto flags = bench::Flags::parse(argc, argv);
-  bench::DatasetCache cache;
+  bench::DatasetCache cache(flags);
   gpusim::CostModel cm((gpusim::SimConfig()));
 
   std::printf(

@@ -12,7 +12,7 @@
 int main(int argc, char** argv) {
   using namespace pipad;
   const auto flags = bench::Flags::parse(argc, argv);
-  bench::DatasetCache cache;
+  bench::DatasetCache cache(flags);
 
   std::printf("Figure 12 (left axis): load balance, 64 thread blocks\n\n");
   std::printf("%-18s %12s %12s %12s %12s %10s\n", "Dataset", "CSR-ideal",

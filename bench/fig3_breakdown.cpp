@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   using namespace pipad;
   const auto flags = bench::Flags::parse(argc, argv);
-  bench::DatasetCache cache;
+  bench::DatasetCache cache(flags);
 
   std::printf("Figure 3: PyGT latency breakdown and SM utilization\n\n");
   std::printf("%-11s %-18s %9s %9s %9s %8s\n", "Model", "Dataset",

@@ -9,7 +9,7 @@
 int main(int argc, char** argv) {
   using namespace pipad;
   const auto flags = bench::Flags::parse(argc, argv);
-  bench::DatasetCache cache;
+  bench::DatasetCache cache(flags);
 
   std::printf("Figure 4: GPU computation-time breakdown (PyGT)\n\n");
   std::printf("%-11s %-18s %8s %8s %8s\n", "Model", "Dataset", "GNN%",

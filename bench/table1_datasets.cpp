@@ -9,7 +9,7 @@
 int main(int argc, char** argv) {
   using namespace pipad;
   const auto flags = bench::Flags::parse(argc, argv);
-  bench::DatasetCache cache;
+  bench::DatasetCache cache(flags);
 
   std::printf(
       "Table 1: synthetic stand-ins for the evaluation datasets "

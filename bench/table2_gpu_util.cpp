@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   using namespace pipad;
   const auto flags = bench::Flags::parse(argc, argv);
-  bench::DatasetCache cache;
+  bench::DatasetCache cache(flags);
 
   std::printf("Table 2: GPU utilization (%%) — device-active fraction\n\n");
   for (auto model : bench::all_models()) {

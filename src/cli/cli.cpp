@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <climits>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -9,9 +10,12 @@
 #include "baselines/baseline_trainer.hpp"
 #include "common/compute_pool.hpp"
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "gpusim/trace.hpp"
 #include "graph/generator.hpp"
+#include "graph/io/loader.hpp"
 #include "host/host_lane.hpp"
+#include "models/bench_record.hpp"
 #include "models/training.hpp"
 #include "pipad/pipad_trainer.hpp"
 
@@ -64,7 +68,36 @@ baselines::Variant baseline_variant(const std::string& runtime) {
   return baselines::Variant::PyGT;
 }
 
-graph::DTDG build_dataset(const Options& o) {
+/// A dataset plus, for on-disk loads, the measured ingest phases that get
+/// charged to the simulated worker lanes before training starts.
+struct BuiltDataset {
+  graph::DTDG data;
+  graph::io::LoadStats load;
+  bool from_file = false;
+};
+
+BuiltDataset build_dataset(const Options& o) {
+  // Dataset construction parallelizes on the process-wide ComputePool —
+  // the same lanes the trainer's host prep and numeric kernels will use
+  // (deterministic for any thread count).
+  ComputePool::instance().configure(
+      o.threads > 0 ? static_cast<std::size_t>(o.threads) : 0);
+  BuiltDataset b;
+  if (graph::io::is_file_dataset(o.dataset)) {
+    graph::io::LoadOptions lo;
+    lo.snapshot_count = o.snapshots;
+    lo.snapshot_window = o.snapshot_window;
+    lo.edge_life = o.edge_life_set ? static_cast<int>(o.edge_life) : 1;
+    lo.feat_dim = o.feat_dim;
+    lo.features_path = o.features;
+    lo.cache_dir = o.cache_dir;
+    lo.seed = o.seed;
+    b.from_file = true;
+    b.data = graph::io::load_dataset(graph::io::file_dataset_path(o.dataset),
+                                     lo, &ComputePool::instance().pool(),
+                                     &b.load);
+    return b;
+  }
   graph::DatasetConfig cfg;
   if (o.dataset == "synthetic") {
     cfg.name = "synthetic";
@@ -78,12 +111,8 @@ graph::DTDG build_dataset(const Options& o) {
     cfg = graph::dataset_by_name(o.dataset, o.scale_large, o.scale_small);
     if (o.snapshots > 0) cfg.num_snapshots = o.snapshots;
   }
-  // Snapshot construction parallelizes on the process-wide ComputePool —
-  // the same lanes the trainer's host prep and numeric kernels will use
-  // (deterministic for any thread count).
-  ComputePool::instance().configure(
-      o.threads > 0 ? static_cast<std::size_t>(o.threads) : 0);
-  return graph::generate(cfg, &ComputePool::instance().pool());
+  b.data = graph::generate(cfg, &ComputePool::instance().pool());
+  return b;
 }
 
 models::TrainConfig train_config(const Options& o) {
@@ -103,15 +132,21 @@ runtime::PipadOptions pipad_options(const Options& o) {
 }
 
 /// Train under the named runtime on a fresh Gpu, leaving the timeline in
-/// `gpu` for callers that want to render it.
+/// `gpu` for callers that want to render it. On-disk datasets first charge
+/// their measured ingest to the worker lanes (prep:load:* ops), so the
+/// simulated makespan includes what every real run pays.
 models::TrainResult run_method(const Options& o, const std::string& runtime,
-                               gpusim::Gpu& gpu, const graph::DTDG& data) {
+                               gpusim::Gpu& gpu, const BuiltDataset& b) {
+  if (b.from_file) {
+    host::charge_load(gpu, b.load,
+                      o.threads > 0 ? static_cast<std::size_t>(o.threads) : 0);
+  }
   const models::TrainConfig tcfg = train_config(o);
   if (runtime == "pipad") {
-    runtime::PipadTrainer trainer(gpu, data, tcfg, pipad_options(o));
+    runtime::PipadTrainer trainer(gpu, b.data, tcfg, pipad_options(o));
     return trainer.train();
   }
-  baselines::BaselineTrainer trainer(gpu, data, tcfg,
+  baselines::BaselineTrainer trainer(gpu, b.data, tcfg,
                                      baseline_variant(runtime));
   return trainer.train();
 }
@@ -134,9 +169,42 @@ void print_dataset(const graph::DTDG& data) {
               data.num_snapshots(), data.feat_dim);
 }
 
+/// Write the bench records in the bench_util.hpp JsonReport layout, so
+/// `bench_diff` can gate `pipad bench` runs (CI does this for the
+/// checked-in sample dataset).
+bool write_bench_json(const Options& o, const std::string& dataset,
+                      const std::string& base_method,
+                      const models::TrainResult& rb,
+                      const models::TrainResult& rp) {
+  std::ofstream os(o.json);
+  if (!os) {
+    std::fprintf(stderr, "pipad: cannot open %s for writing\n",
+                 o.json.c_str());
+    return false;
+  }
+  os << "{\n  \"bench\": \"pipad-cli\",\n"
+     << "  \"flags\": {\"epochs\": " << o.epochs
+     << ", \"frames\": " << o.frames << ", \"frame_size\": " << o.frame_size
+     << ", \"threads\": " << o.threads << "},\n"
+     << "  \"records\": [\n"
+     << models::bench_record_json(dataset, o.model, base_method,
+                                  rb.total_us / o.epochs, rb)
+     << ",\n"
+     << models::bench_record_json(dataset, o.model, "pipad",
+                                  rp.total_us / o.epochs, rp)
+     << "\n  ]\n}\n";
+  os.flush();  // Surface buffered write errors (ENOSPC) before reporting.
+  if (!os) {
+    std::fprintf(stderr, "pipad: write failed: %s\n", o.json.c_str());
+    return false;
+  }
+  std::printf("\n2 records written to %s\n", o.json.c_str());
+  return true;
+}
+
 int cmd_train(const Options& o) {
-  const graph::DTDG data = build_dataset(o);
-  print_dataset(data);
+  const BuiltDataset data = build_dataset(o);
+  print_dataset(data.data);
   std::printf("training %s under %s: %d epochs, frame size %d\n",
               models::model_type_name(model_type(o.model)), o.runtime.c_str(),
               o.epochs, o.frame_size);
@@ -148,8 +216,8 @@ int cmd_train(const Options& o) {
 }
 
 int cmd_bench(const Options& o) {
-  const graph::DTDG data = build_dataset(o);
-  print_dataset(data);
+  const BuiltDataset data = build_dataset(o);
+  print_dataset(data.data);
   // Compare PiPAD against the requested baseline (plain PyGT unless the
   // user picked a specific variant).
   const std::string base = o.runtime == "pipad" ? "pygt" : o.runtime;
@@ -162,12 +230,15 @@ int cmd_bench(const Options& o) {
   print_result("pipad", rp);
   std::printf("\nPiPAD end-to-end speedup over %s: %.2fx\n", base.c_str(),
               rb.total_us / rp.total_us);
+  if (!o.json.empty() && !write_bench_json(o, data.data.name, base, rb, rp)) {
+    return 1;
+  }
   return 0;
 }
 
 int cmd_trace(const Options& o) {
-  const graph::DTDG data = build_dataset(o);
-  print_dataset(data);
+  const BuiltDataset data = build_dataset(o);
+  print_dataset(data.data);
   const std::string base = o.runtime == "pipad" ? "pygt" : o.runtime;
   gpusim::Gpu gpu_base;
   run_method(o, base, gpu_base, data);
@@ -216,14 +287,29 @@ std::string usage() {
       "flags:\n"
       "  --model NAME       gcn | tgcn | evolvegcn | mpnn-lstm  [tgcn]\n"
       "  --runtime NAME     pipad | pygt | pygt-a | pygt-r | pygt-g  [pipad]\n"
-      "  --dataset NAME     synthetic, or a Table-1 name (flickr, youtube,\n"
+      "  --dataset SPEC     synthetic, a Table-1 name (flickr, youtube,\n"
       "                     amz-automotive, epinions, hepth, pems08,\n"
-      "                     covid19-england)  [synthetic]\n"
-      "  --snapshots N      override the dataset's snapshot count\n"
+      "                     covid19-england), or file:PATH — load a\n"
+      "                     timestamped edge list (`src dst t [w]`), a\n"
+      "                     temporal CSV (src,dst,t header), or a binary\n"
+      "                     .dtdg snapshot file from disk (see\n"
+      "                     docs/DATASET_FORMATS.md)  [synthetic]\n"
+      "  --snapshots N      override the dataset's snapshot count (file:\n"
+      "                     split the time range into exactly N windows)\n"
+      "  --snapshot-window N  file: bucket edges into time windows of N\n"
+      "                     timestamp units (default: one snapshot per\n"
+      "                     distinct timestamp, or the file's snapshots=S\n"
+      "                     directive)\n"
+      "  --features FILE    file: node-feature file (# pipad-features);\n"
+      "                     omitted = seeded synthetic features\n"
+      "  --cache-dir DIR    file: cache parsed snapshots as .dtdg; later\n"
+      "                     runs with the same inputs skip the parse\n"
       "  --nodes N          synthetic: vertex count  [2000]\n"
       "  --events N         synthetic: distinct temporal edges  [40000]\n"
       "  --feat-dim N       synthetic: feature dimension  [2]\n"
-      "  --edge-life X      synthetic: mean snapshots an edge lives  [8]\n"
+      "  --edge-life X      synthetic: mean snapshots an edge lives [8];\n"
+      "                     file: integer snapshots each edge instance\n"
+      "                     stays alive  [1]\n"
       "  --scale-large N    divisor for the four large named graphs  [256]\n"
       "  --scale-small N    divisor for hepth  [8]\n"
       "  --epochs N         training epochs  [2]\n"
@@ -233,6 +319,9 @@ std::string usage() {
       "                     kernels), 0 = default  [0]\n"
       "  --seed N           dataset + model RNG seed  [2023]\n"
       "  --out FILE         trace: write the PiPAD timeline as CSV\n"
+      "  --json FILE        bench: write per-method records as JSON\n"
+      "                     (bench_diff-compatible)\n"
+      "  --log-level L      debug | info | warn | error | off  [warn]\n"
       "  --help             print this text\n";
 }
 
@@ -308,6 +397,20 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       o.dataset = value;
     } else if (flag == "--out") {
       o.out = value;
+    } else if (flag == "--json") {
+      o.json = value;
+    } else if (flag == "--features") {
+      o.features = value;
+    } else if (flag == "--cache-dir") {
+      o.cache_dir = value;
+    } else if (flag == "--log-level") {
+      if (value != "debug" && value != "info" && value != "warn" &&
+          value != "error" && value != "off") {
+        res.error = "unknown log level '" + value +
+                    "' (expected debug | info | warn | error | off)";
+        return res;
+      }
+      o.log_level = value;
     } else if (flag == "--edge-life") {
       double x = 0.0;
       if (!parse_f(value, x) || x < 1.0) {
@@ -315,19 +418,21 @@ ParseResult parse_args(const std::vector<std::string>& args) {
         return res;
       }
       o.edge_life = x;
+      o.edge_life_set = true;
     } else if (flag == "--snapshots" || flag == "--nodes" ||
                flag == "--events" || flag == "--feat-dim" ||
                flag == "--scale-large" || flag == "--scale-small" ||
                flag == "--epochs" || flag == "--frame-size" ||
                flag == "--frames" || flag == "--threads" ||
-               flag == "--seed") {
+               flag == "--seed" || flag == "--snapshot-window") {
       if (!parse_ll(value, n) || n < 0) {
         res.error = flag + " expects a non-negative integer, got '" + value +
                     "'";
         return res;
       }
-      // Everything except --events and --seed lands in an int.
-      if (flag != "--events" && flag != "--seed" && n > INT_MAX) {
+      // Everything except the 64-bit flags lands in an int.
+      if (flag != "--events" && flag != "--seed" &&
+          flag != "--snapshot-window" && n > INT_MAX) {
         res.error = flag + " value " + value + " is out of range";
         return res;
       }
@@ -341,6 +446,7 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       else if (flag == "--frame-size") o.frame_size = static_cast<int>(n);
       else if (flag == "--frames") o.frames = static_cast<int>(n);
       else if (flag == "--threads") o.threads = static_cast<int>(n);
+      else if (flag == "--snapshot-window") o.snapshot_window = n;
       else o.seed = static_cast<std::uint64_t>(n);
     } else {
       res.error = "unknown flag '" + flag + "'";
@@ -359,12 +465,46 @@ ParseResult parse_args(const std::vector<std::string>& args) {
     res.error = "--scale-large and --scale-small must be positive";
     return res;
   }
+  const bool file_ds = graph::io::is_file_dataset(o.dataset);
+  if (!file_ds && (o.snapshot_window > 0 || !o.cache_dir.empty() ||
+                   !o.features.empty())) {
+    res.error =
+        "--snapshot-window, --cache-dir and --features require "
+        "--dataset file:PATH";
+    return res;
+  }
+  if (file_ds && o.snapshot_window > 0 && o.snapshots > 0) {
+    res.error =
+        "--snapshot-window and --snapshots are mutually exclusive for "
+        "file: datasets";
+    return res;
+  }
+  // std::floor comparison, not a cast round trip: casting a huge double to
+  // int is UB before we could reject it.
+  if (file_ds && o.edge_life_set &&
+      (o.edge_life != std::floor(o.edge_life) || o.edge_life > 1000000.0)) {
+    res.error =
+        "--edge-life must be an integer snapshot count (<= 1000000) for "
+        "file: datasets";
+    return res;
+  }
+  if (!o.json.empty() && o.command != Command::Bench) {
+    res.error = "--json is only supported by the bench subcommand";
+    return res;
+  }
 
   res.ok = true;
   return res;
 }
 
 int run(const Options& opts) {
+  // --log-level debug exposes the runtime's decision log — including the
+  // dataset loader's cache hit/miss lines.
+  if (opts.log_level == "debug") set_log_level(LogLevel::Debug);
+  else if (opts.log_level == "info") set_log_level(LogLevel::Info);
+  else if (opts.log_level == "error") set_log_level(LogLevel::Error);
+  else if (opts.log_level == "off") set_log_level(LogLevel::Off);
+  else set_log_level(LogLevel::Warn);
   switch (opts.command) {
     case Command::Help:
       std::printf("%s", usage().c_str());
@@ -390,6 +530,11 @@ int main_impl(int argc, const char* const* argv) {
   try {
     return run(parsed.options);
   } catch (const Error& e) {
+    std::fprintf(stderr, "pipad: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // E.g. bad_alloc from a corrupt on-disk dataset: fail with an exit
+    // code, not std::terminate.
     std::fprintf(stderr, "pipad: %s\n", e.what());
     return 1;
   }

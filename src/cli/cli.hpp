@@ -24,14 +24,23 @@ struct Options {
   std::string model = "tgcn";       ///< gcn | tgcn | evolvegcn | mpnn-lstm.
   std::string runtime = "pipad";    ///< pipad | pygt | pygt-a | pygt-r | pygt-g.
 
-  // Dataset: one of the seven Table-1 names, or "synthetic" (generated from
-  // the --nodes/--events/--feat-dim/--edge-life knobs below).
+  // Dataset: one of the seven Table-1 names, "synthetic" (generated from
+  // the --nodes/--events/--feat-dim/--edge-life knobs below), or
+  // "file:PATH" — an on-disk timestamped edge list / temporal CSV / binary
+  // .dtdg snapshot file (src/graph/io, docs/DATASET_FORMATS.md).
   std::string dataset = "synthetic";
-  int snapshots = 0;        ///< >0 overrides the dataset's snapshot count.
+  int snapshots = 0;        ///< >0 overrides the dataset's snapshot count
+                            ///< (file: split the time range into N windows).
+  long long snapshot_window = 0;  ///< file: fixed time-window width.
+  std::string features;     ///< file: optional node-feature file.
+  std::string cache_dir;    ///< file: .dtdg snapshot-cache directory.
   int nodes = 2000;         ///< Synthetic vertex count.
   long long events = 40000; ///< Synthetic distinct temporal edges.
   int feat_dim = 2;         ///< Synthetic feature dimension.
-  double edge_life = 8.0;   ///< Synthetic mean snapshots an edge stays alive.
+  double edge_life = 8.0;   ///< Synthetic: mean snapshots an edge stays
+                            ///< alive. file: integer snapshots each edge
+                            ///< instance lives (default 1 when not given).
+  bool edge_life_set = false;  ///< --edge-life was passed explicitly.
   int scale_large = 256;    ///< Divisor for the four large named graphs.
   int scale_small = 8;      ///< Divisor for HepTh.
 
@@ -44,6 +53,9 @@ struct Options {
   std::uint64_t seed = 2023;
 
   std::string out;          ///< `trace`: CSV output path (empty = stdout only).
+  std::string json;         ///< `bench`: write per-method records as JSON
+                            ///< (bench_diff-compatible).
+  std::string log_level = "warn";  ///< debug | info | warn | error | off.
 };
 
 struct ParseResult {

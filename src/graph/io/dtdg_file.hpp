@@ -1,0 +1,56 @@
+// Binary DTDG snapshot files (`.dtdg`) — the on-disk cache that lets a
+// re-run skip the text parse entirely.
+//
+// Layout (native little-endian, no padding; docs/DATASET_FORMATS.md):
+//
+//   u8[8]  magic            "PIPADTDG"
+//   u32    version          1
+//   u64    config_hash      FNV-1a over source bytes + load options; the
+//                           loader treats a mismatch as a cache miss
+//   i32    num_nodes
+//   i32    feat_dim
+//   i32    num_snapshots
+//   i32    sim_scale
+//   u32    name_len, u8[name_len] name
+//   per snapshot, in order:
+//     u64  nnz
+//     i32[num_nodes + 1]        adj.row_ptr
+//     i32[nnz]                  adj.col_idx
+//     f32[num_nodes * feat_dim] features (row-major)
+//     f32[num_nodes]            targets
+//
+// The transpose (adj_t) is NOT stored: it is recomputed on read — pool-
+// parallel, one snapshot per task — which halves the file and keeps the
+// cache bit-exact (transpose() is deterministic). Readers validate every
+// CSR and reject trailing bytes, so a truncated or corrupt file fails
+// loudly instead of producing a bad dataset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "graph/dtdg.hpp"
+
+namespace pipad::graph::io {
+
+inline constexpr char kDtdgMagic[8] = {'P', 'I', 'P', 'A', 'D', 'T', 'D', 'G'};
+inline constexpr std::uint32_t kDtdgVersion = 1;
+
+/// Serialize a DTDG. Writes to `path + ".tmp"` then renames, so concurrent
+/// readers never observe a half-written cache file. Throws Error on I/O
+/// failure or an inconsistently-shaped DTDG.
+void write_dtdg(const DTDG& g, const std::string& path,
+                std::uint64_t config_hash);
+
+/// Read just the header's config hash (cache probe). Throws Error on bad
+/// magic / unsupported version / truncation.
+std::uint64_t read_dtdg_hash(const std::string& path);
+
+/// Full read; adj_t is recomputed (pool-parallel when a pool is given and
+/// the caller is not already on a pool worker). Throws Error on any
+/// structural problem. `config_hash` receives the stored hash if non-null.
+DTDG read_dtdg(const std::string& path, ThreadPool* pool = nullptr,
+               std::uint64_t* config_hash = nullptr);
+
+}  // namespace pipad::graph::io

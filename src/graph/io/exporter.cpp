@@ -1,0 +1,103 @@
+#include "graph/io/exporter.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace pipad::graph::io {
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw Error("cannot write " + path);
+  return os;
+}
+
+void finish(std::ofstream& os, const std::string& path) {
+  os.flush();
+  if (!os) throw Error("write failed: " + path);
+}
+
+/// Emit every (src, dst, snapshot) triple through `emit`.
+template <typename Emit>
+void for_each_edge(const DTDG& g, const Emit& emit) {
+  for (int t = 0; t < g.num_snapshots(); ++t) {
+    const CSR& adj = g.snapshots[t].adj;
+    for (int dst = 0; dst < adj.rows; ++dst) {
+      for (int i = adj.row_ptr[dst]; i < adj.row_ptr[dst + 1]; ++i) {
+        emit(adj.col_idx[i], dst, t);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void export_edge_list(const DTDG& g, const std::string& path) {
+  std::ofstream os = open_out(path);
+  os << "# pipad temporal edge list — exported from dataset '" << g.name
+     << "'\n";
+  os << "# nodes=" << g.num_nodes << " snapshots=" << g.num_snapshots()
+     << "\n";
+  char buf[64];
+  for_each_edge(g, [&](int src, int dst, int t) {
+    std::snprintf(buf, sizeof(buf), "%d %d %d\n", src, dst, t);
+    os << buf;
+  });
+  finish(os, path);
+}
+
+void export_csv(const DTDG& g, const std::string& path) {
+  std::ofstream os = open_out(path);
+  os << "# exported from dataset '" << g.name << "'\n";
+  os << "# nodes=" << g.num_nodes << " snapshots=" << g.num_snapshots()
+     << "\n";
+  os << "src,dst,t\n";
+  char buf[64];
+  for_each_edge(g, [&](int src, int dst, int t) {
+    std::snprintf(buf, sizeof(buf), "%d,%d,%d\n", src, dst, t);
+    os << buf;
+  });
+  finish(os, path);
+}
+
+void export_features(const DTDG& g, const std::string& path) {
+  std::ofstream os = open_out(path);
+  os << "# pipad-features v1 dim=" << g.feat_dim << " temporal\n";
+  char buf[64];
+  for (int t = 0; t < g.num_snapshots(); ++t) {
+    const Tensor& f = g.snapshots[t].features;
+    for (int v = 0; v < g.num_nodes; ++v) {
+      os << t << ' ' << v;
+      for (int d = 0; d < g.feat_dim; ++d) {
+        // %.9g round-trips binary32 exactly (max_digits10 == 9).
+        std::snprintf(buf, sizeof(buf), " %.9g",
+                      static_cast<double>(f.at(v, d)));
+        os << buf;
+      }
+      os << '\n';
+    }
+  }
+  finish(os, path);
+}
+
+void export_targets(const DTDG& g, const std::string& path) {
+  std::ofstream os = open_out(path);
+  os << "# pipad-targets v1\n";
+  char buf[64];
+  for (int t = 0; t < g.num_snapshots(); ++t) {
+    PIPAD_CHECK_MSG(g.targets[t].rows() == g.num_nodes &&
+                        g.targets[t].cols() == 1,
+                    "snapshot " << t << " target shape mismatch");
+    for (int v = 0; v < g.num_nodes; ++v) {
+      std::snprintf(buf, sizeof(buf), "%d %d %.9g\n", t, v,
+                    static_cast<double>(g.targets[t].at(v, 0)));
+      os << buf;
+    }
+  }
+  finish(os, path);
+}
+
+}  // namespace pipad::graph::io

@@ -1,0 +1,35 @@
+// Round-trip exporters: write a DTDG (e.g. a synthetic generator's output)
+// back out as the text formats the loader ingests.
+//
+// Edge timestamps are emitted as the snapshot index, and `# nodes=N` /
+// `# snapshots=S` directives pin the vertex space and snapshot count, so
+//
+//   generate -> export_{edge_list,csv} + export_features + export_targets
+//            -> load_dataset(..., features_path, targets_path)
+//
+// reproduces the original DTDG bit-for-bit (floats are printed with %.9g,
+// which round-trips IEEE binary32 exactly; only `name`, which the loader
+// derives from the file name, differs). This is both the loader's hardest
+// correctness test and the migration path for moving generated workloads
+// onto disk.
+#pragma once
+
+#include <string>
+
+#include "graph/dtdg.hpp"
+
+namespace pipad::graph::io {
+
+/// `src dst t` lines, one per edge instance per snapshot.
+void export_edge_list(const DTDG& g, const std::string& path);
+
+/// CSV with a `src,dst,t` header.
+void export_csv(const DTDG& g, const std::string& path);
+
+/// Temporal feature file (`# pipad-features v1 dim=D temporal`).
+void export_features(const DTDG& g, const std::string& path);
+
+/// Target file (`# pipad-targets v1`).
+void export_targets(const DTDG& g, const std::string& path);
+
+}  // namespace pipad::graph::io

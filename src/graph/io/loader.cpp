@@ -1,0 +1,423 @@
+#include "graph/io/loader.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "graph/io/dtdg_file.hpp"
+#include "graph/io/text_format.hpp"
+
+namespace pipad::graph::io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Bumped whenever the loader's semantics change, so stale caches from an
+/// older code version never match.
+constexpr std::uint64_t kLoaderVersion = 1;
+
+/// Default snapshotting (one snapshot per distinct timestamp) refuses to
+/// explode on epoch-style timestamps; callers must pick a window instead.
+constexpr int kMaxAutoSnapshots = 4096;
+
+std::uint64_t config_hash(const std::string& content,
+                          const std::string& feat_content,
+                          const std::string& targ_content,
+                          const LoadOptions& o) {
+  std::uint64_t h = fnv1a_u64(kLoaderVersion);
+  h = fnv1a(content.data(), content.size(), h);
+  h = fnv1a_u64(content.size(), h);
+  // Presence bits: an *absent* sidecar file must key differently from an
+  // empty one (the latter is a parse error a warm cache must not mask).
+  h = fnv1a_u64(o.features_path.empty() ? 0 : 1, h);
+  h = fnv1a(feat_content.data(), feat_content.size(), h);
+  h = fnv1a_u64(feat_content.size(), h);
+  h = fnv1a_u64(o.targets_path.empty() ? 0 : 1, h);
+  h = fnv1a(targ_content.data(), targ_content.size(), h);
+  h = fnv1a_u64(targ_content.size(), h);
+  h = fnv1a_u64(static_cast<std::uint64_t>(o.snapshot_window), h);
+  h = fnv1a_u64(static_cast<std::uint64_t>(o.snapshot_count), h);
+  h = fnv1a_u64(static_cast<std::uint64_t>(o.edge_life), h);
+  h = fnv1a_u64(static_cast<std::uint64_t>(o.feat_dim), h);
+  h = fnv1a_u64(o.add_self_loops ? 1u : 0u, h);
+  h = fnv1a_u64(o.seed, h);
+  return h;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[v & 0xF];
+    v >>= 4;
+  }
+  return s;
+}
+
+std::string file_stem(const std::string& path) {
+  const std::string stem = fs::path(path).stem().string();
+  return stem.empty() ? std::string("dataset") : stem;
+}
+
+/// A pool usable from this thread (nested pool calls run inline instead).
+ThreadPool* usable_pool(ThreadPool* pool) {
+  return (pool != nullptr && ThreadPool::current_pool() == nullptr) ? pool
+                                                                    : nullptr;
+}
+
+/// The generator's regression target: normalized in-degree blended with
+/// the node's mean feature plus a shared seasonal term, so any on-disk
+/// topology yields a learnable task even without a targets file.
+void synthesize_target(const Snapshot& snap, int t, int feat_dim,
+                       Tensor& out) {
+  const int n = snap.adj.rows;
+  const float season =
+      std::sin(2.0f * 3.14159265f * static_cast<float>(t) / 12.0f);
+  for (int v = 0; v < n; ++v) {
+    const float deg = static_cast<float>(snap.adj.degree(v));
+    float fmean = 0.0f;
+    for (int d = 0; d < feat_dim; ++d) fmean += snap.features.at(v, d);
+    fmean /= static_cast<float>(feat_dim);
+    out.at(v, 0) = 0.5f * std::log1p(deg) + 0.5f * fmean + 0.1f * season;
+  }
+}
+
+}  // namespace
+
+DTDG load_dataset(const std::string& path, const LoadOptions& opts,
+                  ThreadPool* pool, LoadStats* stats) {
+  PIPAD_CHECK_MSG(!(opts.snapshot_window > 0 && opts.snapshot_count > 0),
+                  "snapshot_window and snapshot_count are mutually exclusive");
+  PIPAD_CHECK_MSG(opts.edge_life >= 1, "edge_life must be >= 1");
+  PIPAD_CHECK_MSG(opts.feat_dim >= 1, "feat_dim must be >= 1");
+  ThreadPool* p = usable_pool(pool);
+  LoadStats st;
+
+  const std::string ext = fs::path(path).extension().string();
+  if (ext == ".dtdg") {
+    // Direct binary dataset: already snapshotted, featured and targeted —
+    // options that would reshape it are errors, not silently dropped.
+    if (opts.snapshot_count > 0 || opts.snapshot_window > 0 ||
+        opts.edge_life != 1 || opts.add_self_loops ||
+        !opts.features_path.empty() || !opts.targets_path.empty()) {
+      throw Error(path +
+                  ": snapshotting/edge-life/self-loop/feature/target options "
+                  "do not apply to binary .dtdg files (re-export the source "
+                  "data to reshape it)");
+    }
+    Timer rt;
+    DTDG g = read_dtdg(path, p);
+    st.read_us = rt.elapsed_us();
+    st.build_tasks = static_cast<std::size_t>(g.num_snapshots());
+    st.edges = g.total_edges();
+    if (stats != nullptr) *stats = st;
+    PIPAD_DEBUG("loaded binary dataset " << path << ": " << g.num_nodes
+                                         << " vertices, " << st.edges
+                                         << " edge instances, "
+                                         << g.num_snapshots() << " snapshots");
+    return g;
+  }
+
+  // ---- Read + hash (the cache key covers every input byte + option) ----
+  Timer rt;
+  const std::string content = read_file(path);
+  const std::string feat_content =
+      opts.features_path.empty() ? std::string() : read_file(opts.features_path);
+  const std::string targ_content =
+      opts.targets_path.empty() ? std::string() : read_file(opts.targets_path);
+  const std::uint64_t key =
+      config_hash(content, feat_content, targ_content, opts);
+  st.read_us = rt.elapsed_us();
+
+  // ---- Cache probe ----
+  if (!opts.cache_dir.empty()) {
+    st.cache_path =
+        (fs::path(opts.cache_dir) / (file_stem(path) + "-" + hex16(key) +
+                                     ".dtdg"))
+            .string();
+    std::error_code ec;
+    if (fs::exists(st.cache_path, ec)) {
+      Timer ct;
+      try {
+        std::uint64_t stored = 0;
+        DTDG g = read_dtdg(st.cache_path, p, &stored);
+        if (stored == key) {
+          st.cache_us = ct.elapsed_us();
+          st.cache_hit = true;
+          st.build_tasks = static_cast<std::size_t>(g.num_snapshots());
+          st.edges = g.total_edges();
+          if (stats != nullptr) *stats = st;
+          PIPAD_DEBUG("dataset cache hit for " << path << " at "
+                                               << st.cache_path << " ("
+                                               << g.num_snapshots()
+                                               << " snapshots, " << st.edges
+                                               << " edge instances)");
+          return g;
+        }
+        PIPAD_DEBUG("dataset cache stale for " << path << " at "
+                                               << st.cache_path);
+      } catch (const std::exception& e) {
+        // Any corruption — including bad_alloc/length_error from a header
+        // that requests an absurd allocation — is a miss, never an abort.
+        PIPAD_WARN("ignoring unreadable dataset cache " << st.cache_path
+                                                        << ": " << e.what());
+      }
+    }
+  }
+
+  // ---- Parse (chunk-parallel) ----
+  Timer pt;
+  EdgeFile ef = ext == ".csv" ? parse_temporal_csv(path, content, p)
+                              : parse_edge_list(path, content, p);
+  st.parse_us = pt.elapsed_us();
+  st.parse_chunks = ef.parse_chunks;
+  if (ef.edges.empty()) throw Error(path + ": contains no edges");
+
+  Timer bt;
+
+  // ---- Vertex remapping ----
+  // `dense` is THE mapping rule (unchecked — callers guarantee the id is
+  // mappable); `remap` is validation + dense, for sidecar files whose ids
+  // were not vetted with the edge stream.
+  int n = 0;
+  std::vector<long long> ids;  // Sorted unique raw ids (remapped mode).
+  const bool identity = ef.declared_nodes >= 0;
+  if (identity) {
+    PIPAD_CHECK_MSG(ef.declared_nodes <= std::numeric_limits<int>::max(),
+                    path << ": nodes directive out of range");
+    n = static_cast<int>(ef.declared_nodes);
+    for (const TemporalEdge& e : ef.edges) {
+      if (e.src >= n || e.dst >= n) {
+        throw Error(path + ": vertex id " +
+                    std::to_string(std::max(e.src, e.dst)) +
+                    " out of range for declared nodes=" + std::to_string(n));
+      }
+    }
+  } else {
+    ids.reserve(ef.edges.size() * 2);
+    for (const TemporalEdge& e : ef.edges) {
+      ids.push_back(e.src);
+      ids.push_back(e.dst);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    PIPAD_CHECK_MSG(ids.size() <=
+                        static_cast<std::size_t>(std::numeric_limits<int>::max()),
+                    path << ": too many distinct vertices");
+    n = static_cast<int>(ids.size());
+  }
+  const auto dense = [&ids, identity](long long id) {
+    if (identity) return static_cast<int>(id);
+    return static_cast<int>(std::lower_bound(ids.begin(), ids.end(), id) -
+                            ids.begin());
+  };
+  std::function<int(long long)> remap;
+  if (identity) {
+    remap = [n, dense](long long id) {
+      if (id < 0 || id >= n) {
+        throw Error("vertex id " + std::to_string(id) +
+                    " out of range for declared nodes=" + std::to_string(n));
+      }
+      return dense(id);
+    };
+  } else {
+    remap = [&ids, dense](long long id) {
+      if (!std::binary_search(ids.begin(), ids.end(), id)) {
+        throw Error("vertex id " + std::to_string(id) +
+                    " does not appear in the edge file");
+      }
+      return dense(id);
+    };
+  }
+
+  // ---- Snapshotting ----
+  const long long t_min = ef.edges.front().t;
+  const long long t_max = ef.edges.back().t;
+  // Window arithmetic runs on the unsigned span: subtraction of full-range
+  // 64-bit timestamps would be signed-overflow UB, and the unsigned
+  // magnitude is always exact (t_max >= t_min).
+  const auto uspan = static_cast<unsigned long long>(t_max) -
+                     static_cast<unsigned long long>(t_min);
+  int S = 0;
+  unsigned long long window = 0;  // 0 = distinct-t or declared-index mode.
+  bool declared_index = false;
+  if (opts.snapshot_count > 0) {
+    S = opts.snapshot_count;
+    // floor(uspan/S) + 1 == ceil((uspan + 1) / S), without the +1 overflow —
+    // except when uspan/S is itself ULLONG_MAX (S == 1 over the full 64-bit
+    // range), where the +1 wraps to 0; saturate instead (the staging loop
+    // clamps bucket indices to S-1, so one max-width window is exact).
+    window = uspan / static_cast<unsigned long long>(S) + 1;
+    if (window == 0) {
+      window = std::numeric_limits<unsigned long long>::max();
+    }
+  } else if (opts.snapshot_window > 0) {
+    window = static_cast<unsigned long long>(opts.snapshot_window);
+    // Highest bucket index first: `uspan / window + 1` itself can wrap.
+    const unsigned long long buckets = uspan / window;
+    if (buckets >= static_cast<unsigned long long>(
+                       std::numeric_limits<int>::max())) {
+      throw Error(path + ": snapshot_window produces " +
+                  std::to_string(buckets) + "+1 snapshots");
+    }
+    S = static_cast<int>(buckets) + 1;
+  } else if (ef.declared_snapshots > 0) {
+    S = ef.declared_snapshots;
+    declared_index = true;
+    if (t_min < 0 || t_max >= S) {
+      throw Error(path + ": timestamp " +
+                  std::to_string(t_min < 0 ? t_min : t_max) +
+                  " out of range for declared snapshots=" + std::to_string(S));
+    }
+  } else {
+    // One snapshot per distinct timestamp.
+    long long distinct = 1;
+    for (std::size_t i = 1; i < ef.edges.size(); ++i) {
+      if (ef.edges[i].t != ef.edges[i - 1].t) ++distinct;
+    }
+    if (distinct > kMaxAutoSnapshots) {
+      throw Error(path + ": " + std::to_string(distinct) +
+                  " distinct timestamps — pass snapshot_window/"
+                  "snapshot_count (--snapshot-window/--snapshots) to bucket "
+                  "them");
+    }
+    S = static_cast<int>(distinct);
+  }
+
+  // Stage every snapshot's raw edge keys; the edges are timestamp-sorted,
+  // so distinct-timestamp ranks advance monotonically in one walk.
+  std::vector<std::vector<std::uint64_t>> keys_at(
+      static_cast<std::size_t>(S));
+  {
+    int rank = 0;
+    long long rank_t = t_min;
+    for (const TemporalEdge& e : ef.edges) {
+      int s0;
+      if (declared_index) {
+        s0 = static_cast<int>(e.t);
+      } else if (window > 0) {
+        const auto bucket = (static_cast<unsigned long long>(e.t) -
+                             static_cast<unsigned long long>(t_min)) /
+                            window;
+        s0 = static_cast<int>(std::min<unsigned long long>(
+            static_cast<unsigned long long>(S) - 1, bucket));
+      } else {
+        if (e.t != rank_t) {
+          ++rank;
+          rank_t = e.t;
+        }
+        s0 = rank;
+      }
+      const std::uint64_t key64 = edge_key(Edge{dense(e.src), dense(e.dst)});
+      // long long: s0 + edge_life can exceed INT_MAX for huge lifetimes.
+      const int s_end = static_cast<int>(std::min<long long>(
+          S, static_cast<long long>(s0) + opts.edge_life));
+      for (int s = s0; s < s_end; ++s) {
+        keys_at[static_cast<std::size_t>(s)].push_back(key64);
+      }
+    }
+  }
+
+  // ---- Features ----
+  DTDG g;
+  g.name = file_stem(path);
+  g.num_nodes = n;
+  g.sim_scale = 1;
+  g.snapshots.resize(static_cast<std::size_t>(S));
+  g.targets.resize(static_cast<std::size_t>(S));
+  if (!opts.features_path.empty()) {
+    FeatureFile ff =
+        parse_features(opts.features_path, feat_content, remap, n, S);
+    g.feat_dim = ff.dim;
+    for (int t = 0; t < S; ++t) {
+      g.snapshots[t].features =
+          ff.temporal ? std::move(ff.per_snapshot[t]) : ff.static_feat;
+    }
+  } else {
+    // Seeded AR(1) walk with a shared seasonal term — the same shape the
+    // synthetic generators produce. All RNG draws happen here, serially,
+    // so the result is independent of the pool width.
+    g.feat_dim = opts.feat_dim;
+    Rng rng(opts.seed);
+    Tensor feat = Tensor::randn(n, g.feat_dim, rng, 1.0f);
+    for (int t = 0; t < S; ++t) {
+      const float season =
+          std::sin(2.0f * 3.14159265f * static_cast<float>(t) / 12.0f);
+      for (int v = 0; v < n; ++v) {
+        for (int d = 0; d < g.feat_dim; ++d) {
+          float x = feat.at(v, d);
+          x = 0.92f * x + 0.05f * rng.normal() + 0.03f * season;
+          feat.at(v, d) = x;
+        }
+      }
+      g.snapshots[t].features = feat;
+    }
+  }
+
+  // ---- Targets ----
+  std::vector<Tensor> file_targets;
+  if (!opts.targets_path.empty()) {
+    file_targets = parse_targets(opts.targets_path, targ_content, remap, n, S);
+  }
+
+  // ---- Per-snapshot build (pool-parallel, width-independent) ----
+  const bool self_loops = opts.add_self_loops;
+  const auto build_one = [&](std::size_t t) {
+    auto& keys = keys_at[t];
+    if (self_loops) {
+      keys.reserve(keys.size() + static_cast<std::size_t>(n));
+      for (int v = 0; v < n; ++v) keys.push_back(edge_key(Edge{v, v}));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    Snapshot& snap = g.snapshots[t];
+    snap.adj = csr_from_sorted_keys(n, n, keys);
+    snap.adj_t = transpose(snap.adj);
+    keys = std::vector<std::uint64_t>();  // Free staged keys eagerly.
+    if (file_targets.empty()) {
+      Tensor y(n, 1);
+      synthesize_target(snap, static_cast<int>(t), g.feat_dim, y);
+      g.targets[t] = std::move(y);
+    } else {
+      g.targets[t] = std::move(file_targets[t]);
+    }
+  };
+  if (p != nullptr && S > 1) {
+    p->parallel_for(static_cast<std::size_t>(S), build_one);
+  } else {
+    for (int t = 0; t < S; ++t) build_one(static_cast<std::size_t>(t));
+  }
+  st.build_us = bt.elapsed_us();
+  st.build_tasks = static_cast<std::size_t>(S);
+  st.edges = g.total_edges();
+
+  // ---- Cache write ----
+  if (!st.cache_path.empty()) {
+    Timer ct;
+    std::error_code ec;
+    fs::create_directories(opts.cache_dir, ec);
+    if (ec) {
+      PIPAD_WARN("cannot create cache dir " << opts.cache_dir << ": "
+                                            << ec.message());
+    } else {
+      write_dtdg(g, st.cache_path, key);
+      st.cache_us = ct.elapsed_us();
+      PIPAD_DEBUG("dataset cache write for " << path << " at "
+                                             << st.cache_path);
+    }
+  }
+
+  PIPAD_DEBUG("loaded " << path << ": " << n << " vertices, " << st.edges
+                        << " edge instances, " << S << " snapshots, feat dim "
+                        << g.feat_dim << " (parse " << st.parse_chunks
+                        << " chunks)");
+  if (stats != nullptr) *stats = st;
+  return g;
+}
+
+}  // namespace pipad::graph::io

@@ -1,0 +1,86 @@
+// On-disk temporal dataset ingestion: the layer between raw data files and
+// the simulator's DTDG.
+//
+// `load_dataset` turns a timestamped edge-list (`src dst t [w]`), a
+// temporal-graph CSV, or a binary `.dtdg` snapshot file into a
+// graph::DTDG:
+//
+//   read      the file is read once and content-hashed (the cache key);
+//   parse     chunk-parallel on the shared ComputePool (text formats);
+//   remap     raw vertex ids are densified deterministically — ascending
+//             raw-id order — unless the file declares `nodes=N`, which
+//             pins an identity mapping and makes ids >= N an error;
+//   snapshot  edges are bucketed by timestamp into time windows
+//             (snapshot_window), an exact window count (snapshot_count),
+//             the file's `snapshots=S` directive, or — by default — one
+//             snapshot per distinct timestamp; edge_life > 1 keeps each
+//             edge instance alive for that many consecutive snapshots
+//             (the ESDG smoothing the synthetic generators apply);
+//   build     per-snapshot CSR construction, transposition and target
+//             synthesis run as parallel pool tasks, block layout
+//             independent of the pool width — the loaded DTDG is
+//             bit-identical for any thread count;
+//   cache     with cache_dir set, the result is written as a `.dtdg` file
+//             keyed by a content+options hash; a later load with the same
+//             inputs skips the parse entirely (logged at debug level).
+//
+// Features come from an optional sidecar file (static or temporal; see
+// text_format.hpp) or are synthesized as a seeded AR(1) walk; targets come
+// from a sidecar file or the generator's degree/feature/season blend.
+// Every phase is wall-clock-measured into LoadStats so callers can charge
+// the ingest to the simulated HostLane worker lanes (host::charge_load).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "graph/dtdg.hpp"
+
+namespace pipad::graph::io {
+
+struct LoadOptions {
+  long long snapshot_window = 0;  ///< >0: fixed-width time windows.
+  int snapshot_count = 0;         ///< >0: split the span into exactly K.
+  int edge_life = 1;     ///< Consecutive snapshots an edge instance lives.
+  int feat_dim = 2;      ///< Synthesized feature width (no features file);
+                         ///< matches the CLI's --feat-dim default so every
+                         ///< harness trains the same tensors by default.
+  std::string features_path;  ///< Optional `# pipad-features` file.
+  std::string targets_path;   ///< Optional `# pipad-targets` file.
+  std::string cache_dir;      ///< Non-empty: `.dtdg` snapshot cache.
+  bool add_self_loops = false;  ///< Append (v, v) to every snapshot.
+  std::uint64_t seed = 2023;    ///< Synthesized-feature RNG seed.
+};
+
+/// Measured wall-clock of each load phase (real time, not simulated), plus
+/// the task counts host::charge_load uses to occupy worker lanes.
+struct LoadStats {
+  double read_us = 0.0;   ///< File read + content hash.
+  double parse_us = 0.0;  ///< Chunk-parallel text parse (0 on cache hit).
+  double build_us = 0.0;  ///< Snapshot CSR/feature/target build.
+  double cache_us = 0.0;  ///< Cache read (hit) or write (miss).
+  bool cache_hit = false;
+  std::size_t parse_chunks = 0;  ///< Parallel width of the parse phase.
+  std::size_t build_tasks = 0;   ///< Parallel width of the build phase.
+  std::size_t edges = 0;         ///< Edge instances summed over snapshots.
+  std::string cache_path;        ///< Probed/written cache file (if any).
+};
+
+/// Load a dataset from disk. Format is picked by extension: `.csv` ->
+/// temporal CSV, `.dtdg` -> binary snapshot file, anything else -> text
+/// edge list. The DTDG's name is the file's stem. Throws Error on
+/// malformed input. `pool` parallelizes parse/build (pass
+/// &ComputePool::instance().pool(); nullptr = serial).
+DTDG load_dataset(const std::string& path, const LoadOptions& opts = {},
+                  ThreadPool* pool = nullptr, LoadStats* stats = nullptr);
+
+/// `--dataset` values of the form "file:PATH" select on-disk loading.
+inline bool is_file_dataset(const std::string& spec) {
+  return spec.rfind("file:", 0) == 0;
+}
+inline std::string file_dataset_path(const std::string& spec) {
+  return spec.substr(5);
+}
+
+}  // namespace pipad::graph::io

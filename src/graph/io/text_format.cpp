@@ -1,0 +1,625 @@
+#include "graph/io/text_format.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string_view>
+
+namespace pipad::graph::io {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw Error("cannot open " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t v, std::uint64_t h) {
+  return fnv1a(&v, sizeof(v), h);
+}
+
+namespace {
+
+constexpr std::size_t kMinChunkBytes = 4096;
+
+[[noreturn]] void fail_at(const std::string& path, std::size_t line,
+                          const std::string& msg) {
+  throw Error(path + ":" + std::to_string(line) + ": " + msg);
+}
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+long long parse_ll_tok(std::string_view tok, const std::string& path,
+                       std::size_t line, const char* what) {
+  long long v = 0;
+  const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || p != tok.data() + tok.size()) {
+    fail_at(path, line,
+            std::string("malformed ") + what + " '" + std::string(tok) + "'");
+  }
+  return v;
+}
+
+float parse_f_tok(std::string_view tok, const std::string& path,
+                  std::size_t line, const char* what) {
+  float v = 0.0f;
+  const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || p != tok.data() + tok.size() || !std::isfinite(v)) {
+    fail_at(path, line,
+            std::string("malformed ") + what + " '" + std::string(tok) + "'");
+  }
+  return v;
+}
+
+/// Split a line into whitespace-separated tokens.
+std::vector<std::string_view> ws_tokens(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && is_space(line[i])) ++i;
+    std::size_t b = i;
+    while (i < line.size() && !is_space(line[i])) ++i;
+    if (i > b) out.push_back(line.substr(b, i - b));
+  }
+  return out;
+}
+
+/// A byte range of the input covering whole lines, plus the 1-based line
+/// number its first line has in the file.
+struct Chunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t first_line = 1;
+};
+
+std::size_t count_newlines(const char* b, const char* e) {
+  std::size_t n = 0;
+  while (b < e) {
+    const char* p = static_cast<const char*>(std::memchr(b, '\n', e - b));
+    if (p == nullptr) break;
+    ++n;
+    b = p + 1;
+  }
+  return n;
+}
+
+/// Split content[start..] into at most `want` newline-aligned chunks.
+std::vector<Chunk> chunk_lines(const std::string& s, std::size_t start,
+                               std::size_t start_line, std::size_t want) {
+  std::vector<Chunk> out;
+  const std::size_t n = s.size();
+  want = std::max<std::size_t>(1, want);
+  std::size_t pos = start, line = start_line;
+  for (std::size_t i = 0; i < want && pos < n; ++i) {
+    std::size_t end = n;
+    if (i + 1 < want) {
+      const std::size_t step =
+          std::max<std::size_t>(1, (n - pos) / (want - i));
+      end = std::min(n, pos + step);
+      const char* nl = static_cast<const char*>(
+          std::memchr(s.data() + end, '\n', n - end));
+      end = nl == nullptr ? n : static_cast<std::size_t>(nl - s.data()) + 1;
+    }
+    out.push_back({pos, end, line});
+    line += count_newlines(s.data() + pos, s.data() + end);
+    pos = end;
+  }
+  return out;
+}
+
+std::size_t want_chunks(std::size_t bytes, ThreadPool* pool) {
+  if (pool == nullptr || ThreadPool::current_pool() != nullptr) return 1;
+  const std::size_t by_size = std::max<std::size_t>(1, bytes / kMinChunkBytes);
+  return std::min(pool->size() * 2, by_size);
+}
+
+/// Per-chunk parse result, merged in chunk order.
+struct Partial {
+  std::vector<TemporalEdge> edges;
+  long long nodes = -1;
+  long long snapshots = -1;
+  bool weights = false;
+  std::size_t first_edge_line = 0;  ///< 0 = chunk had no edges.
+  std::size_t last_edge_line = 0;
+};
+
+/// Recognize `nodes=N` / `snapshots=S` tokens in a comment line.
+void scan_directives(std::string_view comment, const std::string& path,
+                     std::size_t line, Partial& out) {
+  for (std::string_view tok : ws_tokens(comment)) {
+    long long* slot = nullptr;
+    const char* what = nullptr;
+    if (tok.rfind("nodes=", 0) == 0) {
+      tok.remove_prefix(6);
+      slot = &out.nodes;
+      what = "nodes directive";
+    } else if (tok.rfind("snapshots=", 0) == 0) {
+      tok.remove_prefix(10);
+      slot = &out.snapshots;
+      what = "snapshots directive";
+    } else {
+      continue;
+    }
+    const long long v = parse_ll_tok(tok, path, line, what);
+    if (v <= 0) fail_at(path, line, std::string(what) + " must be positive");
+    if (*slot >= 0 && *slot != v) {
+      fail_at(path, line, std::string("conflicting ") + what);
+    }
+    *slot = v;
+  }
+}
+
+void check_vertex_ids(const TemporalEdge& e, const std::string& path,
+                      std::size_t line) {
+  if (e.src < 0 || e.dst < 0) {
+    fail_at(path, line, "vertex id must be non-negative");
+  }
+}
+
+void check_sorted(long long prev_t, const TemporalEdge& e,
+                  const std::string& path, std::size_t line) {
+  if (e.t < prev_t) {
+    fail_at(path, line,
+            "timestamps must be non-decreasing (t=" + std::to_string(e.t) +
+                " after t=" + std::to_string(prev_t) + ")");
+  }
+}
+
+/// Parse one edge-list chunk: `src dst t [w]` per line.
+void parse_el_chunk(const std::string& path, std::string_view text,
+                    std::size_t first_line, Partial& out) {
+  std::size_t line = first_line;
+  bool have_prev = false;
+  long long prev_t = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    if (pos == text.size()) break;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view raw = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::string_view l = trim(raw);
+    if (l.empty()) {
+      ++line;
+      continue;
+    }
+    if (l.front() == '#') {
+      scan_directives(l.substr(1), path, line, out);
+      ++line;
+      continue;
+    }
+    const auto toks = ws_tokens(l);
+    if (toks.size() != 3 && toks.size() != 4) {
+      fail_at(path, line,
+              "expected `src dst t [w]`, got " + std::to_string(toks.size()) +
+                  " token(s)");
+    }
+    TemporalEdge e;
+    e.src = parse_ll_tok(toks[0], path, line, "src vertex");
+    e.dst = parse_ll_tok(toks[1], path, line, "dst vertex");
+    e.t = parse_ll_tok(toks[2], path, line, "timestamp");
+    if (toks.size() == 4) {
+      e.w = parse_f_tok(toks[3], path, line, "weight");
+      out.weights = true;
+    }
+    check_vertex_ids(e, path, line);
+    if (have_prev) check_sorted(prev_t, e, path, line);
+    prev_t = e.t;
+    have_prev = true;
+    if (out.first_edge_line == 0) out.first_edge_line = line;
+    out.last_edge_line = line;
+    out.edges.push_back(e);
+    ++line;
+  }
+}
+
+/// Column layout of a temporal CSV, derived from its header row.
+struct CsvLayout {
+  std::size_t columns = 0;
+  std::size_t src = 0, dst = 0, t = 0;
+  std::size_t w = static_cast<std::size_t>(-1);  ///< npos = no weight column.
+};
+
+std::vector<std::string_view> csv_cells(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  for (;;) {
+    std::size_t comma = line.find(',', pos);
+    if (comma == std::string_view::npos) {
+      out.push_back(trim(line.substr(pos)));
+      return out;
+    }
+    out.push_back(trim(line.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+}
+
+CsvLayout parse_csv_header(const std::string& path, std::string_view header,
+                           std::size_t line) {
+  CsvLayout lay;
+  const auto cells = csv_cells(header);
+  lay.columns = cells.size();
+  bool have_src = false, have_dst = false, have_t = false;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string_view c = cells[i];
+    const auto claim = [&](bool& have, std::size_t& slot, const char* name) {
+      if (have) fail_at(path, line, std::string("duplicate column ") + name);
+      have = true;
+      slot = i;
+    };
+    if (c == "src") {
+      claim(have_src, lay.src, "src");
+    } else if (c == "dst") {
+      claim(have_dst, lay.dst, "dst");
+    } else if (c == "t") {
+      claim(have_t, lay.t, "t");
+    } else if (c == "w") {
+      bool have_w = lay.w != static_cast<std::size_t>(-1);
+      claim(have_w, lay.w, "w");
+    }
+    // Other columns are ignored (documented).
+  }
+  if (!have_src || !have_dst || !have_t) {
+    fail_at(path, line,
+            "CSV header must name src, dst and t columns (got '" +
+                std::string(trim(header)) + "')");
+  }
+  return lay;
+}
+
+void parse_csv_chunk(const std::string& path, std::string_view text,
+                     std::size_t first_line, const CsvLayout& lay,
+                     Partial& out) {
+  std::size_t line = first_line;
+  bool have_prev = false;
+  long long prev_t = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view raw = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::string_view l = trim(raw);
+    if (l.empty()) {
+      ++line;
+      continue;
+    }
+    if (l.front() == '#') {
+      scan_directives(l.substr(1), path, line, out);
+      ++line;
+      continue;
+    }
+    const auto cells = csv_cells(l);
+    if (cells.size() != lay.columns) {
+      fail_at(path, line,
+              "expected " + std::to_string(lay.columns) + " columns, got " +
+                  std::to_string(cells.size()));
+    }
+    TemporalEdge e;
+    e.src = parse_ll_tok(cells[lay.src], path, line, "src vertex");
+    e.dst = parse_ll_tok(cells[lay.dst], path, line, "dst vertex");
+    e.t = parse_ll_tok(cells[lay.t], path, line, "timestamp");
+    if (lay.w != static_cast<std::size_t>(-1)) {
+      e.w = parse_f_tok(cells[lay.w], path, line, "weight");
+      out.weights = true;
+    }
+    check_vertex_ids(e, path, line);
+    if (have_prev) check_sorted(prev_t, e, path, line);
+    prev_t = e.t;
+    have_prev = true;
+    if (out.first_edge_line == 0) out.first_edge_line = line;
+    out.last_edge_line = line;
+    out.edges.push_back(e);
+    ++line;
+  }
+}
+
+/// Run the per-chunk parser over all chunks (pool-parallel when available)
+/// and merge partials in chunk order.
+template <typename ChunkFn>
+EdgeFile run_chunked(const std::string& path, const std::string& content,
+                     std::size_t start, std::size_t start_line,
+                     ThreadPool* pool, const ChunkFn& parse_chunk) {
+  const auto chunks =
+      chunk_lines(content, start, start_line,
+                  want_chunks(content.size() - start, pool));
+  std::vector<Partial> parts(chunks.size());
+  const auto parse_one = [&](std::size_t i) {
+    const Chunk& c = chunks[i];
+    parse_chunk(std::string_view(content).substr(c.begin, c.end - c.begin),
+                c.first_line, parts[i]);
+  };
+  if (pool != nullptr && chunks.size() > 1 &&
+      ThreadPool::current_pool() == nullptr) {
+    pool->parallel_for(chunks.size(), parse_one);
+  } else {
+    for (std::size_t i = 0; i < chunks.size(); ++i) parse_one(i);
+  }
+
+  EdgeFile out;
+  out.parse_chunks = std::max<std::size_t>(1, chunks.size());
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.edges.size();
+  out.edges.reserve(total);
+  bool have_prev = false;
+  long long prev_t = 0;
+  for (const Partial& p : parts) {
+    const auto merge_directive = [&](long long mine, long long theirs,
+                                     const char* what) {
+      if (theirs < 0) return mine;
+      if (mine >= 0 && mine != theirs) {
+        throw Error(path + ": conflicting " + what + " directives");
+      }
+      return theirs;
+    };
+    out.declared_nodes = merge_directive(out.declared_nodes, p.nodes, "nodes");
+    const long long snaps = merge_directive(out.declared_snapshots,
+                                            p.snapshots, "snapshots");
+    if (snaps > std::numeric_limits<int>::max()) {
+      throw Error(path + ": snapshots directive out of range");
+    }
+    out.declared_snapshots = static_cast<int>(snaps);
+    out.has_weights = out.has_weights || p.weights;
+    if (!p.edges.empty()) {
+      if (have_prev) {
+        check_sorted(prev_t, p.edges.front(), path, p.first_edge_line);
+      }
+      prev_t = p.edges.back().t;
+      have_prev = true;
+      out.edges.insert(out.edges.end(), p.edges.begin(), p.edges.end());
+    }
+  }
+  return out;
+}
+
+/// First non-blank, non-comment line of `content` (the CSV header), along
+/// with the byte offset just past it and its line number. Leading comments
+/// may carry directives, collected into `pre`.
+std::size_t find_csv_header(const std::string& path,
+                            const std::string& content, std::string_view& hdr,
+                            std::size_t& hdr_line, Partial& pre) {
+  std::size_t pos = 0, line = 1;
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    const std::string_view l =
+        trim(std::string_view(content).substr(pos, eol - pos));
+    const std::size_t next = eol + 1;
+    if (l.empty()) {
+      pos = next;
+      ++line;
+      continue;
+    }
+    if (l.front() == '#') {
+      scan_directives(l.substr(1), path, line, pre);
+      pos = next;
+      ++line;
+      continue;
+    }
+    hdr = l;
+    hdr_line = line;
+    return next;
+  }
+  throw Error(path + ": empty CSV (no header row)");
+}
+
+}  // namespace
+
+EdgeFile parse_edge_list(const std::string& path, const std::string& content,
+                         ThreadPool* pool) {
+  return run_chunked(path, content, 0, 1, pool,
+                     [&](std::string_view text, std::size_t first_line,
+                         Partial& out) {
+                       parse_el_chunk(path, text, first_line, out);
+                     });
+}
+
+EdgeFile parse_temporal_csv(const std::string& path,
+                            const std::string& content, ThreadPool* pool) {
+  std::string_view hdr;
+  std::size_t hdr_line = 1;
+  Partial pre;
+  const std::size_t body = find_csv_header(path, content, hdr, hdr_line, pre);
+  const CsvLayout lay = parse_csv_header(path, hdr, hdr_line);
+  EdgeFile out = run_chunked(path, content, body, hdr_line + 1, pool,
+                             [&](std::string_view text, std::size_t first_line,
+                                 Partial& part) {
+                               parse_csv_chunk(path, text, first_line, lay,
+                                               part);
+                             });
+  // Directives seen before the header.
+  if (pre.nodes >= 0) {
+    if (out.declared_nodes >= 0 && out.declared_nodes != pre.nodes) {
+      throw Error(path + ": conflicting nodes directives");
+    }
+    out.declared_nodes = pre.nodes;
+  }
+  if (pre.snapshots >= 0) {
+    if (out.declared_snapshots >= 0 && out.declared_snapshots != pre.snapshots) {
+      throw Error(path + ": conflicting snapshots directives");
+    }
+    out.declared_snapshots = static_cast<int>(pre.snapshots);
+  }
+  return out;
+}
+
+FeatureFile parse_features(const std::string& path, const std::string& content,
+                           const std::function<int(long long)>& remap,
+                           int num_nodes, int num_snapshots) {
+  FeatureFile ff;
+  std::size_t pos = 0, line = 1;
+  bool have_header = false;
+  std::vector<std::vector<bool>> seen;  // [snapshot or 0][vertex]
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    const std::string_view l =
+        trim(std::string_view(content).substr(pos, eol - pos));
+    pos = eol + 1;
+    if (l.empty()) {
+      ++line;
+      continue;
+    }
+    if (!have_header) {
+      // The first non-blank line must be the format header.
+      const auto toks = ws_tokens(l);
+      if (toks.size() < 4 || toks[0] != "#" || toks[1] != "pipad-features" ||
+          toks[2] != "v1" || toks[3].rfind("dim=", 0) != 0) {
+        fail_at(path, line,
+                "bad header (expected `# pipad-features v1 dim=D "
+                "static|temporal`)");
+      }
+      const long long d =
+          parse_ll_tok(std::string_view(toks[3]).substr(4), path, line,
+                       "feature dim");
+      if (d <= 0 || d > 1000000) fail_at(path, line, "feature dim out of range");
+      ff.dim = static_cast<int>(d);
+      ff.temporal = toks.size() > 4 && toks[4] == "temporal";
+      if (toks.size() > 4 && toks[4] != "temporal" && toks[4] != "static") {
+        fail_at(path, line, "bad header mode '" + std::string(toks[4]) + "'");
+      }
+      if (ff.temporal) {
+        ff.per_snapshot.assign(num_snapshots, Tensor(num_nodes, ff.dim));
+        seen.assign(num_snapshots,
+                    std::vector<bool>(static_cast<std::size_t>(num_nodes)));
+      } else {
+        ff.static_feat = Tensor(num_nodes, ff.dim);
+        seen.assign(1, std::vector<bool>(static_cast<std::size_t>(num_nodes)));
+      }
+      have_header = true;
+      ++line;
+      continue;
+    }
+    if (l.front() == '#') {
+      ++line;
+      continue;
+    }
+    const auto toks = ws_tokens(l);
+    const std::size_t lead = ff.temporal ? 2 : 1;
+    if (toks.size() != lead + static_cast<std::size_t>(ff.dim)) {
+      fail_at(path, line,
+              "expected " + std::to_string(lead + ff.dim) + " tokens, got " +
+                  std::to_string(toks.size()));
+    }
+    int snap = 0;
+    if (ff.temporal) {
+      const long long t = parse_ll_tok(toks[0], path, line, "snapshot index");
+      if (t < 0 || t >= num_snapshots) {
+        fail_at(path, line, "snapshot index " + std::to_string(t) +
+                                " out of range [0, " +
+                                std::to_string(num_snapshots) + ")");
+      }
+      snap = static_cast<int>(t);
+    }
+    const long long raw = parse_ll_tok(toks[lead - 1], path, line, "vertex id");
+    int v;
+    try {
+      v = remap(raw);
+    } catch (const Error& e) {
+      fail_at(path, line, e.what());
+    }
+    if (seen[static_cast<std::size_t>(snap)][static_cast<std::size_t>(v)]) {
+      fail_at(path, line, "duplicate feature row for vertex " +
+                              std::to_string(raw));
+    }
+    seen[static_cast<std::size_t>(snap)][static_cast<std::size_t>(v)] = true;
+    Tensor& dest = ff.temporal ? ff.per_snapshot[snap] : ff.static_feat;
+    for (int d = 0; d < ff.dim; ++d) {
+      dest.at(v, d) = parse_f_tok(toks[lead + d], path, line, "feature value");
+    }
+    ++line;
+  }
+  if (!have_header) {
+    throw Error(path + ": bad header (expected `# pipad-features v1 dim=D "
+                       "static|temporal`)");
+  }
+  return ff;
+}
+
+std::vector<Tensor> parse_targets(const std::string& path,
+                                  const std::string& content,
+                                  const std::function<int(long long)>& remap,
+                                  int num_nodes, int num_snapshots) {
+  std::vector<Tensor> out(num_snapshots, Tensor(num_nodes, 1));
+  std::vector<std::vector<bool>> seen(
+      num_snapshots, std::vector<bool>(static_cast<std::size_t>(num_nodes)));
+  std::size_t pos = 0, line = 1;
+  bool have_header = false;
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    const std::string_view l =
+        trim(std::string_view(content).substr(pos, eol - pos));
+    pos = eol + 1;
+    if (l.empty()) {
+      ++line;
+      continue;
+    }
+    if (!have_header) {
+      const auto toks = ws_tokens(l);
+      if (toks.size() < 3 || toks[0] != "#" || toks[1] != "pipad-targets" ||
+          toks[2] != "v1") {
+        fail_at(path, line, "bad header (expected `# pipad-targets v1`)");
+      }
+      have_header = true;
+      ++line;
+      continue;
+    }
+    if (l.front() == '#') {
+      ++line;
+      continue;
+    }
+    const auto toks = ws_tokens(l);
+    if (toks.size() != 3) {
+      fail_at(path, line, "expected `t id y`, got " +
+                              std::to_string(toks.size()) + " token(s)");
+    }
+    const long long t = parse_ll_tok(toks[0], path, line, "snapshot index");
+    if (t < 0 || t >= num_snapshots) {
+      fail_at(path, line, "snapshot index " + std::to_string(t) +
+                              " out of range [0, " +
+                              std::to_string(num_snapshots) + ")");
+    }
+    const long long raw = parse_ll_tok(toks[1], path, line, "vertex id");
+    int v;
+    try {
+      v = remap(raw);
+    } catch (const Error& e) {
+      fail_at(path, line, e.what());
+    }
+    if (seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)]) {
+      fail_at(path, line,
+              "duplicate target row for vertex " + std::to_string(raw));
+    }
+    seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)] = true;
+    out[static_cast<std::size_t>(t)].at(v, 0) =
+        parse_f_tok(toks[2], path, line, "target value");
+    ++line;
+  }
+  if (!have_header) {
+    throw Error(path + ": bad header (expected `# pipad-targets v1`)");
+  }
+  return out;
+}
+
+}  // namespace pipad::graph::io

@@ -1,0 +1,93 @@
+// Text dataset formats: timestamped edge lists, temporal-graph CSV, and the
+// node-feature / regression-target sidecar files.
+//
+// docs/DATASET_FORMATS.md is the normative spec. In short:
+//
+//   edge list    `src dst t [w]`, whitespace-separated; `#` starts a comment;
+//                comment tokens `nodes=N` / `snapshots=S` are directives
+//   CSV          a header row naming `src`, `dst`, `t` (and optionally `w`)
+//                columns in any order (extra columns are ignored), then one
+//                edge per row; `#` comment lines are allowed anywhere and
+//                may carry the same directives
+//   features     `# pipad-features v1 dim=D static|temporal` header, then
+//                `id f0 .. fD-1` (static) or `t id f0 .. fD-1` (temporal)
+//   targets      `# pipad-targets v1` header, then `t id y`
+//
+// Timestamps are signed 64-bit integers and must be non-decreasing through
+// the file; vertex ids are arbitrary non-negative 64-bit integers that the
+// loader remaps to a dense range. Edge parsing is chunk-parallel on the
+// shared ComputePool: the file is split at newline boundaries into bounded
+// chunks parsed independently, and chunk results are concatenated in file
+// order — so the parsed stream is bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pipad::graph::io {
+
+struct TemporalEdge {
+  long long src = 0;
+  long long dst = 0;
+  long long t = 0;
+  float w = 1.0f;  ///< Optional weight: validated (finite) but dropped —
+                   ///< adjacency is unweighted (see graph/formats.hpp).
+};
+
+/// One parsed edge file, edges in file order (timestamp-sorted by contract).
+struct EdgeFile {
+  std::vector<TemporalEdge> edges;
+  long long declared_nodes = -1;  ///< `nodes=N` directive (-1 = absent).
+  int declared_snapshots = -1;    ///< `snapshots=S` directive (-1 = absent).
+  bool has_weights = false;       ///< Any row carried a 4th column.
+  std::size_t parse_chunks = 1;   ///< Chunks the parse fanned out to.
+};
+
+/// Read a whole file into memory; throws Error when it cannot be opened.
+std::string read_file(const std::string& path);
+
+/// FNV-1a over a byte range, chainable through `h` (cache keys).
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t h = 0xcbf29ce484222325ull);
+std::uint64_t fnv1a_u64(std::uint64_t v,
+                        std::uint64_t h = 0xcbf29ce484222325ull);
+
+/// Parse whitespace-separated `src dst t [w]` lines. `path` is used in
+/// error messages only; `content` is the file body. With a pool (and when
+/// not already on a pool worker) the parse is chunk-parallel.
+EdgeFile parse_edge_list(const std::string& path, const std::string& content,
+                         ThreadPool* pool = nullptr);
+
+/// Parse a temporal-graph CSV (header row with named columns).
+EdgeFile parse_temporal_csv(const std::string& path,
+                            const std::string& content,
+                            ThreadPool* pool = nullptr);
+
+/// A parsed node-feature file. Unlisted (t, id) slots stay 0; duplicate
+/// rows are rejected.
+struct FeatureFile {
+  int dim = 0;
+  bool temporal = false;
+  Tensor static_feat;               ///< !temporal: [num_nodes x dim].
+  std::vector<Tensor> per_snapshot; ///< temporal: S tensors [num_nodes x dim].
+};
+
+/// Parse a feature file. `remap` converts raw vertex ids to dense indices
+/// and throws on unknown ids; `num_snapshots` bounds temporal rows' `t`.
+FeatureFile parse_features(const std::string& path, const std::string& content,
+                           const std::function<int(long long)>& remap,
+                           int num_nodes, int num_snapshots);
+
+/// Parse a target file into one [num_nodes x 1] tensor per snapshot.
+std::vector<Tensor> parse_targets(const std::string& path,
+                                  const std::string& content,
+                                  const std::function<int(long long)>& remap,
+                                  int num_nodes, int num_snapshots);
+
+}  // namespace pipad::graph::io

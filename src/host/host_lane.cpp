@@ -73,6 +73,35 @@ double HostLane::charge_all(const std::string& name, double wall_us,
   return end;
 }
 
+double charge_load(gpusim::Gpu& gpu, const graph::io::LoadStats& st,
+                   std::size_t threads) {
+  HostLane lane(gpu, threads);
+  double end = 0.0;
+  if (st.read_us > 0.0) {
+    end = lane.charge_all("load:read", st.read_us, end, 1);
+  }
+  if (st.cache_hit) {
+    // A hit replaces parse + build with one binary read (plus the
+    // deterministic transpose rebuild, measured inside cache_us).
+    if (st.cache_us > 0.0) {
+      end = lane.charge_all("load:cache-read", st.cache_us, end, 1);
+    }
+    return end;
+  }
+  if (st.parse_us > 0.0) {
+    end = lane.charge_all("load:parse", st.parse_us, end,
+                          std::max<std::size_t>(1, st.parse_chunks));
+  }
+  if (st.build_us > 0.0) {
+    end = lane.charge_all("load:build", st.build_us, end,
+                          std::max<std::size_t>(1, st.build_tasks));
+  }
+  if (st.cache_us > 0.0) {
+    end = lane.charge_all("load:cache-write", st.cache_us, end, 1);
+  }
+  return end;
+}
+
 void charge_compute(gpusim::Gpu& gpu) {
   const auto regions = ComputePool::instance().drain_regions();
   auto& tl = gpu.timeline();

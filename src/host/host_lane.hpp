@@ -19,6 +19,7 @@
 
 #include "common/compute_pool.hpp"
 #include "gpusim/gpu.hpp"
+#include "graph/io/loader.hpp"
 
 namespace pipad::host {
 
@@ -76,5 +77,15 @@ class HostLane {
 /// simulated cost of the numeric hot path from real measurements. Trainers
 /// call this once per trained frame.
 void charge_compute(gpusim::Gpu& gpu);
+
+/// Charge an on-disk dataset load's measured phases (file read, chunked
+/// parse, snapshot build, cache I/O — graph::io::LoadStats) to the Gpu's
+/// worker lanes, the same accounting prep jobs get: `pipad trace` shows the
+/// ingest as `prep:load:*` ops ahead of the first epoch, occupying as many
+/// lanes as each phase actually fanned out to. Returns the simulated end
+/// time of the load. `threads` configures the ComputePool like HostLane
+/// (0 = library default).
+double charge_load(gpusim::Gpu& gpu, const graph::io::LoadStats& stats,
+                   std::size_t threads = 0);
 
 }  // namespace pipad::host

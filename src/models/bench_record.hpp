@@ -1,0 +1,71 @@
+// The one bench-to-JSON record format.
+//
+// bench/bench_util.hpp's JsonReport, the CLI's `pipad bench --json` writer
+// and the checked-in BENCH_*.json baselines all go through this formatter,
+// and bench/bench_diff matches records by the exact field names it emits —
+// so there is exactly one place to add a field without silently breaking
+// the CI perf gates.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "models/training.hpp"
+
+namespace pipad::models {
+
+/// Minimal JSON string escaping (quote, backslash, control chars) —
+/// dataset names are user-controlled file stems.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// One flat JSON record (4-space indent, no trailing comma/newline) keyed
+/// by (dataset, model, method). `epoch_us` is total_us / epochs, computed
+/// by the caller since only it knows the epoch count.
+inline std::string bench_record_json(const std::string& dataset_raw,
+                                     const std::string& model_raw,
+                                     const std::string& method_raw,
+                                     double epoch_us, const TrainResult& r) {
+  const std::string dataset = json_escape(dataset_raw);
+  const std::string model = json_escape(model_raw);
+  const std::string method = json_escape(method_raw);
+  const char* fmt =
+      "    {\"dataset\": \"%s\", \"model\": \"%s\", "
+      "\"method\": \"%s\", \"epoch_us\": %.1f, "
+      "\"total_us\": %.1f, \"transfer_us\": %.1f, "
+      "\"compute_us\": %.1f, \"prep_us\": %.1f, "
+      "\"sm_util\": %.4f, \"final_loss\": %.6f}";
+  // Sized dynamically: dataset names are user-controlled file stems, and a
+  // truncated record would be invalid JSON (breaking the bench_diff gate).
+  const int needed =
+      std::snprintf(nullptr, 0, fmt, dataset.c_str(), model.c_str(),
+                    method.c_str(), epoch_us, r.total_us, r.transfer_us,
+                    r.compute_us, r.prep_us, r.sm_utilization,
+                    r.final_loss());
+  std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+  if (needed > 0) {
+    std::snprintf(out.data(), out.size() + 1, fmt, dataset.c_str(),
+                  model.c_str(), method.c_str(), epoch_us, r.total_us,
+                  r.transfer_us, r.compute_us, r.prep_us, r.sm_utilization,
+                  r.final_loss());
+  }
+  return out;
+}
+
+}  // namespace pipad::models

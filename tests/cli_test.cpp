@@ -2,10 +2,15 @@
 // in-process end-to-end run of each subcommand on a tiny synthetic graph.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli/cli.hpp"
+#include "graph/generator.hpp"
+#include "models/bench_record.hpp"
 
 namespace pipad::cli {
 namespace {
@@ -157,6 +162,77 @@ TEST(CliUsage, MentionsEverySubcommandAndModel) {
   }
 }
 
+TEST(CliUsage, MentionsEveryAcceptedDataset) {
+  // --help must enumerate every --dataset value the CLI accepts: all seven
+  // Table-1 names, the synthetic generator, and the file: ingest form.
+  const std::string u = usage();
+  for (const auto& cfg : graph::evaluation_datasets()) {
+    EXPECT_NE(u.find(cfg.name), std::string::npos) << cfg.name;
+  }
+  EXPECT_NE(u.find("synthetic"), std::string::npos);
+  EXPECT_NE(u.find("file:"), std::string::npos);
+  EXPECT_NE(u.find("--snapshot-window"), std::string::npos);
+  EXPECT_NE(u.find("--cache-dir"), std::string::npos);
+  EXPECT_NE(u.find("--log-level"), std::string::npos);
+}
+
+TEST(CliParse, FileDatasetFlagsLand) {
+  const auto r = parse({"train", "--dataset", "file:/tmp/g.csv",
+                        "--snapshot-window", "10", "--cache-dir", "/tmp/c",
+                        "--features", "/tmp/f.tsv", "--log-level", "debug"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.dataset, "file:/tmp/g.csv");
+  EXPECT_EQ(r.options.snapshot_window, 10);
+  EXPECT_EQ(r.options.cache_dir, "/tmp/c");
+  EXPECT_EQ(r.options.features, "/tmp/f.tsv");
+  EXPECT_EQ(r.options.log_level, "debug");
+}
+
+TEST(CliParse, FileOnlyFlagsRejectedForSyntheticDatasets) {
+  EXPECT_FALSE(parse({"train", "--snapshot-window", "10"}).ok);
+  EXPECT_FALSE(parse({"train", "--cache-dir", "/tmp/c"}).ok);
+  EXPECT_FALSE(parse({"train", "--dataset", "epinions", "--features",
+                      "/tmp/f.tsv"}).ok);
+}
+
+TEST(CliParse, WindowAndSnapshotsExclusiveForFileDatasets) {
+  EXPECT_FALSE(parse({"train", "--dataset", "file:/tmp/g.csv",
+                      "--snapshot-window", "10", "--snapshots", "4"}).ok);
+}
+
+TEST(CliParse, EdgeLifeForFileDatasetsMustBeInteger) {
+  const auto r = parse({"train", "--dataset", "file:/tmp/g.csv",
+                        "--edge-life", "3"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.options.edge_life_set);
+  EXPECT_DOUBLE_EQ(r.options.edge_life, 3.0);
+  // Fractional lifetimes only make sense for the synthetic generator, and
+  // absurd ones would overflow the loader's int snapshot arithmetic.
+  EXPECT_FALSE(parse({"train", "--dataset", "file:/tmp/g.csv",
+                      "--edge-life", "4.5"}).ok);
+  EXPECT_FALSE(parse({"train", "--dataset", "file:/tmp/g.csv",
+                      "--edge-life", "3000000000"}).ok);
+  EXPECT_TRUE(parse({"train", "--edge-life", "4.5"}).ok);
+}
+
+TEST(CliParse, JsonOnlyForBench) {
+  EXPECT_TRUE(parse({"bench", "--json", "/tmp/r.json"}).ok);
+  EXPECT_FALSE(parse({"train", "--json", "/tmp/r.json"}).ok);
+}
+
+TEST(CliParse, UnknownLogLevelRejected) {
+  EXPECT_FALSE(parse({"train", "--log-level", "chatty"}).ok);
+}
+
+TEST(BenchRecord, EscapesJsonStrings) {
+  // Dataset names are file stems and may contain JSON-special characters.
+  models::TrainResult r;
+  const std::string rec =
+      models::bench_record_json("sa\"mp\\le", "tgcn", "pipad", 1.0, r);
+  EXPECT_NE(rec.find("\"dataset\": \"sa\\\"mp\\\\le\""), std::string::npos)
+      << rec;
+}
+
 // ---- end-to-end: run() on a tiny synthetic dataset, in process ----
 
 Options tiny(Command cmd) {
@@ -188,6 +264,38 @@ TEST(CliRun, TrainUnderBaselineRuntime) {
 TEST(CliRun, BenchCompletes) {
   Options o = tiny(Command::Bench);
   EXPECT_EQ(run(o), 0);
+}
+
+TEST(CliRun, TrainAndBenchOnFileDataset) {
+  Options o = tiny(Command::Train);
+  o.dataset = std::string("file:") + PIPAD_TEST_DATA_DIR +
+              "/sample_edges.csv";
+  o.snapshots = 0;   // The file's snapshots=4 directive governs.
+  o.frame_size = 2;
+  EXPECT_EQ(run(o), 0);
+
+  o.command = Command::Bench;
+  const std::string json = ::testing::TempDir() + "cli_file_bench.json";
+  o.json = json;
+  EXPECT_EQ(run(o), 0);
+  // The JSON report is bench_diff-compatible: a records array keyed by
+  // (dataset, model, method).
+  std::ifstream is(json);
+  ASSERT_TRUE(is.good());
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string doc = buf.str();
+  EXPECT_NE(doc.find("\"records\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dataset\": \"sample_edges\""), std::string::npos);
+  EXPECT_NE(doc.find("\"method\": \"pipad\""), std::string::npos);
+  EXPECT_NE(doc.find("\"epoch_us\""), std::string::npos);
+  std::remove(json.c_str());
+}
+
+TEST(CliRun, MissingFileDatasetFailsCleanly) {
+  const char* argv[] = {"pipad", "train", "--dataset",
+                        "file:/no/such/file.csv"};
+  EXPECT_EQ(main_impl(4, argv), 1);
 }
 
 TEST(CliRun, UnknownDatasetFailsCleanly) {

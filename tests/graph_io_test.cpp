@@ -1,0 +1,628 @@
+// graph/io tests: text-format parsing, malformed-input rejection, vertex
+// remapping, snapshotting modes, the generate -> export -> load round trip
+// (bit-exact), determinism across pool widths, the .dtdg binary format and
+// snapshot cache, and worker-lane charging of measured load phases.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/generator.hpp"
+#include "graph/io/dtdg_file.hpp"
+#include "graph/io/exporter.hpp"
+#include "graph/io/loader.hpp"
+#include "graph/io/text_format.hpp"
+#include "host/host_lane.hpp"
+
+namespace pipad::graph::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Unique, initially-empty scratch directory per test.
+fs::path temp_dir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  fs::path dir = fs::path(::testing::TempDir()) / "pipad_io" /
+                 (std::string(info->test_suite_name()) + "." + info->name());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string write_file_at(const fs::path& path, const std::string& content) {
+  std::ofstream os(path, std::ios::trunc | std::ios::binary);
+  os << content;
+  EXPECT_TRUE(os.good()) << path;
+  return path.string();
+}
+
+std::string fixture(const char* name) {
+  return std::string(PIPAD_TEST_DATA_DIR) + "/" + name;
+}
+
+/// Bit-exact DTDG comparison; `name` is excluded (the loader derives it
+/// from the file name).
+void expect_same_dtdg(const DTDG& a, const DTDG& b) {
+  ASSERT_EQ(a.num_nodes, b.num_nodes);
+  ASSERT_EQ(a.feat_dim, b.feat_dim);
+  ASSERT_EQ(a.num_snapshots(), b.num_snapshots());
+  EXPECT_EQ(a.sim_scale, b.sim_scale);
+  for (int t = 0; t < a.num_snapshots(); ++t) {
+    EXPECT_TRUE(same_topology(a.snapshots[t].adj, b.snapshots[t].adj))
+        << "adj differs at snapshot " << t;
+    EXPECT_TRUE(same_topology(a.snapshots[t].adj_t, b.snapshots[t].adj_t))
+        << "adj_t differs at snapshot " << t;
+    EXPECT_EQ(a.snapshots[t].features.storage(),
+              b.snapshots[t].features.storage())
+        << "features differ at snapshot " << t;
+    EXPECT_EQ(a.targets[t].storage(), b.targets[t].storage())
+        << "targets differ at snapshot " << t;
+  }
+}
+
+DatasetConfig small_cfg() {
+  DatasetConfig cfg;
+  cfg.name = std::string("t");
+  cfg.num_nodes = 120;
+  cfg.raw_events = 1500;
+  cfg.num_snapshots = 12;
+  cfg.feat_dim = 2;
+  cfg.edge_life = 4.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+// ---- text parsing ----
+
+TEST(EdgeListParse, TokensCommentsAndDirectives) {
+  const std::string content =
+      "# a comment\n"
+      "# nodes=10 snapshots=3\n"
+      "\n"
+      "0 1 0\n"
+      "1 2 0 0.5\n"
+      "  2 3 1  \n"
+      "3 4 2\n";
+  const EdgeFile ef = parse_edge_list("mem.el", content);
+  ASSERT_EQ(ef.edges.size(), 4u);
+  EXPECT_EQ(ef.declared_nodes, 10);
+  EXPECT_EQ(ef.declared_snapshots, 3);
+  EXPECT_TRUE(ef.has_weights);
+  EXPECT_EQ(ef.edges[1].src, 1);
+  EXPECT_EQ(ef.edges[1].dst, 2);
+  EXPECT_FLOAT_EQ(ef.edges[1].w, 0.5f);
+  EXPECT_EQ(ef.edges[3].t, 2);
+}
+
+TEST(EdgeListParse, RejectsMalformedRows) {
+  EXPECT_THROW(parse_edge_list("m.el", "0 1\n"), Error);          // 2 tokens
+  EXPECT_THROW(parse_edge_list("m.el", "0 1 2 3 4\n"), Error);    // 5 tokens
+  EXPECT_THROW(parse_edge_list("m.el", "0 x 2\n"), Error);        // bad int
+  EXPECT_THROW(parse_edge_list("m.el", "0 -1 2\n"), Error);       // negative
+  EXPECT_THROW(parse_edge_list("m.el", "0 1 0 nan\n"), Error);    // bad w
+  try {
+    parse_edge_list("m.el", "0 1 0\n0 2 1\n0 3 9\n0 4 5\n");
+    FAIL() << "unsorted timestamps accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("m.el:4"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("non-decreasing"), std::string::npos);
+  }
+}
+
+TEST(EdgeListParse, ConflictingDirectivesRejected) {
+  EXPECT_THROW(parse_edge_list("m.el", "# nodes=4\n# nodes=5\n0 1 0\n"),
+               Error);
+}
+
+TEST(CsvParse, HeaderAnyOrderExtraColumnsIgnored) {
+  const std::string content =
+      "t,label,dst,src\n"
+      "0,a,1,0\n"
+      "1,b,2,1\n";
+  const EdgeFile ef = parse_temporal_csv("mem.csv", content);
+  ASSERT_EQ(ef.edges.size(), 2u);
+  EXPECT_EQ(ef.edges[0].src, 0);
+  EXPECT_EQ(ef.edges[0].dst, 1);
+  EXPECT_EQ(ef.edges[1].t, 1);
+}
+
+TEST(CsvParse, MissingRequiredColumnIsBadHeader) {
+  try {
+    parse_temporal_csv("m.csv", "src,dst\n0,1\n");
+    FAIL() << "bad header accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("header"), std::string::npos)
+        << e.what();
+  }
+  // A file that starts with data has no header either.
+  EXPECT_THROW(parse_temporal_csv("m.csv", "0,1,0\n1,2,0\n"), Error);
+  EXPECT_THROW(parse_temporal_csv("m.csv", ""), Error);
+}
+
+TEST(CsvParse, WrongCellCountRejected) {
+  EXPECT_THROW(parse_temporal_csv("m.csv", "src,dst,t\n0,1\n"), Error);
+  EXPECT_THROW(parse_temporal_csv("m.csv", "src,dst,t\n0,1,0,9\n"), Error);
+}
+
+// ---- loading: snapshotting, remapping, sidecar files ----
+
+TEST(Loader, SampleFixtureLoads) {
+  LoadStats st;
+  const DTDG g = load_dataset(fixture("sample_edges.csv"), {}, nullptr, &st);
+  EXPECT_EQ(g.name, "sample_edges");
+  EXPECT_EQ(g.num_nodes, 8);
+  EXPECT_EQ(g.num_snapshots(), 4);
+  EXPECT_EQ(g.feat_dim, 2);  // Synthesized at the loader default width.
+  EXPECT_EQ(st.edges, 25u);
+  EXPECT_EQ(g.snapshots[0].nnz(), 6u);
+  EXPECT_EQ(g.snapshots[3].nnz(), 7u);
+  // Hub vertex 0 receives three in-edges in every snapshot.
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(g.snapshots[t].adj.degree(0), 3);
+}
+
+TEST(Loader, DistinctTimestampDefault) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(dir / "d.el", "0 1 10\n1 2 10\n2 3 40\n0 3 45\n");
+  const DTDG g = load_dataset(p);
+  EXPECT_EQ(g.num_snapshots(), 3);  // t = 10, 40, 45.
+  EXPECT_EQ(g.snapshots[0].nnz(), 2u);
+  EXPECT_EQ(g.snapshots[1].nnz(), 1u);
+  EXPECT_EQ(g.snapshots[2].nnz(), 1u);
+}
+
+TEST(Loader, WindowAndCountSnapshotting) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(dir / "w.el", "0 1 0\n1 2 9\n2 3 10\n0 3 35\n");
+  LoadOptions w;
+  w.snapshot_window = 10;
+  const DTDG gw = load_dataset(p, w);
+  EXPECT_EQ(gw.num_snapshots(), 4);  // Windows [0,10) [10,20) [20,30) [30,40).
+  EXPECT_EQ(gw.snapshots[0].nnz(), 2u);
+  EXPECT_EQ(gw.snapshots[2].nnz(), 0u);  // Empty window survives.
+
+  LoadOptions c;
+  c.snapshot_count = 2;
+  const DTDG gc = load_dataset(p, c);
+  EXPECT_EQ(gc.num_snapshots(), 2);
+  EXPECT_EQ(gc.snapshots[0].nnz() + gc.snapshots[1].nnz(), 4u);
+
+  LoadOptions both;
+  both.snapshot_window = 10;
+  both.snapshot_count = 2;
+  EXPECT_THROW(load_dataset(p, both), Error);
+}
+
+TEST(Loader, ExtremeTimestampsBucketWithoutOverflow) {
+  // Full-range 64-bit timestamps: the span does not fit in a signed long
+  // long, but count-mode bucketing must still split it cleanly.
+  const auto dir = temp_dir();
+  const auto p = write_file_at(
+      dir / "x.el",
+      "0 1 -9223372036854775808\n1 2 0\n2 3 9223372036854775807\n");
+  LoadOptions o;
+  o.snapshot_count = 2;
+  const DTDG g = load_dataset(p, o);
+  ASSERT_EQ(g.num_snapshots(), 2);
+  EXPECT_EQ(g.snapshots[0].nnz() + g.snapshots[1].nnz(), 3u);
+  EXPECT_EQ(g.snapshots[0].adj.degree(1), 1);  // t_min edge in window 0.
+  EXPECT_EQ(g.snapshots[1].adj.degree(3), 1);  // t_max edge in window 1.
+
+  // A tiny window over that span would need ~2^64 snapshots: clean error.
+  LoadOptions w;
+  w.snapshot_window = 1;
+  EXPECT_THROW(load_dataset(p, w), Error);
+
+  // snapshot_count=1 over the full range: ceil-window arithmetic would
+  // wrap to 0; the loader must still put all three edges in one bucket.
+  LoadOptions one;
+  one.snapshot_count = 1;
+  const DTDG g1 = load_dataset(p, one);
+  ASSERT_EQ(g1.num_snapshots(), 1);
+  EXPECT_EQ(g1.snapshots[0].nnz(), 3u);
+}
+
+TEST(Loader, DtdgRejectsReshapingOptions) {
+  // A .dtdg is already snapshotted/featured: options that would reshape
+  // it must error rather than be silently dropped.
+  const auto dir = temp_dir();
+  const DTDG g0 = generate(small_cfg());
+  const auto p = (dir / "g.dtdg").string();
+  write_dtdg(g0, p, 3);
+  for (const auto& opts : {[] { LoadOptions o; o.snapshot_count = 2; return o; }(),
+                           [] { LoadOptions o; o.snapshot_window = 4; return o; }(),
+                           [] { LoadOptions o; o.edge_life = 2; return o; }(),
+                           [] { LoadOptions o; o.add_self_loops = true; return o; }(),
+                           [] { LoadOptions o; o.features_path = "f"; return o; }()}) {
+    EXPECT_THROW(load_dataset(p, opts), Error);
+  }
+  // Cache options and synthesis knobs that change nothing are fine.
+  LoadOptions ok;
+  ok.cache_dir = (dir / "cache").string();
+  ok.feat_dim = 16;
+  EXPECT_NO_THROW(load_dataset(p, ok));
+}
+
+TEST(Loader, EdgeLifeCarriesInstancesForward) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(dir / "l.el", "# snapshots=4\n0 1 0\n1 2 2\n");
+  LoadOptions o;
+  o.edge_life = 2;
+  const DTDG g = load_dataset(p, o);
+  ASSERT_EQ(g.num_snapshots(), 4);
+  EXPECT_EQ(g.snapshots[0].nnz(), 1u);
+  EXPECT_EQ(g.snapshots[1].nnz(), 1u);  // 0->1 still alive.
+  EXPECT_EQ(g.snapshots[2].nnz(), 1u);  // 1->2 born.
+  EXPECT_EQ(g.snapshots[3].nnz(), 1u);  // 1->2 carried, clipped at S.
+}
+
+TEST(Loader, RemapDensifiesInAscendingRawIdOrder) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(dir / "r.el", "100 7 0\n42 100 0\n");
+  const DTDG g = load_dataset(p);
+  EXPECT_EQ(g.num_nodes, 3);  // 7 -> 0, 42 -> 1, 100 -> 2.
+  const CSR& adj = g.snapshots[0].adj;
+  EXPECT_EQ(adj.degree(0), 1);  // 100->7 lands in row 0 (dst 7).
+  EXPECT_EQ(adj.col_idx[adj.row_ptr[0]], 2);
+  EXPECT_EQ(adj.degree(2), 1);  // 42->100 lands in row 2 (dst 100).
+  EXPECT_EQ(adj.col_idx[adj.row_ptr[2]], 1);
+}
+
+TEST(Loader, DeclaredNodesPinIdentityAndRange) {
+  const auto dir = temp_dir();
+  const auto p =
+      write_file_at(dir / "n.el", "# nodes=4\n3 0 0\n");
+  const DTDG g = load_dataset(p);
+  EXPECT_EQ(g.num_nodes, 4);  // Isolated vertices 1, 2 survive.
+
+  const auto bad = write_file_at(dir / "bad.el", "# nodes=4\n9 0 0\n");
+  try {
+    load_dataset(bad);
+    FAIL() << "out-of-range vertex accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Loader, DeclaredSnapshotsRejectOutOfRangeTimestamps) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(dir / "s.el", "# snapshots=2\n0 1 0\n1 2 5\n");
+  EXPECT_THROW(load_dataset(p), Error);
+}
+
+TEST(Loader, SelfLoopOption) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(dir / "sl.el", "0 1 0\n");
+  LoadOptions o;
+  o.add_self_loops = true;
+  const DTDG g = load_dataset(p, o);
+  EXPECT_EQ(g.snapshots[0].nnz(), 3u);  // 0->1 plus two self loops.
+}
+
+TEST(Loader, StaticFeatureFileAppliesToEverySnapshot) {
+  LoadOptions o;
+  o.features_path = fixture("sample_features.tsv");
+  const DTDG g = load_dataset(fixture("sample_edges.csv"), o);
+  EXPECT_EQ(g.feat_dim, 4);
+  for (int t = 0; t < g.num_snapshots(); ++t) {
+    EXPECT_FLOAT_EQ(g.snapshots[t].features.at(0, 0), 0.9f);
+    EXPECT_FLOAT_EQ(g.snapshots[t].features.at(7, 3), 0.0078125f);
+  }
+}
+
+TEST(Loader, FeatureFileBadHeaderRejected) {
+  const auto dir = temp_dir();
+  const auto bad = write_file_at(dir / "f.tsv", "0 1.0 2.0\n");
+  LoadOptions o;
+  o.features_path = bad;
+  try {
+    load_dataset(fixture("sample_edges.csv"), o);
+    FAIL() << "bad feature header accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad header"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Loader, FeatureDimMismatchAndDuplicateRowsRejected) {
+  const auto dir = temp_dir();
+  LoadOptions o;
+  o.features_path = write_file_at(dir / "short.tsv",
+                                  "# pipad-features v1 dim=3 static\n"
+                                  "0 1.0 2.0\n");
+  EXPECT_THROW(load_dataset(fixture("sample_edges.csv"), o), Error);
+  o.features_path = write_file_at(dir / "dup.tsv",
+                                  "# pipad-features v1 dim=1 static\n"
+                                  "0 1.0\n0 2.0\n");
+  EXPECT_THROW(load_dataset(fixture("sample_edges.csv"), o), Error);
+}
+
+TEST(Loader, TargetsFileOverridesSynthesis) {
+  const auto dir = temp_dir();
+  LoadOptions o;
+  o.targets_path = write_file_at(dir / "y.tsv",
+                                 "# pipad-targets v1\n"
+                                 "0 3 1.5\n"
+                                 "2 0 -2.25\n");
+  const DTDG g = load_dataset(fixture("sample_edges.csv"), o);
+  EXPECT_FLOAT_EQ(g.targets[0].at(3, 0), 1.5f);
+  EXPECT_FLOAT_EQ(g.targets[2].at(0, 0), -2.25f);
+  EXPECT_FLOAT_EQ(g.targets[1].at(3, 0), 0.0f);  // Unlisted slots stay 0.
+
+  o.targets_path = write_file_at(dir / "dup.tsv",
+                                 "# pipad-targets v1\n"
+                                 "0 3 1.0\n0 3 2.0\n");
+  EXPECT_THROW(load_dataset(fixture("sample_edges.csv"), o), Error);
+}
+
+TEST(Loader, NoEdgesRejected) {
+  const auto dir = temp_dir();
+  EXPECT_THROW(load_dataset(write_file_at(dir / "e.el", "")), Error);
+  EXPECT_THROW(load_dataset(write_file_at(dir / "c.el", "# nodes=4\n")),
+               Error);
+  EXPECT_THROW(load_dataset((dir / "missing.el").string()), Error);
+}
+
+// ---- round trips ----
+
+TEST(RoundTrip, GenerateExportEdgeListLoadIsBitExact) {
+  const auto dir = temp_dir();
+  const DTDG g0 = generate(small_cfg());
+  export_edge_list(g0, (dir / "rt.el").string());
+  export_features(g0, (dir / "rt_features.tsv").string());
+  export_targets(g0, (dir / "rt_targets.tsv").string());
+  LoadOptions o;
+  o.features_path = (dir / "rt_features.tsv").string();
+  o.targets_path = (dir / "rt_targets.tsv").string();
+  ThreadPool pool(4);
+  const DTDG g1 = load_dataset((dir / "rt.el").string(), o, &pool);
+  expect_same_dtdg(g0, g1);
+  EXPECT_EQ(g1.name, "rt");
+}
+
+TEST(RoundTrip, CsvExportLoadIsBitExact) {
+  const auto dir = temp_dir();
+  DatasetConfig cfg = small_cfg();
+  cfg.num_snapshots = 6;
+  const DTDG g0 = generate(cfg);
+  export_csv(g0, (dir / "rt.csv").string());
+  export_features(g0, (dir / "rt_features.tsv").string());
+  export_targets(g0, (dir / "rt_targets.tsv").string());
+  LoadOptions o;
+  o.features_path = (dir / "rt_features.tsv").string();
+  o.targets_path = (dir / "rt_targets.tsv").string();
+  const DTDG g1 = load_dataset((dir / "rt.csv").string(), o);
+  expect_same_dtdg(g0, g1);
+}
+
+TEST(RoundTrip, LoadIsBitIdenticalAcrossPoolWidths) {
+  const auto dir = temp_dir();
+  // Big enough to fan out to several parse chunks and build tasks.
+  std::string content = "# nodes=97 snapshots=30\n";
+  char buf[64];
+  for (int t = 0; t < 30; ++t) {
+    for (int i = 0; i < 100; ++i) {
+      std::snprintf(buf, sizeof(buf), "%d %d %d\n", (i * 7) % 97,
+                    (i * 13 + t) % 97, t);
+      content += buf;
+    }
+  }
+  const auto p = write_file_at(dir / "det.el", content);
+  LoadOptions o;
+  o.edge_life = 3;
+  LoadStats st1, st8;
+  ThreadPool p1(1), p8(8);
+  const DTDG g1 = load_dataset(p, o, &p1, &st1);
+  const DTDG g8 = load_dataset(p, o, &p8, &st8);
+  EXPECT_GT(st8.parse_chunks, 1u);
+  expect_same_dtdg(g1, g8);
+  const DTDG gserial = load_dataset(p, o, nullptr);
+  expect_same_dtdg(g1, gserial);
+}
+
+// ---- .dtdg binary format and cache ----
+
+TEST(DtdgFile, WriteReadRoundTripsBitExact) {
+  const auto dir = temp_dir();
+  const DTDG g0 = generate(small_cfg());
+  const auto p = (dir / "g.dtdg").string();
+  write_dtdg(g0, p, 0xfeedu);
+  std::uint64_t hash = 0;
+  const DTDG g1 = read_dtdg(p, nullptr, &hash);
+  EXPECT_EQ(hash, 0xfeedu);
+  EXPECT_EQ(read_dtdg_hash(p), 0xfeedu);
+  EXPECT_EQ(g1.name, g0.name);
+  EXPECT_EQ(g1.sim_scale, g0.sim_scale);
+  expect_same_dtdg(g0, g1);
+}
+
+TEST(DtdgFile, MalformedFilesRejected) {
+  const auto dir = temp_dir();
+  const auto bad_magic = write_file_at(dir / "m.dtdg", "not a dtdg file....");
+  EXPECT_THROW(read_dtdg(bad_magic), Error);
+  EXPECT_THROW(read_dtdg_hash(bad_magic), Error);
+
+  DTDG g0 = generate(small_cfg());
+  const auto p = (dir / "g.dtdg").string();
+  write_dtdg(g0, p, 1);
+
+  // Unsupported version: patch the u32 after the 8-byte magic.
+  std::string bytes = read_file(p);
+  bytes[8] = 99;
+  const auto bad_version = write_file_at(dir / "v.dtdg", bytes);
+  try {
+    read_dtdg(bad_version);
+    FAIL() << "bad version accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+
+  const auto truncated =
+      write_file_at(dir / "t.dtdg", read_file(p).substr(0, 200));
+  EXPECT_THROW(read_dtdg(truncated), Error);
+
+  const auto trailing = write_file_at(dir / "x.dtdg", read_file(p) + "zz");
+  try {
+    read_dtdg(trailing);
+    FAIL() << "trailing bytes accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+  }
+
+  // A corrupt snapshot count the file cannot back must fail as truncation
+  // before any per-snapshot allocation happens (num_snapshots is the i32
+  // at offset 28: magic 8 + version 4 + hash 8 + num_nodes 4 + feat_dim 4).
+  std::string huge = read_file(p);
+  huge[28] = static_cast<char>(0xFF);
+  huge[29] = static_cast<char>(0xFF);
+  huge[30] = static_cast<char>(0xFF);
+  huge[31] = 0x00;
+  const auto snap_bomb = write_file_at(dir / "s.dtdg", huge);
+  EXPECT_THROW(read_dtdg(snap_bomb), Error);
+}
+
+TEST(Cache, CorruptCacheBodyIsAMissEvenWithValidHeader) {
+  // Keep magic/version/hash intact but lie about the snapshot count: the
+  // probe passes, the body read fails, and the loader must fall back to a
+  // parse instead of aborting.
+  const auto dir = temp_dir();
+  LoadOptions o;
+  o.cache_dir = (dir / "cache").string();
+  LoadStats st1;
+  const DTDG g1 = load_dataset(fixture("sample_edges.csv"), o, nullptr, &st1);
+  std::string bytes = read_file(st1.cache_path);
+  bytes[28] = static_cast<char>(0xFF);
+  bytes[29] = static_cast<char>(0xFF);
+  bytes[30] = static_cast<char>(0xFF);
+  bytes[31] = 0x00;
+  write_file_at(st1.cache_path, bytes);
+  LoadStats st2;
+  const DTDG g2 = load_dataset(fixture("sample_edges.csv"), o, nullptr, &st2);
+  EXPECT_FALSE(st2.cache_hit);
+  expect_same_dtdg(g1, g2);
+}
+
+TEST(Loader, DirectDtdgPathLoads) {
+  const auto dir = temp_dir();
+  const DTDG g0 = generate(small_cfg());
+  const auto p = (dir / "direct.dtdg").string();
+  write_dtdg(g0, p, 7);
+  LoadStats st;
+  const DTDG g1 = load_dataset(p, {}, nullptr, &st);
+  expect_same_dtdg(g0, g1);
+  EXPECT_EQ(st.edges, g0.total_edges());
+  EXPECT_FALSE(st.cache_hit);
+}
+
+TEST(Cache, SecondLoadHitsAndIsBitExact) {
+  const auto dir = temp_dir();
+  LoadOptions o;
+  o.cache_dir = (dir / "cache").string();
+  LoadStats st1;
+  const DTDG g1 =
+      load_dataset(fixture("sample_edges.csv"), o, nullptr, &st1);
+  EXPECT_FALSE(st1.cache_hit);
+  ASSERT_FALSE(st1.cache_path.empty());
+  EXPECT_TRUE(fs::exists(st1.cache_path));
+
+  LoadStats st2;
+  const DTDG g2 =
+      load_dataset(fixture("sample_edges.csv"), o, nullptr, &st2);
+  EXPECT_TRUE(st2.cache_hit);
+  EXPECT_EQ(st2.parse_chunks, 0u);
+  EXPECT_EQ(st1.cache_path, st2.cache_path);
+  expect_same_dtdg(g1, g2);
+
+  // Different load options key a different cache entry.
+  LoadOptions o2 = o;
+  o2.snapshot_count = 2;
+  LoadStats st3;
+  load_dataset(fixture("sample_edges.csv"), o2, nullptr, &st3);
+  EXPECT_FALSE(st3.cache_hit);
+  EXPECT_NE(st3.cache_path, st1.cache_path);
+
+  // An invalid (empty) features file must still error on a warm cache:
+  // sidecar *presence* is part of the key, so this cannot hit the
+  // no-features entry.
+  LoadOptions o3 = o;
+  o3.features_path = write_file_at(
+      fs::path(::testing::TempDir()) / "pipad_io" / "empty_features.tsv", "");
+  EXPECT_THROW(load_dataset(fixture("sample_edges.csv"), o3), Error);
+}
+
+TEST(Cache, CorruptCacheIsIgnoredAndRegenerated) {
+  const auto dir = temp_dir();
+  LoadOptions o;
+  o.cache_dir = (dir / "cache").string();
+  LoadStats st1;
+  const DTDG g1 =
+      load_dataset(fixture("sample_edges.csv"), o, nullptr, &st1);
+  write_file_at(st1.cache_path, "garbage");
+
+  LoadStats st2;
+  const DTDG g2 =
+      load_dataset(fixture("sample_edges.csv"), o, nullptr, &st2);
+  EXPECT_FALSE(st2.cache_hit);  // Corrupt cache = miss, not an error.
+  expect_same_dtdg(g1, g2);
+
+  LoadStats st3;
+  load_dataset(fixture("sample_edges.csv"), o, nullptr, &st3);
+  EXPECT_TRUE(st3.cache_hit);  // ... and the cache was rewritten.
+}
+
+// ---- worker-lane charging ----
+
+TEST(LoadCharge, PlacesMeasuredPhasesOnWorkerLanes) {
+  graph::io::LoadStats st;
+  st.read_us = 10.0;
+  st.parse_us = 100.0;
+  st.parse_chunks = 2;
+  st.build_us = 50.0;
+  st.build_tasks = 8;
+  gpusim::Gpu gpu;
+  const double end = host::charge_load(gpu, st, 2);
+  EXPECT_GT(end, 0.0);
+  int read = 0, parse = 0, build = 0;
+  for (const auto& r : gpu.timeline().records()) {
+    if (r.name == "prep:load:read") ++read;
+    if (r.name == "prep:load:parse") ++parse;
+    if (r.name == "prep:load:build") ++build;
+  }
+  EXPECT_EQ(read, 1);
+  EXPECT_EQ(parse, 2);  // min(parse_chunks, 2 lanes).
+  EXPECT_EQ(build, 2);  // min(build_tasks, 2 lanes).
+
+  graph::io::LoadStats hit;
+  hit.read_us = 5.0;
+  hit.cache_us = 20.0;
+  hit.cache_hit = true;
+  gpusim::Gpu gpu2;
+  host::charge_load(gpu2, hit, 2);
+  bool cache_read = false;
+  for (const auto& r : gpu2.timeline().records()) {
+    if (r.name == "prep:load:cache-read") cache_read = true;
+  }
+  EXPECT_TRUE(cache_read);
+}
+
+// ---- docs stay in sync with the fixture ----
+
+TEST(Docs, FormatSpecWorkedExampleIsTheCheckedInFixture) {
+  const std::string doc =
+      read_file(std::string(PIPAD_SOURCE_DIR) + "/docs/DATASET_FORMATS.md");
+  const std::string sample = read_file(fixture("sample_edges.csv"));
+  EXPECT_NE(doc.find(sample), std::string::npos)
+      << "docs/DATASET_FORMATS.md must embed tests/data/sample_edges.csv "
+         "verbatim as its worked example";
+  const std::string feats = read_file(fixture("sample_features.tsv"));
+  EXPECT_NE(doc.find(feats), std::string::npos)
+      << "docs/DATASET_FORMATS.md must embed tests/data/sample_features.tsv "
+         "verbatim";
+}
+
+}  // namespace
+}  // namespace pipad::graph::io
