@@ -1,6 +1,11 @@
 // bench_diff: compare two bench-to-JSON records and flag perf regressions.
 //
 //   bench_diff BASELINE.json FRESH.json [--threshold=0.15] [--metric=epoch_us]
+//              [--summary=FILE]
+//
+// --summary=FILE appends the comparison as a GitHub-flavored markdown table
+// (CI points it at $GITHUB_STEP_SUMMARY so the perf gate is readable on the
+// run page without downloading artifacts).
 //
 // Both files must be JsonReport documents (see bench_util.hpp): a "records"
 // array of flat objects keyed by (dataset, model, method). For every record
@@ -15,6 +20,7 @@
 // anything it cannot understand rather than guessing.
 #include <cctype>
 #include <cerrno>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -127,6 +133,7 @@ void usage_and_exit(const char* prog) {
   std::fprintf(stderr,
                "usage: %s BASELINE.json FRESH.json [--threshold=F]"
                " [--metric=NAME] [--min-delta-us=N]\n"
+               "       [--summary=FILE]\n"
                "  --threshold=F      allowed fractional increase"
                " (default 0.15)\n"
                "  --metric=NAME      numeric record field to compare"
@@ -134,9 +141,39 @@ void usage_and_exit(const char* prog) {
                "  --min-delta-us=N   ignore regressions whose absolute"
                " increase is below N\n"
                "                     (floor for noisy tiny records;"
-               " default 0)\n",
+               " default 0)\n"
+               "  --summary=FILE     append the comparison as a markdown"
+               " table (for\n"
+               "                     $GITHUB_STEP_SUMMARY)\n",
                prog);
   std::exit(2);
+}
+
+/// Markdown-escape a record key ('|' delimits table cells).
+std::string md_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '|') out += "\\|";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+/// printf into a std::string, sized dynamically — record keys embed
+/// user-controlled dataset file stems, and a truncated row would corrupt
+/// the markdown table.
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+  if (needed > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  va_end(args2);
+  return out;
 }
 
 }  // namespace
@@ -146,6 +183,7 @@ int main(int argc, char** argv) {
   double threshold = 0.15;
   double min_delta_us = 0.0;
   std::string metric = "epoch_us";
+  std::string summary_path;
 
   std::vector<std::string> positional;
   for (int a = 1; a < argc; ++a) {
@@ -165,6 +203,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--metric=", 0) == 0) {
       metric = arg.substr(9);
       if (metric.empty()) usage_and_exit(argv[0]);
+    } else if (arg.rfind("--summary=", 0) == 0) {
+      summary_path = arg.substr(10);
+      if (summary_path.empty()) usage_and_exit(argv[0]);
     } else if (arg.rfind("--", 0) == 0) {
       usage_and_exit(argv[0]);
     } else {
@@ -186,6 +227,8 @@ int main(int argc, char** argv) {
 
   std::printf("%-44s %12s %12s %8s\n", "record", "baseline", "fresh",
               "delta");
+  std::string md = "| record | baseline | fresh | delta | status |\n"
+                   "|---|---:|---:|---:|---|\n";
   int regressions = 0, missing = 0, compared = 0;
   for (const auto& r : base.records) {
     const std::string key = record_key(r);
@@ -198,6 +241,8 @@ int main(int argc, char** argv) {
     if (fit == fresh_by_key.end()) {
       std::printf("%-44s %12.1f %12s  MISSING\n", key.c_str(), bit->second,
                   "-");
+      md += strprintf("| %s | %.1f | - | - | **MISSING** |\n",
+                      md_escape(key).c_str(), bit->second);
       ++missing;
       continue;
     }
@@ -212,24 +257,43 @@ int main(int argc, char** argv) {
     const bool bad = delta > threshold && (f - b) > min_delta_us;
     std::printf("%-44s %12.1f %12.1f %+7.1f%%%s\n", key.c_str(), b, f,
                 100.0 * delta, bad ? "  REGRESSION" : "");
+    md += strprintf("| %s | %.1f | %.1f | %+.1f%% | %s |\n",
+                    md_escape(key).c_str(), b, f, 100.0 * delta,
+                    bad ? "**REGRESSION**" : "ok");
     ++compared;
     if (bad) ++regressions;
   }
   int added = 0;
   for (const auto& r : fresh.records) {
     if (base_by_key.count(record_key(r)) == 0) {
-      std::printf("%-44s %12s %12.1f  new\n", record_key(r).c_str(), "-",
-                  r.numbers.count(metric) ? r.numbers.at(metric) : 0.0);
+      const double v = r.numbers.count(metric) ? r.numbers.at(metric) : 0.0;
+      std::printf("%-44s %12s %12.1f  new\n", record_key(r).c_str(), "-", v);
+      md += strprintf("| %s | - | %.1f | - | new |\n",
+                      md_escape(record_key(r)).c_str(), v);
       ++added;
     }
   }
 
+  const bool failed = regressions > 0 || missing > 0;
   std::printf(
       "\n%d compared on %s (threshold +%.0f%%): %d regression(s), "
       "%d missing, %d new\n",
       compared, metric.c_str(), 100.0 * threshold, regressions, missing,
       added);
-  if (regressions > 0 || missing > 0) {
+  if (!summary_path.empty()) {
+    // Append: several gates share one $GITHUB_STEP_SUMMARY file.
+    std::ofstream os(summary_path, std::ios::app);
+    if (!os) die("cannot open " + summary_path + " for appending");
+    os << strprintf("### bench_diff: %s on `%s` (threshold +%.0f%%)\n\n",
+                    failed ? ":x: FAIL" : ":white_check_mark: OK",
+                    metric.c_str(), 100.0 * threshold)
+       << md
+       << strprintf("\n%d compared: %d regression(s), %d missing, %d new\n\n",
+                    compared, regressions, missing, added);
+    os.flush();
+    if (!os) die("write failed: " + summary_path);
+  }
+  if (failed) {
     std::fprintf(stderr, "bench_diff: FAIL\n");
     return 1;
   }

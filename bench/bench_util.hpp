@@ -10,6 +10,8 @@
 //                     paper uses 16 — raise for fidelity, costs runtime)
 //   --threads=N       ComputePool workers (prep + numeric kernels),
 //                     0 = auto                             (default 0)
+//   --tuner=MODE      PiPAD S_per tuner cost source: analytic | measured
+//                                                          (default analytic)
 //   --datasets=a,b    comma-separated subset of the Table-1 names and/or
 //                     file:PATH specs for on-disk datasets (edge list /
 //                     temporal CSV / .dtdg; docs/DATASET_FORMATS.md)
@@ -53,6 +55,8 @@ struct Flags {
   int frames = 4;
   int frame_size = 8;
   int threads = 0;  ///< ComputePool workers (0 = library default).
+  /// S_per tuner cost source (--tuner=analytic|measured).
+  runtime::TunerMode tuner = runtime::TunerMode::Analytic;
   std::vector<std::string> datasets;
   std::string json;  ///< Non-empty: write run records to this file.
   long long snapshot_window = 0;  ///< file: datasets — time-window width.
@@ -62,8 +66,9 @@ struct Flags {
     std::string p = prog != nullptr ? prog : "bench";
     return "usage: " + p +
            " [--scale-large=N] [--scale-small=N] [--epochs=N] [--frames=N]"
-           " [--frame-size=N]\n        [--threads=N] [--datasets=a,b,...]"
-           " [--json=FILE] [--snapshot-window=N]\n        [--cache-dir=DIR]\n"
+           " [--frame-size=N]\n        [--threads=N]"
+           " [--tuner=analytic|measured] [--datasets=a,b,...]"
+           " [--json=FILE]\n        [--snapshot-window=N] [--cache-dir=DIR]\n"
            "  --scale-large / --scale-small / --epochs / --frame-size /"
            " --snapshot-window\n  must be >= 1,"
            " --frames / --threads must be >= 0,\n"
@@ -112,6 +117,10 @@ struct Flags {
         f.frame_size = parse_int("--frame-size", value.c_str(), 1);
       } else if (key == "--threads") {
         f.threads = parse_int("--threads", value.c_str(), 0);
+      } else if (key == "--tuner") {
+        if (!runtime::parse_tuner_mode(value, f.tuner)) {
+          die("--tuner expects analytic or measured, got '" + value + "'");
+        }
       } else if (key == "--json") {
         if (value.empty()) die("--json expects a file path");
         f.json = value;
@@ -175,6 +184,7 @@ struct Flags {
 inline runtime::PipadOptions pipad_options(const Flags& f) {
   runtime::PipadOptions o;
   o.host_threads = f.threads;
+  o.tuner = f.tuner;
   return o;
 }
 

@@ -128,6 +128,8 @@ models::TrainConfig train_config(const Options& o) {
 runtime::PipadOptions pipad_options(const Options& o) {
   runtime::PipadOptions popts;
   popts.host_threads = o.threads;  // 0 = HostLane default.
+  // Parse cannot fail here: parse_args validated with the same helper.
+  runtime::parse_tuner_mode(o.tuner, popts.tuner);
   return popts;
 }
 
@@ -317,6 +319,10 @@ std::string usage() {
       "  --frames N         max frames per epoch, 0 = all  [4]\n"
       "  --threads N        ComputePool worker lanes (host prep + numeric\n"
       "                     kernels), 0 = default  [0]\n"
+      "  --tuner MODE       S_per tuner cost source: analytic (device\n"
+      "                     model only) | measured (folds the preparing\n"
+      "                     epoch's charged prep/compute lane occupancy\n"
+      "                     into the pipeline-stall rejection)  [analytic]\n"
       "  --seed N           dataset + model RNG seed  [2023]\n"
       "  --out FILE         trace: write the PiPAD timeline as CSV\n"
       "  --json FILE        bench: write per-method records as JSON\n"
@@ -403,6 +409,14 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       o.features = value;
     } else if (flag == "--cache-dir") {
       o.cache_dir = value;
+    } else if (flag == "--tuner") {
+      runtime::TunerMode mode;
+      if (!runtime::parse_tuner_mode(value, mode)) {
+        res.error = "unknown tuner '" + value +
+                    "' (expected analytic | measured)";
+        return res;
+      }
+      o.tuner = value;
     } else if (flag == "--log-level") {
       if (value != "debug" && value != "info" && value != "warn" &&
           value != "error" && value != "off") {

@@ -50,6 +50,8 @@ struct Options {
   int frames = 4;           ///< Max frames per epoch (0 = every frame).
   int threads = 0;          ///< Host-prep worker lanes for the PiPAD runtime
                             ///< (0 = library default).
+  std::string tuner = "analytic";  ///< S_per tuner cost source for the PiPAD
+                                   ///< runtime: analytic | measured.
   std::uint64_t seed = 2023;
 
   std::string out;          ///< `trace`: CSV output path (empty = stdout only).

@@ -112,6 +112,16 @@ class Gpu {
     return timeline_.submit(0, Resource::Cpu, "host:" + name, duration_us);
   }
 
+  /// Block the issuing CPU thread until `until_us` — models a real
+  /// main-thread wait (e.g. on a background prep job's completion, §4.3).
+  /// A no-op when the CPU front is already past that point.
+  double cpu_wait_until(const std::string& name, double until_us) {
+    const double cpu_now = timeline_.resource_ready(Resource::Cpu);
+    if (until_us <= cpu_now) return cpu_now;
+    return timeline_.submit(0, Resource::Cpu, "wait:" + name,
+                            until_us - cpu_now);
+  }
+
   /// Declare how many background worker lanes exist (one per host::HostLane
   /// pool thread).
   void set_worker_lanes(std::size_t n) { timeline_.set_worker_lanes(n); }

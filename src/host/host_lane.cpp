@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <utility>
 
 #include "common/timer.hpp"
 
@@ -71,6 +72,132 @@ double HostLane::charge_all(const std::string& name, double wall_us,
     end = std::max(end, gpu_.worker_op(lane, name, wall_us, not_before_us));
   }
   return end;
+}
+
+std::unique_ptr<HostStream> HostLane::stream(
+    std::string name, std::size_t n, std::function<void(std::size_t)> job,
+    std::size_t window) {
+  if (window == 0) window = 2 * pool().size();
+  window = std::max<std::size_t>(1, window);
+  return std::unique_ptr<HostStream>(new HostStream(
+      gpu_, pool(), std::move(name), n, std::move(job), window));
+}
+
+std::vector<double> HostLane::occupancy(double t0, double t1,
+                                        const std::string& prefix) const {
+  return gpu_.timeline().worker_busy_in(t0, t1, prefix);
+}
+
+// ---------------------------------------------------------------- HostStream
+
+HostStream::HostStream(gpusim::Gpu& gpu, ThreadPool& pool, std::string name,
+                       std::size_t n, std::function<void(std::size_t)> job,
+                       std::size_t window)
+    : gpu_(gpu),
+      pool_(pool),
+      name_(std::move(name)),
+      n_(n),
+      job_(std::move(job)),
+      window_(window),
+      end_us_(n, 0.0),
+      retired_(n, false) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < std::min(window_, n_); ++i) {
+    submit_next_locked();
+  }
+}
+
+HostStream::~HostStream() {
+  try {
+    finish();
+  } catch (...) {
+    // Jobs reference caller state: the drain itself must happen, but a
+    // destructor cannot rethrow a job's failure. wait()/finish() callers
+    // see it; a stream destroyed without either ran to completion anyway.
+  }
+}
+
+void HostStream::submit_next_locked() {
+  if (next_submit_ >= n_) return;
+  const std::size_t i = next_submit_++;
+  futures_.push_back(pool_.submit([this, i] {
+    Completion c;
+    c.index = i;
+    c.lane = ThreadPool::worker_index();
+    Timer timer;
+    try {
+      job_(i);
+    } catch (...) {
+      c.error = std::current_exception();
+    }
+    c.wall_us = timer.elapsed_us();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_.push_back(std::move(c));
+    }
+    cv_.notify_all();
+  }));
+}
+
+void HostStream::retire(const Completion& c) {
+  // Consumer thread only: the Timeline is not thread-safe. Completions pop
+  // in arrival order, which preserves each lane's execution order, so the
+  // simulated schedule mirrors the real one (same contract as run()).
+  end_us_[c.index] = gpu_.worker_op(c.lane, name_, c.wall_us);
+  retired_[c.index] = true;
+  if (c.error && !first_error_) first_error_ = c.error;
+}
+
+double HostStream::wait(std::size_t j) {
+  PIPAD_CHECK_MSG(j < n_, "HostStream::wait(" << j << ") of " << n_);
+  while (!retired_[j]) {
+    Completion c;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return !done_.empty(); });
+      c = std::move(done_.front());
+      done_.pop_front();
+      ++retired_count_;
+      // A retired job frees one window slot; keep the pipeline primed.
+      submit_next_locked();
+    }
+    retire(c);
+  }
+  if (first_error_) {
+    finish();  // Drain stragglers before surfacing the failure.
+    // Sticky: the error keeps rethrowing on every later wait(), so a
+    // caller that catches and continues can never silently consume the
+    // failed job's default-constructed output.
+    std::rethrow_exception(first_error_);
+  }
+  return end_us_[j];
+}
+
+void HostStream::finish() {
+  while (true) {
+    Completion c;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (retired_count_ >= n_) break;
+      cv_.wait(lock, [&] { return !done_.empty(); });
+      c = std::move(done_.front());
+      done_.pop_front();
+      ++retired_count_;
+      submit_next_locked();
+    }
+    retire(c);
+  }
+  // Join the pool tasks: a completion record arrives *before* the task
+  // fully unwinds, so a worker can still be inside notify/packaged-task
+  // teardown that touches this object — it is only provably out once its
+  // future is ready. (Job exceptions were already captured per completion;
+  // these gets never throw.)
+  std::vector<std::future<void>> futs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    futs.swap(futures_);
+  }
+  for (auto& f : futs) f.get();
 }
 
 double charge_load(gpusim::Gpu& gpu, const graph::io::LoadStats& st,

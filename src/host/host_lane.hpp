@@ -12,8 +12,13 @@
 // their data.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +27,8 @@
 #include "graph/io/loader.hpp"
 
 namespace pipad::host {
+
+class HostStream;
 
 /// The library default for host-side prep pools: min(hardware_concurrency,
 /// 8). Prep work saturates well below the core count of a training node;
@@ -67,8 +74,93 @@ class HostLane {
   double charge_all(const std::string& name, double wall_us,
                     double not_before_us = 0.0, std::size_t tasks = 0);
 
+  /// Begin a frame-ordered streaming batch: job(i) for i in [0, n) executes
+  /// on the pool in enqueue order, but at most `window` jobs are in flight
+  /// (submitted and not yet retired by wait()) at any moment — backpressure,
+  /// so a long timeline's partition extraction does not pile up unconsumed
+  /// results. 0 picks 2x the pool width. Same charging contract as run():
+  /// each job's measured wall-clock lands on the lane that executed it.
+  std::unique_ptr<HostStream> stream(std::string name, std::size_t n,
+                                     std::function<void(std::size_t)> job,
+                                     std::size_t window = 0);
+
+  /// Per-lane charged busy time within the sim-time window [t0, t1) of
+  /// worker ops whose name starts with `prefix` ("" = all): the measured
+  /// occupancy the charge-aware tuner folds into decide_sper. Thin wrapper
+  /// over Timeline::worker_busy_in.
+  std::vector<double> occupancy(double t0, double t1,
+                                const std::string& prefix = {}) const;
+
  private:
   gpusim::Gpu& gpu_;
+};
+
+/// A streaming batch in flight (HostLane::stream). The consumer calls
+/// wait(j) — usually in enqueue order, but any order works — which blocks
+/// until job j has really completed, charges every completion that has
+/// arrived to its worker lane (in that lane's execution order), tops the
+/// in-flight window back up, and returns job j's simulated end time.
+/// Everything except the job bodies runs on the consumer thread; the
+/// Timeline is only touched there.
+class HostStream {
+ public:
+  ~HostStream();
+  HostStream(const HostStream&) = delete;
+  HostStream& operator=(const HostStream&) = delete;
+
+  std::size_t size() const { return n_; }
+
+  /// Jobs retired (charged) so far. Consumer-thread view; with the
+  /// in-flight window this bounds how far the stream has run ahead.
+  std::size_t retired() const { return retired_count_; }
+
+  /// Simulated completion time of job j. Blocks until the job is done;
+  /// rethrows the first job exception once the waited job has retired.
+  /// The error is sticky: after any job failed, every wait() throws, so
+  /// failed output can never be consumed as if it succeeded.
+  double wait(std::size_t j);
+
+  /// Retire every remaining job (drains the stream). Called by the
+  /// destructor if the consumer did not.
+  void finish();
+
+ private:
+  friend class HostLane;
+  HostStream(gpusim::Gpu& gpu, ThreadPool& pool, std::string name,
+             std::size_t n, std::function<void(std::size_t)> job,
+             std::size_t window);
+
+  struct Completion {
+    std::size_t index;
+    std::size_t lane;
+    double wall_us;
+    std::exception_ptr error;
+  };
+
+  void submit_next_locked();       ///< Enqueue one more job if any remain.
+  void retire(const Completion&);  ///< Charge one completion (consumer thread).
+
+  gpusim::Gpu& gpu_;
+  ThreadPool& pool_;
+  std::string name_;
+  std::size_t n_;
+  std::function<void(std::size_t)> job_;
+  std::size_t window_;
+
+  std::mutex mutex_;                  ///< Guards done_, futures_, counters.
+  std::condition_variable cv_;
+  std::deque<Completion> done_;       ///< Completed, not yet retired.
+  std::vector<std::future<void>> futures_;  ///< Joined by finish(): a worker
+                                      ///< is only provably out of this
+                                      ///< object once its task future is
+                                      ///< ready.
+  std::size_t next_submit_ = 0;       ///< First job not yet enqueued.
+  std::size_t retired_count_ = 0;
+
+  // Consumer-thread state (no lock needed).
+  std::vector<double> end_us_;        ///< Sim end per retired job.
+  std::vector<bool> retired_;
+  std::exception_ptr first_error_;
 };
 
 /// Drain the ComputePool's measured kernel regions and charge each to the

@@ -371,11 +371,22 @@ struct PipadTrainer::Impl {
   std::map<int, int> decisions;  ///< frame start -> S_per.
   bool steady_prepared = false;
 
+  // Streaming steady-state extraction (stream_prep): jobs write disjoint
+  // stream_parts slots; partition() retires them in first-use order. The
+  // stream is declared last so it is destroyed (and drained) before the
+  // slots its in-flight jobs write into.
+  std::vector<std::pair<int, int>> stream_keys;
+  std::map<std::pair<int, int>, std::size_t> stream_index;
+  std::vector<sliced::FramePartition> stream_parts;
+  std::unique_ptr<host::HostStream> prep_stream;
+
   // Online profiling statistics (preparing epochs, §4.3).
   double mean_pair_or = 0.0;
   std::uint64_t mean_nnz = 0;
   std::size_t per_snapshot_mem = 0;
   int hid = 0;
+  int prep_snapshots = 0;        ///< Snapshot-trainings in preparing epochs.
+  MeasuredOccupancy measured;    ///< Sampled at steady transition (§4.4).
 
   Impl(gpusim::Gpu& g, const graph::DTDG& d, TrainConfig c, PipadOptions o)
       : gpu(g),
@@ -467,32 +478,50 @@ struct PipadTrainer::Impl {
   const sliced::FramePartition& partition(int start, int count) {
     auto key = std::make_pair(start, count);
     auto it = partition_cache.find(key);
-    if (it == partition_cache.end()) {
-      // On-demand miss (prepare_steady covers the common case): build with
-      // the pool-parallel path and charge the measured wall-clock to every
-      // lane the build occupied.
-      Timer timer;
-      auto part = sliced::build_partition(data, start, count,
-                                          opts.slice_bound, &lane.pool());
-      // The build fans out into 2 overlap + 2*count exclusive slice tasks;
-      // only that many lanes were busy.
-      const double end =
-          lane.charge_all("overlap-extract", timer.elapsed_us(), 0.0,
-                          2 + 2 * static_cast<std::size_t>(count));
+    if (it != partition_cache.end()) return it->second;
+
+    const auto si = stream_index.find(key);
+    if (prep_stream && si != stream_index.end()) {
+      // Streamed extraction (§4.3): block only until *this* partition's job
+      // retires — the wait is real, so the simulated CPU pays exactly it.
+      const double end = prep_stream->wait(si->second);
+      gpu.cpu_wait_until("overlap-extract", end);
       partition_ready[key] = gpu.timeline().record_event_at(end);
-      it = partition_cache.emplace(key, std::move(part)).first;
+      it = partition_cache.emplace(key, std::move(stream_parts[si->second]))
+               .first;
+      return it->second;
     }
+
+    // On-demand miss (prepare_steady covers the common case): build with
+    // the pool-parallel path and charge the measured wall-clock to every
+    // lane the build occupied.
+    Timer timer;
+    auto part = sliced::build_partition(data, start, count,
+                                        opts.slice_bound, &lane.pool());
+    // The build fans out into 2 overlap + 2*count exclusive slice tasks;
+    // only that many lanes were busy.
+    const double end =
+        lane.charge_all("overlap-extract", timer.elapsed_us(), 0.0,
+                        2 + 2 * static_cast<std::size_t>(count));
+    partition_ready[key] = gpu.timeline().record_event_at(end);
+    it = partition_cache.emplace(key, std::move(part)).first;
     return it->second;
   }
 
-  /// One-off steady-state preparation (§4.3): decide S_per for every frame
-  /// using the preparing-epoch statistics, then extract every needed
-  /// partition as a parallel HostLane job (❷). Extraction overlaps device
-  /// work of earlier frames — each frame's transfers wait only on the
-  /// completion event of exactly the job that built its partition.
+  /// One-off steady-state preparation (§4.3): sample the preparing epoch's
+  /// charged occupancy for the measured tuner, decide S_per for every
+  /// frame, then extract every needed partition on the worker lanes (❷).
+  /// With stream_prep the extraction jobs are *streamed* in first-use order
+  /// with a bounded in-flight window: the first steady frame's transfers
+  /// (and the main thread) wait only on the jobs that built its own
+  /// partitions, not the whole batch. The legacy path extracts everything
+  /// as one batch and blocks the main thread until it drains — which the
+  /// simulation now charges too (cpu_wait_until), as the real code always
+  /// paid it.
   void prepare_steady(const std::vector<graph::Frame>& frames) {
     if (steady_prepared) return;
     steady_prepared = true;
+    if (opts.tuner == TunerMode::Measured) sample_occupancy();
     std::vector<std::pair<int, int>> keys;
     for (const auto& frame : frames) {
       const int s = decide_sper(frame);
@@ -501,7 +530,8 @@ struct PipadTrainer::Impl {
       while (pos < end) {
         const int take = std::min(s, end - pos);
         const auto key = std::make_pair(pos, take);
-        // Sliding frames revisit partitions; extract each key once.
+        // Sliding frames revisit partitions; extract each key once. Frame
+        // order IS first-use order, which the stream preserves.
         if (partition_cache.count(key) == 0 &&
             std::find(keys.begin(), keys.end(), key) == keys.end()) {
           keys.push_back(key);
@@ -510,6 +540,24 @@ struct PipadTrainer::Impl {
       }
     }
     if (keys.empty()) return;
+
+    if (opts.stream_prep) {
+      stream_keys = keys;
+      stream_parts.assign(keys.size(), {});
+      for (std::size_t j = 0; j < keys.size(); ++j) stream_index[keys[j]] = j;
+      prep_stream = lane.stream(
+          "overlap-extract", keys.size(),
+          [this](std::size_t j) {
+            stream_parts[j] = sliced::build_partition(
+                data, stream_keys[j].first, stream_keys[j].second,
+                opts.slice_bound);
+          },
+          opts.prep_stream_window > 0
+              ? static_cast<std::size_t>(opts.prep_stream_window)
+              : 0);
+      return;
+    }
+
     std::vector<sliced::FramePartition> parts(keys.size());
     const auto batch = lane.run(
         "overlap-extract", keys.size(), [&](std::size_t j) {
@@ -522,9 +570,31 @@ struct PipadTrainer::Impl {
           gpu.timeline().record_event_at(batch.job_end_us[j]);
       partition_cache.emplace(keys[j], std::move(parts[j]));
     }
+    // The real main thread blocked on the whole batch before the first
+    // steady frame could start; charge the same wait to the simulation.
+    gpu.cpu_wait_until("prepare-steady", batch.end_us);
   }
 
-  /// Dynamic tuner (§4.4): pick S_per for a frame.
+  /// Measured occupancy sample for the charge-aware tuner: everything the
+  /// preparing epochs charged to the worker lanes (prep jobs + measured
+  /// numeric kernels), minus the one-off dataset ingest, per trained
+  /// snapshot. Derived from charged sim-time — never a wall clock read
+  /// here — so a decision is reproducible given the same charges.
+  void sample_occupancy() {
+    const auto& tl = gpu.timeline();
+    const double t1 = tl.makespan();
+    double host_us = 0.0;
+    for (double v : tl.worker_busy_in(0.0, t1, "prep:")) host_us += v;
+    for (double v : tl.worker_busy_in(0.0, t1, "compute:")) host_us += v;
+    for (double v : tl.worker_busy_in(0.0, t1, "prep:load:")) host_us -= v;
+    measured.snapshots = prep_snapshots;
+    measured.host_us_per_snapshot =
+        prep_snapshots > 0 ? host_us / prep_snapshots : 0.0;
+  }
+
+  /// Dynamic tuner (§4.4): pick S_per for a frame (pipad/tuner.hpp has the
+  /// decision logic; this builds its inputs from the profiling statistics
+  /// and caches per frame start).
   int decide_sper(const graph::Frame& frame) {
     if (opts.forced_sper > 0) {
       return std::min(opts.forced_sper, frame.size);
@@ -532,57 +602,25 @@ struct PipadTrainer::Impl {
     auto it = decisions.find(frame.start);
     if (it != decisions.end()) return it->second;
 
-    WorkloadShape w;
-    w.num_nodes = data.num_nodes * data.sim_scale;
-    w.nnz_per_snapshot = mean_nnz;  // Already scale-adjusted in profiling.
-    w.feat_dim = data.feat_dim;
-    w.hidden_dim = hid;
-    w.slice_bound = opts.slice_bound;
-    w.coalesce_num = opts.coalesce_num;
-    const bool wr = opts.enable_weight_reuse && !model->weights_evolve();
-
-    // Estimated per-partition transfer and compute for an S_per option.
-    auto partition_xfer_us = [&](int s, double group_or) {
-      const std::size_t topo_bytes =
-          needs_topology_steady()
-              ? static_cast<std::size_t>((group_or + s * (1.0 - group_or)) *
-                                         mean_nnz * 2 * 2 * sizeof(int))
-              : 0;
-      const std::size_t feat_bytes = static_cast<std::size_t>(s) *
-                                     data.num_nodes * data.sim_scale *
-                                     data.feat_dim * sizeof(float);
-      return gpu.cost().transfer_us(topo_bytes + feat_bytes, true);
-    };
-
-    // Pick the option with the lowest per-snapshot pipeline bottleneck:
-    //   - when compute-bound, this is the option with the best parallel
-    //     speedup (§4.4 factor 2);
-    //   - when transfer-bound, larger S_per still wins because the overlap
-    //     topology is shipped once per partition (§4.1);
-    //   - options whose transfer exceeds compute by more than the stall
-    //     tolerance lose against the bottleneck metric automatically
-    //     (§4.4 factor 3).
-    int best_s = 1;
-    double best_cost =
-        std::max(one_snapshot_gnn_us(gpu.cost(), w),
-                 partition_xfer_us(1, 1.0));
-    for (int s : opts.sper_options) {
-      if (s > frame.size) continue;
-      // Factor 1: memory upper bound — never trigger OOM.
-      const std::size_t need =
-          static_cast<std::size_t>(s) * per_snapshot_mem * 12 / 10;
-      if (need > gpu.device().available() * 8 / 10) continue;
-      const double group_or =
-          std::max(0.0, 1.0 - (s - 1) * (1.0 - mean_pair_or));
-      const double comp = parallel_gnn_us(gpu.cost(), w, s, group_or, wr);
-      const double xfer =
-          opts.enable_pipeline ? partition_xfer_us(s, group_or) : 0.0;
-      const double cost = std::max(comp, xfer) / s;
-      if (cost < best_cost * 0.999) {
-        best_cost = cost;
-        best_s = s;
-      }
-    }
+    TunerInputs in;
+    in.shape.num_nodes = data.num_nodes * data.sim_scale;
+    in.shape.nnz_per_snapshot = mean_nnz;  // Scale-adjusted in profiling.
+    in.shape.feat_dim = data.feat_dim;
+    in.shape.hidden_dim = hid;
+    in.shape.slice_bound = opts.slice_bound;
+    in.shape.coalesce_num = opts.coalesce_num;
+    in.sper_options = opts.sper_options;
+    in.frame_size = frame.size;
+    in.enable_pipeline = opts.enable_pipeline;
+    in.weight_reuse = opts.enable_weight_reuse && !model->weights_evolve();
+    in.needs_topology = needs_topology_steady();
+    in.mean_pair_or = mean_pair_or;
+    in.per_snapshot_mem = per_snapshot_mem;
+    in.device_available = gpu.device().available();
+    in.stall_tolerance = opts.stall_tolerance;
+    in.mode = opts.tuner;
+    in.measured = measured;
+    const int best_s = runtime::decide_sper(gpu.cost(), in).s_per;
     decisions[frame.start] = best_s;
     return best_s;
   }
@@ -615,14 +653,28 @@ struct PipadTrainer::Impl {
       gpu_buffer.set_budget(budget);
     }
 
+    bool first_steady_recorded = false;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
       const bool prep = epoch < opts.preparing_epochs;
       if (!prep) prepare_steady(frames);
       for (const auto& frame : frames) {
         if (prep) {
+          prep_snapshots += frame.size;
           train_prep_frame(frame, params, result);
         } else {
           train_steady_frame(frame, params, result);
+          if (!first_steady_recorded) {
+            first_steady_recorded = true;
+            // Sim time at which the first steady frame fully finished: its
+            // host issue work, transfers and kernels. Streaming prep pulls
+            // this in on long timelines (the batch extractor made it wait
+            // for every partition).
+            const auto& tl = gpu.timeline();
+            result.first_steady_us = std::max(
+                {tl.stream_ready(exec.compute_stream()),
+                 tl.stream_ready(copy_stream),
+                 tl.resource_ready(gpusim::Resource::Cpu)});
+          }
         }
       }
     }

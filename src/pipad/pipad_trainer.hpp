@@ -9,10 +9,13 @@
 //     while profiling per-snapshot sizes/overlap and filling the CPU-side
 //     layer-0 aggregation cache;
 //   - steady epochs: per frame, the dynamic tuner picks S_per (memory bound,
-//     offline speedup estimate, pipeline-stall rejection, §4.4), partition
-//     data moves over a dedicated copy stream, the dimension-aware parallel
-//     GNN processes each partition (§4.2), GPU-resident reuse results skip
-//     transfers entirely, and kernels are batched through a CUDA graph.
+//     offline speedup estimate, pipeline-stall rejection — analytic or
+//     measured-occupancy driven, §4.4 / pipad/tuner.hpp), partition
+//     extraction streams in first-use order on the worker lanes with a
+//     bounded in-flight window, partition data moves over a dedicated copy
+//     stream, the dimension-aware parallel GNN processes each partition
+//     (§4.2), GPU-resident reuse results skip transfers entirely, and
+//     kernels are batched through a CUDA graph.
 #pragma once
 
 #include <map>
@@ -22,6 +25,7 @@
 #include "gpusim/gpu.hpp"
 #include "graph/dtdg.hpp"
 #include "models/training.hpp"
+#include "pipad/tuner.hpp"
 
 namespace pipad::runtime {
 
@@ -46,6 +50,18 @@ struct PipadOptions {
   double stall_tolerance = 1.25;   ///< Transfer/compute ratio the pipeline
                                    ///< absorbs before an option is rejected.
   std::size_t gpu_reuse_budget = 0;  ///< 0 = auto (remaining device memory).
+  /// Cost source for the tuner's pipeline-stall rejection: Analytic uses
+  /// the device model alone (the paper's tuner, and the fallback when no
+  /// occupancy sample exists); Measured folds in the prep:*/compute:* lane
+  /// occupancy charged during the preparing epoch (tuner.hpp).
+  TunerMode tuner = TunerMode::Analytic;
+  /// Steady-state prep extraction: true streams partitions in first-use
+  /// order with a bounded in-flight window, so the first steady frame waits
+  /// only on its own partition; false restores the one-batch extractor
+  /// (kept for the ablation_tuner comparison).
+  bool stream_prep = true;
+  /// Max in-flight streamed extractions (backpressure; 0 = 2x pool width).
+  int prep_stream_window = 0;
 };
 
 class PipadTrainer {

@@ -87,6 +87,18 @@ TEST(CliParse, UnknownRuntimeIsAnError) {
   EXPECT_FALSE(parse({"train", "--runtime", "cuda"}).ok);
 }
 
+TEST(CliParse, TunerModesAcceptedAndValidated) {
+  EXPECT_EQ(parse({"train"}).options.tuner, "analytic");
+  for (const char* t : {"analytic", "measured"}) {
+    const auto r = parse({"train", "--tuner", t});
+    ASSERT_TRUE(r.ok) << t << ": " << r.error;
+    EXPECT_EQ(r.options.tuner, t);
+  }
+  const auto bad = parse({"train", "--tuner", "oracle"});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("oracle"), std::string::npos);
+}
+
 TEST(CliParse, UnknownFlagIsAnError) {
   const auto r = parse({"train", "--modle", "tgcn"});
   EXPECT_FALSE(r.ok);
@@ -174,6 +186,10 @@ TEST(CliUsage, MentionsEveryAcceptedDataset) {
   EXPECT_NE(u.find("--snapshot-window"), std::string::npos);
   EXPECT_NE(u.find("--cache-dir"), std::string::npos);
   EXPECT_NE(u.find("--log-level"), std::string::npos);
+  // The tuner flag and both its modes must be documented.
+  EXPECT_NE(u.find("--tuner"), std::string::npos);
+  EXPECT_NE(u.find("analytic"), std::string::npos);
+  EXPECT_NE(u.find("measured"), std::string::npos);
 }
 
 TEST(CliParse, FileDatasetFlagsLand) {
