@@ -68,12 +68,16 @@ int main(int argc, char** argv) {
   auto tcfg = bench::train_config(flags, models::ModelType::TGcn);
   tcfg.max_frames_per_epoch = 0;  // Every frame of the long timeline.
 
-  auto run = [&](const runtime::PipadOptions& o, std::map<int, int>* dec) {
-    gpusim::Gpu gpu;
+  auto run_on = [&](gpusim::Gpu& gpu, const runtime::PipadOptions& o,
+                    std::map<int, int>* dec) {
     runtime::PipadTrainer trainer(gpu, g, tcfg, o);
     const auto r = trainer.train();
     if (dec != nullptr) *dec = trainer.sper_decisions();
     return r;
+  };
+  auto run = [&](const runtime::PipadOptions& o, std::map<int, int>* dec) {
+    gpusim::Gpu gpu;
+    return run_on(gpu, o, dec);
   };
 
   std::printf(
@@ -99,8 +103,11 @@ int main(int argc, char** argv) {
   std::vector<std::map<int, int>> variant_decisions;
   for (const auto& v : variants) {
     std::map<int, int> dec;
-    const auto r = run(v.opts, &dec);
+    gpusim::Gpu gpu;
+    const auto r = run_on(gpu, v.opts, &dec);
     report.add(g.name, "tgcn", v.method, r);
+    bench::write_trace(flags, "ablation_tuner", gpu, g.name, "tgcn",
+                       v.method);
     std::printf("%-18s %12.0f %12.0f %14.0f  %s\n", v.method, r.total_us,
                 r.total_us / flags.epochs, r.first_steady_us,
                 decisions_summary(dec).c_str());

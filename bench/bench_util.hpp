@@ -21,6 +21,11 @@
 //   --json=FILE       write per-run records to FILE as JSON (wired into
 //                     fig10_end2end and ablation_sper; other binaries
 //                     accept but ignore it until they adopt JsonReport)
+//   --trace-dir=DIR   write one trace CSV per run into DIR (created if
+//                     missing), named <bench>-<dataset>-<model>-<method>.csv
+//                     and labeled for `pipad analyze` (wired into
+//                     fig10_end2end and ablation_tuner; other binaries
+//                     accept but ignore it)
 // Unknown flags and non-positive scales are rejected with a usage message
 // (exit code 2), mirroring the CLI driver. Defaults are sized for a
 // single-core CI run; the *shape* of each figure is stable across scales
@@ -31,6 +36,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -40,6 +46,7 @@
 #include "baselines/baseline_trainer.hpp"
 #include "common/compute_pool.hpp"
 #include "common/util.hpp"
+#include "gpusim/trace.hpp"
 #include "graph/generator.hpp"
 #include "graph/io/loader.hpp"
 #include "host/host_lane.hpp"
@@ -59,6 +66,7 @@ struct Flags {
   runtime::TunerMode tuner = runtime::TunerMode::Analytic;
   std::vector<std::string> datasets;
   std::string json;  ///< Non-empty: write run records to this file.
+  std::string trace_dir;  ///< Non-empty: write one trace CSV per run here.
   long long snapshot_window = 0;  ///< file: datasets — time-window width.
   std::string cache_dir;          ///< file: datasets — .dtdg cache.
 
@@ -68,7 +76,8 @@ struct Flags {
            " [--scale-large=N] [--scale-small=N] [--epochs=N] [--frames=N]"
            " [--frame-size=N]\n        [--threads=N]"
            " [--tuner=analytic|measured] [--datasets=a,b,...]"
-           " [--json=FILE]\n        [--snapshot-window=N] [--cache-dir=DIR]\n"
+           " [--json=FILE]\n        [--trace-dir=DIR] [--snapshot-window=N]"
+           " [--cache-dir=DIR]\n"
            "  --scale-large / --scale-small / --epochs / --frame-size /"
            " --snapshot-window\n  must be >= 1,"
            " --frames / --threads must be >= 0,\n"
@@ -124,6 +133,9 @@ struct Flags {
       } else if (key == "--json") {
         if (value.empty()) die("--json expects a file path");
         f.json = value;
+      } else if (key == "--trace-dir") {
+        if (value.empty()) die("--trace-dir expects a directory path");
+        f.trace_dir = value;
       } else if (key == "--snapshot-window") {
         f.snapshot_window = parse_int("--snapshot-window", value.c_str(), 1);
       } else if (key == "--cache-dir") {
@@ -262,10 +274,12 @@ inline const std::vector<Method>& all_methods() {
   return ms;
 }
 
-inline models::TrainResult run_method(const graph::DTDG& data, Method m,
+/// Train on a caller-owned Gpu, leaving the timeline available for trace
+/// export (--trace-dir) or analysis.
+inline models::TrainResult run_method(gpusim::Gpu& gpu,
+                                      const graph::DTDG& data, Method m,
                                       const models::TrainConfig& cfg,
                                       runtime::PipadOptions popts = {}) {
-  gpusim::Gpu gpu;
   switch (m) {
     case Method::PyGT:
       return baselines::BaselineTrainer(gpu, data, cfg,
@@ -287,6 +301,50 @@ inline models::TrainResult run_method(const graph::DTDG& data, Method m,
       return runtime::PipadTrainer(gpu, data, cfg, popts).train();
   }
   throw Error("bad method");
+}
+
+inline models::TrainResult run_method(const graph::DTDG& data, Method m,
+                                      const models::TrainConfig& cfg,
+                                      runtime::PipadOptions popts = {}) {
+  gpusim::Gpu gpu;
+  return run_method(gpu, data, m, cfg, popts);
+}
+
+/// "PiPAD[batch]" -> "PiPAD_batch_": trace filenames stay portable.
+inline std::string trace_file_component(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) c = '_';
+  }
+  return out.empty() ? std::string("trace") : out;
+}
+
+/// Write one labeled trace CSV under flags.trace_dir (no-op when the flag
+/// is unset). The file lands at DIR/<bench>-<dataset>-<model>-<method>.csv
+/// so CI can feed it straight to `pipad analyze`.
+inline void write_trace(const Flags& flags, const std::string& bench,
+                        const gpusim::Gpu& gpu, const std::string& dataset,
+                        const std::string& model, const std::string& method) {
+  if (flags.trace_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(flags.trace_dir, ec);
+  const std::string path = flags.trace_dir + "/" +
+                           trace_file_component(bench) + "-" +
+                           trace_file_component(dataset) + "-" +
+                           trace_file_component(model) + "-" +
+                           trace_file_component(method) + ".csv";
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "[bench] cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  gpusim::write_trace_csv(gpu.timeline(), os,
+                          gpusim::TraceMeta{dataset, model, method});
+  std::fprintf(stderr, "[bench] trace written to %s\n", path.c_str());
 }
 
 inline const std::vector<models::ModelType>& all_models() {

@@ -30,10 +30,14 @@ int main(int argc, char** argv) {
       const auto tcfg = bench::train_config(flags, model);
       std::vector<double> totals;
       for (auto m : bench::all_methods()) {
+        gpusim::Gpu gpu;
         const auto r =
-            bench::run_method(g, m, tcfg, bench::pipad_options(flags));
+            bench::run_method(gpu, g, m, tcfg, bench::pipad_options(flags));
         report.add(cfg.name, models::model_type_name(model),
                    bench::method_name(m), r);
+        bench::write_trace(flags, "fig10_end2end", gpu, cfg.name,
+                           models::model_type_name(model),
+                           bench::method_name(m));
         totals.push_back(r.total_us);
       }
       std::printf("%-18s", cfg.name.c_str());

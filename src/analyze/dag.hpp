@@ -1,0 +1,73 @@
+// Dependency DAG over a trace, and the weighted critical path through it.
+//
+// The Timeline schedules every op at max(stream front, engine front,
+// extra_ready) — so the schedule itself encodes the dependence structure,
+// and the DAG can be reconstructed from the records alone (docs/ANALYZER.md
+// has the full rules):
+//
+//   stream_pred   previous op in the same stream (program order). CpuWorker
+//                 ops use their lane chain instead — lanes are the "streams"
+//                 of the background host.
+//   engine_pred   previous op on the same engine (Cpu, H2D, D2H, Compute
+//                 serialize; CpuWorker serializes per lane).
+//   join_pred     inferred cross edge: when an op starts strictly after
+//                 both of the above were free, something else gated it — an
+//                 event wait (h2d -> compute, partition_ready), a
+//                 cpu_wait_until join (worker prep -> steady), or launch
+//                 coupling. The producer is the latest op whose end
+//                 coincides with the gated start (ties: lowest index).
+//
+// The critical predecessor of an op is whichever of the three bound its
+// start (max end). Walking critical predecessors back from the op that
+// ends at the makespan yields the critical path; time not covered by a
+// binding predecessor is idle "gap" on the path. By construction
+// total_us == makespan exactly (gaps included), which the analyze_test
+// suite pins down.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/trace_data.hpp"
+#include "common/thread_pool.hpp"
+
+namespace pipad::analyze {
+
+struct DagNode {
+  int stream_pred = -1;  ///< Program order (stream, or CpuWorker lane).
+  int engine_pred = -1;  ///< Engine serialization order.
+  int join_pred = -1;    ///< Inferred cross-stream dependency (event/join).
+  int crit_pred = -1;    ///< The predecessor that bound this op's start.
+  double slack_us = 0.0; ///< start - max(pred ends): idle wait before it.
+};
+
+struct TraceDag {
+  std::vector<DagNode> nodes;  ///< Parallel to TraceData::records.
+};
+
+/// Build the DAG. With a pool, the per-op join inference fans out
+/// (deterministically — each op's edges depend only on the shared sorted
+/// end-time index, so the result is bit-identical for any thread count).
+TraceDag build_dag(const TraceData& td, ThreadPool* pool = nullptr);
+
+/// One op on the critical path, plus the idle gap (if any) between its
+/// binding predecessor's end and its start.
+struct CritSegment {
+  int record = -1;
+  double gap_before_us = 0.0;
+};
+
+struct CriticalPath {
+  std::vector<CritSegment> segments;  ///< Earliest first.
+  double total_us = 0.0;              ///< Durations + gaps == makespan.
+  double gap_us = 0.0;                ///< Total unattributed idle time.
+  double by_resource[gpusim::kNumResources] = {};  ///< Duration carried.
+};
+
+CriticalPath critical_path(const TraceData& td, const TraceDag& dag);
+
+/// Per-resource slack: makespan minus the engine's busy time — how much
+/// idle headroom each engine has (CpuWorker: vs the busiest lane).
+std::vector<double> resource_slack(const TraceData& td);
+
+}  // namespace pipad::analyze

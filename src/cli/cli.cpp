@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
+#include "analyze/report.hpp"
 #include "baselines/baseline_trainer.hpp"
 #include "common/compute_pool.hpp"
 #include "common/error.hpp"
@@ -128,6 +130,7 @@ models::TrainConfig train_config(const Options& o) {
 runtime::PipadOptions pipad_options(const Options& o) {
   runtime::PipadOptions popts;
   popts.host_threads = o.threads;  // 0 = HostLane default.
+  popts.stream_prep = o.prep != "batch";
   // Parse cannot fail here: parse_args validated with the same helper.
   runtime::parse_tuner_mode(o.tuner, popts.tuner);
   return popts;
@@ -268,9 +271,91 @@ int cmd_trace(const Options& o) {
                    o.out.c_str());
       return 1;
     }
-    gpusim::write_trace_csv(gpu_pipad.timeline(), csv);
+    const gpusim::TraceMeta meta{data.data.name, o.model, "pipad"};
+    gpusim::write_trace_csv(gpu_pipad.timeline(), csv, meta);
     std::printf("PiPAD trace written to %s (%zu ops)\n", o.out.c_str(),
                 gpu_pipad.timeline().records().size());
+  }
+  return 0;
+}
+
+/// "runs/trace-4.csv" -> "trace-4": the fallback dataset label for traces
+/// without a `# dataset=...` metadata line, so multiple unlabeled traces
+/// keep distinct (dataset|model|method) keys in the JSON report.
+std::string file_stem(const std::string& path) {
+  const auto slash = path.find_last_of("/\\");
+  std::string stem =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = stem.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) stem = stem.substr(0, dot);
+  return stem.empty() ? std::string("trace") : stem;
+}
+
+int cmd_analyze(const Options& o) {
+  std::vector<analyze::Analysis> analyses;
+  const analyze::PassOptions popts;
+  if (o.traces.empty()) {
+    // Live mode: run PiPAD on the requested dataset and analyze its
+    // timeline in-process.
+    const BuiltDataset data = build_dataset(o);
+    print_dataset(data.data);
+    gpusim::Gpu gpu;
+    run_method(o, "pipad", gpu, data);
+    analyze::TraceData td = analyze::from_timeline(gpu.timeline());
+    td.dataset = data.data.name;
+    td.model = o.model;
+    td.method = o.prep == "batch" ? "pipad-batch" : "pipad";
+    analyses.push_back(analyze::analyze_trace(
+        std::move(td), popts, &ComputePool::instance().pool()));
+  } else {
+    ComputePool::instance().configure(
+        o.threads > 0 ? static_cast<std::size_t>(o.threads) : 0);
+    for (const auto& path : o.traces) {
+      analyze::TraceData td = analyze::read_trace_file(path);
+      if (td.dataset.empty()) td.dataset = file_stem(path);
+      analyses.push_back(analyze::analyze_trace(
+          std::move(td), popts, &ComputePool::instance().pool()));
+    }
+  }
+
+  for (const auto& a : analyses) {
+    std::ostringstream os;
+    analyze::write_human_report(os, a, o.top);
+    std::fputs(os.str().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  if (!o.json.empty()) {
+    std::ofstream js(o.json);
+    if (!js) {
+      std::fprintf(stderr, "pipad: cannot open %s for writing\n",
+                   o.json.c_str());
+      return 1;
+    }
+    analyze::write_json_report(js, analyses, o.threads);
+    js.flush();
+    if (!js) {
+      std::fprintf(stderr, "pipad: write failed: %s\n", o.json.c_str());
+      return 1;
+    }
+    std::printf("%zu analysis records written to %s\n", analyses.size(),
+                o.json.c_str());
+  }
+
+  if (o.fail_above != "none") {
+    analyze::Severity gate;
+    // Parse cannot fail here: parse_args validated the value.
+    analyze::parse_severity(o.fail_above, gate);
+    const analyze::Severity worst = analyze::max_severity(analyses);
+    bool any = false;
+    for (const auto& a : analyses) any = any || !a.findings.empty();
+    if (any && worst >= gate) {
+      std::fprintf(stderr,
+                   "pipad: analyze gate failed: worst finding severity "
+                   "'%s' reaches --fail-above %s\n",
+                   analyze::severity_name(worst), o.fail_above.c_str());
+      return 3;
+    }
   }
   return 0;
 }
@@ -279,12 +364,15 @@ int cmd_trace(const Options& o) {
 
 std::string usage() {
   return
-      "usage: pipad <train|bench|trace> [flags]\n"
+      "usage: pipad <train|bench|trace|analyze> [flags]\n"
       "\n"
       "subcommands:\n"
-      "  train   train one model under one runtime, print the sim summary\n"
-      "  bench   train under a baseline and under PiPAD, print the speedup\n"
-      "  trace   like bench, plus ASCII Gantt charts and an optional CSV\n"
+      "  train    train one model under one runtime, print the sim summary\n"
+      "  bench    train under a baseline and under PiPAD, print the speedup\n"
+      "  trace    like bench, plus ASCII Gantt charts and an optional CSV\n"
+      "  analyze  critical-path + bottleneck analysis of trace CSVs\n"
+      "           (--trace, repeatable), or of a live PiPAD run when no\n"
+      "           --trace is given (docs/ANALYZER.md)\n"
       "\n"
       "flags:\n"
       "  --model NAME       gcn | tgcn | evolvegcn | mpnn-lstm  [tgcn]\n"
@@ -325,8 +413,16 @@ std::string usage() {
       "                     into the pipeline-stall rejection)  [analytic]\n"
       "  --seed N           dataset + model RNG seed  [2023]\n"
       "  --out FILE         trace: write the PiPAD timeline as CSV\n"
-      "  --json FILE        bench: write per-method records as JSON\n"
+      "  --json FILE        bench/analyze: write records as JSON\n"
       "                     (bench_diff-compatible)\n"
+      "  --trace FILE       analyze: a trace CSV to analyze (repeatable);\n"
+      "                     omitted = run PiPAD live and analyze that\n"
+      "  --prep MODE        analyze (live): host prep mode, stream |\n"
+      "                     batch  [stream]\n"
+      "  --top N            analyze: findings shown per trace  [5]\n"
+      "  --fail-above SEV   analyze: exit 3 when any finding reaches this\n"
+      "                     severity: none | info | low | medium | high\n"
+      "                     [none]\n"
       "  --log-level L      debug | info | warn | error | off  [warn]\n"
       "  --help             print this text\n";
 }
@@ -336,7 +432,7 @@ ParseResult parse_args(const std::vector<std::string>& args) {
   Options& o = res.options;
 
   if (args.empty()) {
-    res.error = "missing subcommand (train | bench | trace)";
+    res.error = "missing subcommand (train | bench | trace | analyze)";
     return res;
   }
 
@@ -348,6 +444,8 @@ ParseResult parse_args(const std::vector<std::string>& args) {
     o.command = Command::Bench;
   } else if (cmd == "trace") {
     o.command = Command::Trace;
+  } else if (cmd == "analyze") {
+    o.command = Command::Analyze;
   } else if (cmd == "help" || cmd == "--help" || cmd == "-h") {
     o.command = Command::Help;
     res.ok = true;
@@ -405,6 +503,33 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       o.out = value;
     } else if (flag == "--json") {
       o.json = value;
+    } else if (flag == "--trace") {
+      if (value.empty()) {
+        res.error = "--trace expects a file path";
+        return res;
+      }
+      o.traces.push_back(value);
+    } else if (flag == "--prep") {
+      if (value != "stream" && value != "batch") {
+        res.error =
+            "unknown prep mode '" + value + "' (expected stream | batch)";
+        return res;
+      }
+      o.prep = value;
+    } else if (flag == "--fail-above") {
+      analyze::Severity sev;
+      if (value != "none" && !analyze::parse_severity(value, sev)) {
+        res.error = "unknown severity '" + value +
+                    "' (expected none | info | low | medium | high)";
+        return res;
+      }
+      o.fail_above = value;
+    } else if (flag == "--top") {
+      if (!parse_ll(value, n) || n < 1 || n > INT_MAX) {
+        res.error = "--top expects a positive integer, got '" + value + "'";
+        return res;
+      }
+      o.top = static_cast<int>(n);
     } else if (flag == "--features") {
       o.features = value;
     } else if (flag == "--cache-dir") {
@@ -502,8 +627,21 @@ ParseResult parse_args(const std::vector<std::string>& args) {
         "file: datasets";
     return res;
   }
-  if (!o.json.empty() && o.command != Command::Bench) {
-    res.error = "--json is only supported by the bench subcommand";
+  if (!o.json.empty() && o.command != Command::Bench &&
+      o.command != Command::Analyze) {
+    res.error = "--json is only supported by the bench and analyze "
+                "subcommands";
+    return res;
+  }
+  if (o.command != Command::Analyze &&
+      (!o.traces.empty() || o.fail_above != "none" || o.top != 5 ||
+       o.prep != "stream")) {
+    res.error = "--trace, --prep, --top and --fail-above require the "
+                "analyze subcommand";
+    return res;
+  }
+  if (!o.traces.empty() && o.prep != "stream") {
+    res.error = "--prep only applies to live analyze runs (no --trace)";
     return res;
   }
 
@@ -529,6 +667,8 @@ int run(const Options& opts) {
       return cmd_bench(opts);
     case Command::Trace:
       return cmd_trace(opts);
+    case Command::Analyze:
+      return cmd_analyze(opts);
   }
   return 2;
 }

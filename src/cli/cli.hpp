@@ -4,6 +4,7 @@
 //   pipad train --model tgcn --dataset epinions --runtime pipad
 //   pipad bench --model mpnn-lstm --snapshots 24
 //   pipad trace --dataset epinions --out trace.csv
+//   pipad analyze --trace trace.csv --json analysis.json
 //
 // Parsing and execution are separated (and main()-free) so the gtest suite
 // can exercise both without spawning processes.
@@ -15,7 +16,7 @@
 
 namespace pipad::cli {
 
-enum class Command { Train, Bench, Trace, Help };
+enum class Command { Train, Bench, Trace, Analyze, Help };
 
 struct Options {
   Command command = Command::Help;
@@ -55,9 +56,19 @@ struct Options {
   std::uint64_t seed = 2023;
 
   std::string out;          ///< `trace`: CSV output path (empty = stdout only).
-  std::string json;         ///< `bench`: write per-method records as JSON
+  std::string json;         ///< `bench`/`analyze`: write records as JSON
                             ///< (bench_diff-compatible).
   std::string log_level = "warn";  ///< debug | info | warn | error | off.
+
+  // `analyze` only.
+  std::vector<std::string> traces;  ///< Trace CSVs to analyze (repeatable);
+                                    ///< empty = run PiPAD live and analyze
+                                    ///< the resulting timeline.
+  std::string prep = "stream";      ///< Live run prep mode: stream | batch.
+  std::string fail_above = "none";  ///< Exit 3 when a finding reaches this
+                                    ///< severity: none | info | low |
+                                    ///< medium | high.
+  int top = 5;                      ///< Findings shown per trace.
 };
 
 struct ParseResult {

@@ -1,19 +1,68 @@
 #include "gpusim/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <sstream>
 #include <vector>
 
 namespace pipad::gpusim {
 
-void write_trace_csv(const Timeline& tl, std::ostream& os) {
+namespace {
+
+/// RFC-4180 style quoting: only names containing a comma, quote or newline
+/// are wrapped, with internal quotes doubled, so typical traces stay
+/// byte-identical to the unescaped format.
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// %.17g: round-trips every double exactly, prints integers without noise.
+std::string csv_time(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", us);
+  return buf;
+}
+
+void write_rows(const Timeline& tl, std::ostream& os) {
   os << "name,resource,stream,start_us,end_us,bytes,lane\n";
   for (const auto& rec : tl.records()) {
-    os << rec.name << ',' << resource_name(rec.resource) << ','
-       << rec.stream << ',' << rec.start_us << ',' << rec.end_us << ','
-       << rec.bytes << ',' << rec.lane << '\n';
+    os << csv_quote(rec.name) << ',' << resource_name(rec.resource) << ','
+       << rec.stream << ',' << csv_time(rec.start_us) << ','
+       << csv_time(rec.end_us) << ',' << rec.bytes << ',' << rec.lane
+       << '\n';
   }
+}
+
+/// Meta values land in a whitespace-tokenized comment line.
+std::string meta_value(const std::string& s) {
+  std::string out = s.empty() ? std::string("trace") : s;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_trace_csv(const Timeline& tl, std::ostream& os) {
+  write_rows(tl, os);
+}
+
+void write_trace_csv(const Timeline& tl, std::ostream& os,
+                     const TraceMeta& meta) {
+  os << "# pipad-trace v1\n";
+  os << "# dataset=" << meta_value(meta.dataset)
+     << " model=" << meta_value(meta.model)
+     << " method=" << meta_value(meta.method) << '\n';
+  write_rows(tl, os);
 }
 
 namespace {
@@ -31,13 +80,13 @@ struct GanttRow {
   }
 };
 
-std::vector<GanttRow> gantt_rows(const Timeline& tl) {
+std::vector<GanttRow> gantt_rows(std::size_t worker_lanes) {
   std::vector<GanttRow> rows;
   rows.push_back({Resource::Cpu, 0, "cpu"});
-  if (tl.worker_lanes() == 1) {
+  if (worker_lanes == 1) {
     rows.push_back({Resource::CpuWorker, 0, "cpu-worker"});
   } else {
-    for (std::size_t l = 0; l < tl.worker_lanes(); ++l) {
+    for (std::size_t l = 0; l < worker_lanes; ++l) {
       rows.push_back({Resource::CpuWorker, l, "cpu-w" + std::to_string(l)});
     }
   }
@@ -47,12 +96,13 @@ std::vector<GanttRow> gantt_rows(const Timeline& tl) {
   return rows;
 }
 
-std::vector<char> lane_cells(const Timeline& tl, const GanttRow& row,
-                             double from, double to, int width) {
+std::vector<char> lane_cells(const std::vector<OpRecord>& records,
+                             const GanttRow& row, double from, double to,
+                             int width) {
   std::vector<char> cells(width, '.');
   const double span = to - from;
   if (span <= 0.0) return cells;
-  for (const auto& rec : tl.records()) {
+  for (const auto& rec : records) {
     if (!row.matches(rec)) continue;
     const double lo = std::max(rec.start_us, from);
     const double hi = std::min(rec.end_us, to);
@@ -70,14 +120,20 @@ std::vector<char> lane_cells(const Timeline& tl, const GanttRow& row,
 
 }  // namespace
 
-std::string render_gantt(const Timeline& tl, const GanttOptions& opts) {
-  const double to = opts.to_us < 0.0 ? tl.makespan() : opts.to_us;
+std::string render_gantt(const std::vector<OpRecord>& records,
+                         std::size_t worker_lanes,
+                         const GanttOptions& opts) {
+  double to = opts.to_us;
+  if (to < 0.0) {
+    to = 0.0;
+    for (const auto& rec : records) to = std::max(to, rec.end_us);
+  }
   std::ostringstream os;
   os << "time window [" << opts.from_us << ", " << to << ") us, '"
      << '#' << "' = busy\n";
-  const auto rows = gantt_rows(tl);
+  const auto rows = gantt_rows(worker_lanes);
   for (const auto& row : rows) {
-    const auto cells = lane_cells(tl, row, opts.from_us, to, opts.width);
+    const auto cells = lane_cells(records, row, opts.from_us, to, opts.width);
     os.width(11);
     os << std::left;
     os << row.label;
@@ -89,12 +145,13 @@ std::string render_gantt(const Timeline& tl, const GanttOptions& opts) {
     // Top-3 time consumers per row, as a legend.
     for (const auto& row : rows) {
       std::map<std::string, double> by_name;
-      for (const auto& rec : tl.records()) {
+      for (const auto& rec : records) {
         if (row.matches(rec)) {
           by_name[rec.name] += rec.end_us - rec.start_us;
         }
       }
       std::vector<std::pair<double, std::string>> top;
+      top.reserve(by_name.size());
       for (const auto& [name, us] : by_name) top.emplace_back(us, name);
       std::sort(top.rbegin(), top.rend());
       if (top.empty()) continue;
@@ -106,6 +163,12 @@ std::string render_gantt(const Timeline& tl, const GanttOptions& opts) {
     }
   }
   return os.str();
+}
+
+std::string render_gantt(const Timeline& tl, const GanttOptions& opts) {
+  GanttOptions resolved = opts;
+  if (resolved.to_us < 0.0) resolved.to_us = tl.makespan();
+  return render_gantt(tl.records(), tl.worker_lanes(), resolved);
 }
 
 double overlap_fraction(const Timeline& tl, Resource a, Resource b,

@@ -17,9 +17,16 @@ namespace pipad::graph {
 struct Snapshot {
   CSR adj;     ///< \tilde{A} = A + I, row = destination vertex.
   CSR adj_t;   ///< Transpose, for gradient aggregation.
+  /// Edge weights aligned with adj.col_idx. Empty = unweighted (implicit
+  /// 1.0 everywhere — the synthetic generators produce this). On-disk
+  /// datasets with a weight column keep their weights here: duplicate
+  /// edge instances sum, and a self-loop adds +1 on the diagonal
+  /// (\tilde{A} = A + I extends to weighted A).
+  std::vector<float> edge_w;
   Tensor features;  ///< [num_nodes x feat_dim].
 
   std::size_t nnz() const { return adj.nnz(); }
+  bool weighted() const { return !edge_w.empty(); }
 };
 
 struct DTDG {

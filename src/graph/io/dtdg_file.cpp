@@ -75,10 +75,18 @@ void write_dtdg(const DTDG& g, const std::string& path,
                       "snapshot " << t << " feature shape mismatch");
       PIPAD_CHECK_MSG(g.targets[t].rows() == n && g.targets[t].cols() == 1,
                       "snapshot " << t << " target shape mismatch");
+      PIPAD_CHECK_MSG(snap.edge_w.empty() ||
+                          snap.edge_w.size() == snap.adj.nnz(),
+                      "snapshot " << t << " edge weight length mismatch");
       const std::uint64_t nnz = snap.adj.nnz();
       write_pod(os, nnz);
       write_array(os, snap.adj.row_ptr.data(), snap.adj.row_ptr.size());
       write_array(os, snap.adj.col_idx.data(), snap.adj.col_idx.size());
+      const std::uint8_t has_w = snap.edge_w.empty() ? 0 : 1;
+      write_pod(os, has_w);
+      if (has_w != 0) {
+        write_array(os, snap.edge_w.data(), snap.edge_w.size());
+      }
       write_array(os, snap.features.data(), snap.features.size());
       write_array(os, g.targets[t].data(), g.targets[t].size());
     }
@@ -214,6 +222,14 @@ DTDG read_dtdg(const std::string& path, ThreadPool* pool,
     } catch (const Error& e) {
       throw Error(path + ": corrupt snapshot " + std::to_string(t) + ": " +
                   e.what());
+    }
+    std::uint8_t has_w = 0;
+    read_pod(is, has_w, path);
+    if (has_w > 1) throw Error(path + ": corrupt edge weight flag");
+    if (has_w != 0) {
+      check_fits(nnz, sizeof(float));
+      snap.edge_w.resize(static_cast<std::size_t>(nnz));
+      read_array(is, snap.edge_w.data(), snap.edge_w.size(), path);
     }
     check_fits(un * static_cast<std::uint64_t>(h.feat_dim) + un,
                sizeof(float));

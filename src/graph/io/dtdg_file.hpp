@@ -4,7 +4,9 @@
 // Layout (native little-endian, no padding; docs/DATASET_FORMATS.md):
 //
 //   u8[8]  magic            "PIPADTDG"
-//   u32    version          1
+//   u32    version          2 (v2 added the per-snapshot edge weights; v1
+//                           files are rejected, which a cache probe treats
+//                           as a miss)
 //   u64    config_hash      FNV-1a over source bytes + load options; the
 //                           loader treats a mismatch as a cache miss
 //   i32    num_nodes
@@ -16,6 +18,8 @@
 //     u64  nnz
 //     i32[num_nodes + 1]        adj.row_ptr
 //     i32[nnz]                  adj.col_idx
+//     u8   has_w                1 when the snapshot carries edge weights
+//     f32[nnz]                  edge_w (only when has_w == 1)
 //     f32[num_nodes * feat_dim] features (row-major)
 //     f32[num_nodes]            targets
 //
@@ -35,7 +39,7 @@
 namespace pipad::graph::io {
 
 inline constexpr char kDtdgMagic[8] = {'P', 'I', 'P', 'A', 'D', 'T', 'D', 'G'};
-inline constexpr std::uint32_t kDtdgVersion = 1;
+inline constexpr std::uint32_t kDtdgVersion = 2;
 
 /// Serialize a DTDG. Writes to `path + ".tmp"` then renames, so concurrent
 /// readers never observe a half-written cache file. Throws Error on I/O

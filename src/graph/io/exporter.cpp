@@ -20,17 +20,32 @@ void finish(std::ofstream& os, const std::string& path) {
   if (!os) throw Error("write failed: " + path);
 }
 
-/// Emit every (src, dst, snapshot) triple through `emit`.
+/// Emit every (src, dst, snapshot, nnz-index) tuple through `emit`. The
+/// nnz index lets weighted exporters read `snapshots[t].edge_w[i]`.
 template <typename Emit>
 void for_each_edge(const DTDG& g, const Emit& emit) {
   for (int t = 0; t < g.num_snapshots(); ++t) {
     const CSR& adj = g.snapshots[t].adj;
     for (int dst = 0; dst < adj.rows; ++dst) {
       for (int i = adj.row_ptr[dst]; i < adj.row_ptr[dst + 1]; ++i) {
-        emit(adj.col_idx[i], dst, t);
+        emit(adj.col_idx[i], dst, t, i);
       }
     }
   }
+}
+
+bool any_weighted(const DTDG& g) {
+  for (const Snapshot& s : g.snapshots) {
+    if (s.weighted()) return true;
+  }
+  return false;
+}
+
+/// Weight of nnz entry `i` of snapshot `t`; unweighted snapshots of a
+/// mixed DTDG fall back to the implicit 1.
+double weight_of(const DTDG& g, int t, int i) {
+  const std::vector<float>& w = g.snapshots[static_cast<std::size_t>(t)].edge_w;
+  return w.empty() ? 1.0 : static_cast<double>(w[static_cast<std::size_t>(i)]);
 }
 
 }  // namespace
@@ -41,9 +56,16 @@ void export_edge_list(const DTDG& g, const std::string& path) {
      << "'\n";
   os << "# nodes=" << g.num_nodes << " snapshots=" << g.num_snapshots()
      << "\n";
+  const bool weighted = any_weighted(g);
   char buf[64];
-  for_each_edge(g, [&](int src, int dst, int t) {
-    std::snprintf(buf, sizeof(buf), "%d %d %d\n", src, dst, t);
+  for_each_edge(g, [&](int src, int dst, int t, int i) {
+    if (weighted) {
+      // %.9g round-trips binary32 exactly (max_digits10 == 9).
+      std::snprintf(buf, sizeof(buf), "%d %d %d %.9g\n", src, dst, t,
+                    weight_of(g, t, i));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%d %d %d\n", src, dst, t);
+    }
     os << buf;
   });
   finish(os, path);
@@ -54,10 +76,16 @@ void export_csv(const DTDG& g, const std::string& path) {
   os << "# exported from dataset '" << g.name << "'\n";
   os << "# nodes=" << g.num_nodes << " snapshots=" << g.num_snapshots()
      << "\n";
-  os << "src,dst,t\n";
+  const bool weighted = any_weighted(g);
+  os << (weighted ? "src,dst,t,w\n" : "src,dst,t\n");
   char buf[64];
-  for_each_edge(g, [&](int src, int dst, int t) {
-    std::snprintf(buf, sizeof(buf), "%d,%d,%d\n", src, dst, t);
+  for_each_edge(g, [&](int src, int dst, int t, int i) {
+    if (weighted) {
+      std::snprintf(buf, sizeof(buf), "%d,%d,%d,%.9g\n", src, dst, t,
+                    weight_of(g, t, i));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%d,%d,%d\n", src, dst, t);
+    }
     os << buf;
   });
   finish(os, path);

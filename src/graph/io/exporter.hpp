@@ -20,10 +20,11 @@
 
 namespace pipad::graph::io {
 
-/// `src dst t` lines, one per edge instance per snapshot.
+/// `src dst t` lines, one per edge instance per snapshot. A weighted DTDG
+/// (any snapshot with edge_w) appends the weight as a fourth column.
 void export_edge_list(const DTDG& g, const std::string& path);
 
-/// CSV with a `src,dst,t` header.
+/// CSV with a `src,dst,t` header (`src,dst,t,w` when weighted).
 void export_csv(const DTDG& g, const std::string& path);
 
 /// Temporal feature file (`# pipad-features v1 dim=D temporal`).

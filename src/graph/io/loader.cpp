@@ -18,8 +18,9 @@ namespace fs = std::filesystem;
 namespace {
 
 /// Bumped whenever the loader's semantics change, so stale caches from an
-/// older code version never match.
-constexpr std::uint64_t kLoaderVersion = 1;
+/// older code version never match. v2: edge weights are kept (summed per
+/// duplicate, +1 for self-loops) instead of validated-then-dropped.
+constexpr std::uint64_t kLoaderVersion = 2;
 
 /// Default snapshotting (one snapshot per distinct timestamp) refuses to
 /// explode on epoch-style timestamps; callers must pick a window instead.
@@ -290,9 +291,13 @@ DTDG load_dataset(const std::string& path, const LoadOptions& opts,
   }
 
   // Stage every snapshot's raw edge keys; the edges are timestamp-sorted,
-  // so distinct-timestamp ranks advance monotonically in one walk.
+  // so distinct-timestamp ranks advance monotonically in one walk. When
+  // the file carries a weight column, weights are staged in lockstep (in
+  // file order, so the dedup-sum below is order-deterministic).
   std::vector<std::vector<std::uint64_t>> keys_at(
       static_cast<std::size_t>(S));
+  std::vector<std::vector<float>> w_at(
+      ef.has_weights ? static_cast<std::size_t>(S) : 0);
   {
     int rank = 0;
     long long rank_t = t_min;
@@ -319,6 +324,7 @@ DTDG load_dataset(const std::string& path, const LoadOptions& opts,
           S, static_cast<long long>(s0) + opts.edge_life));
       for (int s = s0; s < s_end; ++s) {
         keys_at[static_cast<std::size_t>(s)].push_back(key64);
+        if (ef.has_weights) w_at[static_cast<std::size_t>(s)].push_back(e.w);
       }
     }
   }
@@ -369,13 +375,46 @@ DTDG load_dataset(const std::string& path, const LoadOptions& opts,
   const bool self_loops = opts.add_self_loops;
   const auto build_one = [&](std::size_t t) {
     auto& keys = keys_at[t];
-    if (self_loops) {
-      keys.reserve(keys.size() + static_cast<std::size_t>(n));
-      for (int v = 0; v < n; ++v) keys.push_back(edge_key(Edge{v, v}));
-    }
-    std::sort(keys.begin(), keys.end());
-    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
     Snapshot& snap = g.snapshots[t];
+    if (ef.has_weights) {
+      // Dedup-sum: duplicate instances of an edge add their weights, and a
+      // self-loop contributes +1 on top of any real (v, v) weight —
+      // \tilde{A} = A + I, weighted. stable_sort keeps equal keys in file
+      // order, so the float sums are bit-identical for any pool width.
+      auto& ws = w_at[t];
+      std::vector<std::pair<std::uint64_t, float>> kw;
+      kw.reserve(keys.size() + (self_loops ? static_cast<std::size_t>(n) : 0));
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        kw.emplace_back(keys[i], ws[i]);
+      }
+      if (self_loops) {
+        for (int v = 0; v < n; ++v) {
+          kw.emplace_back(edge_key(Edge{v, v}), 1.0f);
+        }
+      }
+      std::stable_sort(kw.begin(), kw.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      keys.clear();
+      snap.edge_w.clear();
+      for (const auto& [key, w] : kw) {
+        if (!keys.empty() && keys.back() == key) {
+          snap.edge_w.back() += w;
+        } else {
+          keys.push_back(key);
+          snap.edge_w.push_back(w);
+        }
+      }
+      ws = std::vector<float>();  // Free staged weights eagerly.
+    } else {
+      if (self_loops) {
+        keys.reserve(keys.size() + static_cast<std::size_t>(n));
+        for (int v = 0; v < n; ++v) keys.push_back(edge_key(Edge{v, v}));
+      }
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    }
     snap.adj = csr_from_sorted_keys(n, n, keys);
     snap.adj_t = transpose(snap.adj);
     keys = std::vector<std::uint64_t>();  // Free staged keys eagerly.

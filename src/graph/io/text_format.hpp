@@ -36,8 +36,8 @@ struct TemporalEdge {
   long long src = 0;
   long long dst = 0;
   long long t = 0;
-  float w = 1.0f;  ///< Optional weight: validated (finite) but dropped —
-                   ///< adjacency is unweighted (see graph/formats.hpp).
+  float w = 1.0f;  ///< Optional weight: validated (finite) and kept in
+                   ///< Snapshot::edge_w (duplicates sum; see graph/dtdg.hpp).
 };
 
 /// One parsed edge file, edges in file order (timestamp-sorted by contract).

@@ -1,0 +1,463 @@
+// Analyzer tests: DAG reconstruction from op records (stream / engine /
+// inferred join edges), the critical-path == makespan invariant, the pass
+// registry, each builtin diagnosis on hand-built schedules, CSV round-trip
+// equivalence, thread-count determinism of the report, and the trainer
+// classification the ablation rides on (batch extraction exposes prep,
+// streaming hides it).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "analyze/report.hpp"
+#include "common/compute_pool.hpp"
+#include "common/error.hpp"
+#include "gpusim/gpu.hpp"
+#include "gpusim/trace.hpp"
+#include "graph/generator.hpp"
+#include "pipad/pipad_trainer.hpp"
+
+namespace pipad {
+namespace {
+
+using gpusim::Resource;
+using gpusim::Timeline;
+
+analyze::Analysis analyze_timeline(const Timeline& tl) {
+  return analyze::analyze_trace(analyze::from_timeline(tl));
+}
+
+const analyze::Finding* find_pass(const analyze::Analysis& a,
+                                  const std::string& pass) {
+  for (const auto& f : a.findings) {
+    if (f.pass == pass) return &f;
+  }
+  return nullptr;
+}
+
+std::string json_of(const analyze::Analysis& a, int threads = 1) {
+  std::vector<analyze::Analysis> as;
+  as.push_back(a);
+  std::ostringstream os;
+  analyze::write_json_report(os, as, threads);
+  return os.str();
+}
+
+// ---- DAG edges -----------------------------------------------------------
+
+TEST(AnalyzeDag, StreamOrderAndEngineSerializationEdges) {
+  Timeline tl;
+  const auto s = tl.create_stream("c");
+  tl.submit(0, Resource::Compute, "kernel:a", 10.0);  // 0: [0, 10)
+  tl.submit(0, Resource::Compute, "kernel:b", 5.0);   // 1: [10, 15)
+  tl.submit(s, Resource::Compute, "kernel:c", 5.0);   // 2: [15, 20)
+  const auto td = analyze::from_timeline(tl);
+  const auto dag = analyze::build_dag(td);
+  ASSERT_EQ(dag.nodes.size(), 3u);
+  EXPECT_EQ(dag.nodes[0].stream_pred, -1);
+  EXPECT_EQ(dag.nodes[0].engine_pred, -1);
+  EXPECT_EQ(dag.nodes[0].crit_pred, -1);
+  // kernel:b follows kernel:a in both program and engine order.
+  EXPECT_EQ(dag.nodes[1].stream_pred, 0);
+  EXPECT_EQ(dag.nodes[1].engine_pred, 0);
+  EXPECT_EQ(dag.nodes[1].crit_pred, 0);
+  // kernel:c is first on its stream but serialized behind the engine.
+  EXPECT_EQ(dag.nodes[2].stream_pred, -1);
+  EXPECT_EQ(dag.nodes[2].engine_pred, 1);
+  EXPECT_EQ(dag.nodes[2].crit_pred, 1);
+}
+
+TEST(AnalyzeDag, EventWaitBecomesInferredJoinEdge) {
+  Timeline tl;
+  const auto s = tl.create_stream("copy");
+  tl.submit(s, Resource::H2D, "h2d:x", 25.0);  // 0: [0, 25)
+  const auto e = tl.record_event(s);
+  tl.wait_event(0, e);
+  tl.submit(0, Resource::Compute, "kernel:k", 10.0);  // 1: [25, 35)
+  const auto td = analyze::from_timeline(tl);
+  const auto dag = analyze::build_dag(td);
+  // The kernel has no stream/engine predecessor; its delayed start can
+  // only come from the event, so the copy is its inferred producer.
+  EXPECT_EQ(dag.nodes[1].stream_pred, -1);
+  EXPECT_EQ(dag.nodes[1].engine_pred, -1);
+  EXPECT_EQ(dag.nodes[1].join_pred, 0);
+  EXPECT_EQ(dag.nodes[1].crit_pred, 0);
+  EXPECT_NEAR(dag.nodes[1].slack_us, 0.0, 1e-9);
+}
+
+TEST(AnalyzeDag, WorkerLanesChainLikeStreams) {
+  Timeline tl;
+  tl.set_worker_lanes(2);
+  tl.submit_worker(0, "prep:a", 10.0);  // 0: lane 0, [0, 10)
+  tl.submit_worker(0, "prep:b", 5.0);   // 1: lane 0, [10, 15)
+  tl.submit_worker(1, "prep:c", 7.0);   // 2: lane 1, [0, 7)
+  const auto td = analyze::from_timeline(tl);
+  const auto dag = analyze::build_dag(td);
+  EXPECT_EQ(dag.nodes[1].stream_pred, 0);
+  EXPECT_EQ(dag.nodes[1].engine_pred, 0);
+  // Lane 1 is independent of lane 0.
+  EXPECT_EQ(dag.nodes[2].stream_pred, -1);
+  EXPECT_EQ(dag.nodes[2].engine_pred, -1);
+  EXPECT_EQ(dag.nodes[2].crit_pred, -1);
+}
+
+// ---- critical path -------------------------------------------------------
+
+TEST(AnalyzeCriticalPath, TotalEqualsMakespanEvenAcrossIdleGaps) {
+  Timeline tl;
+  tl.submit(0, Resource::Compute, "kernel:a", 10.0);        // [0, 10)
+  tl.submit(0, Resource::Compute, "kernel:b", 5.0, 30.0);   // [30, 35)
+  const auto td = analyze::from_timeline(tl);
+  const auto path = analyze::critical_path(td, analyze::build_dag(td));
+  // Nothing ends at t=30, so the 20 us of idle time is an unattributed
+  // gap on the path — and the total still reconciles exactly.
+  EXPECT_DOUBLE_EQ(path.total_us, td.makespan_us);
+  EXPECT_DOUBLE_EQ(path.total_us, 35.0);
+  EXPECT_DOUBLE_EQ(path.gap_us, 20.0);
+  EXPECT_DOUBLE_EQ(
+      path.by_resource[static_cast<int>(Resource::Compute)], 15.0);
+}
+
+TEST(AnalyzeCriticalPath, FollowsJoinsAcrossResources) {
+  Timeline tl;
+  const auto s = tl.create_stream("copy");
+  tl.submit(s, Resource::H2D, "h2d:x", 20.0);  // [0, 20)
+  const auto e = tl.record_event(s);
+  tl.wait_event(0, e);
+  tl.submit(0, Resource::Compute, "kernel:k", 30.0);  // [20, 50)
+  const auto td = analyze::from_timeline(tl);
+  const auto path = analyze::critical_path(td, analyze::build_dag(td));
+  ASSERT_EQ(path.segments.size(), 2u);
+  EXPECT_EQ(path.segments[0].record, 0);
+  EXPECT_EQ(path.segments[1].record, 1);
+  EXPECT_DOUBLE_EQ(path.total_us, 50.0);
+  EXPECT_DOUBLE_EQ(path.gap_us, 0.0);
+  EXPECT_DOUBLE_EQ(path.by_resource[static_cast<int>(Resource::H2D)], 20.0);
+  EXPECT_DOUBLE_EQ(
+      path.by_resource[static_cast<int>(Resource::Compute)], 30.0);
+}
+
+// ---- pass registry -------------------------------------------------------
+
+class FakePass final : public analyze::Pass {
+ public:
+  explicit FakePass(std::vector<analyze::Finding> out)
+      : out_(std::move(out)) {}
+  const char* name() const override { return "fake"; }
+  const char* description() const override { return "test-only"; }
+  std::vector<analyze::Finding> run(
+      const analyze::PassContext&) const override {
+    return out_;
+  }
+
+ private:
+  std::vector<analyze::Finding> out_;
+};
+
+TEST(AnalyzePasses, RegistryExposesBuiltinCatalogInOrder) {
+  const auto reg = analyze::PassRegistry::with_builtins();
+  const std::vector<std::string> expected = {
+      "transfer_bound", "prep_bound", "compute_imbalance",
+      "stream_backpressure", "serialization"};
+  EXPECT_EQ(reg.names(), expected);
+  EXPECT_NE(reg.find("prep_bound"), nullptr);
+  EXPECT_EQ(reg.find("warp_divergence"), nullptr);
+}
+
+TEST(AnalyzePasses, DuplicatePassNameRejected) {
+  auto reg = analyze::PassRegistry::with_builtins();
+  reg.add(std::make_unique<FakePass>(std::vector<analyze::Finding>{}));
+  EXPECT_THROW(
+      reg.add(std::make_unique<FakePass>(std::vector<analyze::Finding>{})),
+      Error);
+}
+
+TEST(AnalyzePasses, RunAllRanksBySeverityThenRecoverable) {
+  analyze::Finding low, high, big_info, small_info;
+  low.pass = high.pass = big_info.pass = small_info.pass = "fake";
+  high.severity = analyze::Severity::High;
+  low.severity = analyze::Severity::Low;
+  big_info.recoverable_us = 9.0;
+  small_info.recoverable_us = 1.0;
+  analyze::PassRegistry reg;
+  reg.add(std::make_unique<FakePass>(
+      std::vector<analyze::Finding>{small_info, low, big_info, high}));
+
+  Timeline tl;
+  tl.submit(0, Resource::Compute, "kernel:k", 10.0);
+  const auto a = analyze::analyze_trace(analyze::from_timeline(tl), {},
+                                        nullptr, &reg);
+  ASSERT_EQ(a.findings.size(), 4u);
+  EXPECT_EQ(a.findings[0].severity, analyze::Severity::High);
+  EXPECT_EQ(a.findings[1].severity, analyze::Severity::Low);
+  EXPECT_DOUBLE_EQ(a.findings[2].recoverable_us, 9.0);
+  EXPECT_DOUBLE_EQ(a.findings[3].recoverable_us, 1.0);
+}
+
+// ---- builtin diagnoses on hand-built schedules ---------------------------
+
+TEST(AnalyzePasses, TransferBoundFiresOnCopyDominatedPath) {
+  Timeline tl;
+  tl.submit(0, Resource::H2D, "h2d:snapshot", 60.0);  // [0, 60)
+  tl.submit(0, Resource::Compute, "kernel:k", 40.0);  // [60, 100)
+  const auto a = analyze_timeline(tl);
+  const auto* f = find_pass(a, "transfer_bound");
+  ASSERT_NE(f, nullptr);
+  // The whole copy sits on the path and nothing hides it.
+  EXPECT_DOUBLE_EQ(f->recoverable_us, 60.0);
+  EXPECT_EQ(f->severity, analyze::Severity::High);
+  ASSERT_FALSE(f->blamed.empty());
+  EXPECT_EQ(f->blamed[0].first, "h2d:snapshot");
+}
+
+TEST(AnalyzePasses, TransferBoundSilentWhenCopiesHideUnderCompute) {
+  Timeline tl;
+  const auto s = tl.create_stream("copy");
+  tl.submit(0, Resource::Compute, "kernel:k", 100.0);  // [0, 100)
+  tl.submit(s, Resource::H2D, "h2d:x", 30.0);          // [0, 30) hidden
+  EXPECT_EQ(find_pass(analyze_timeline(tl), "transfer_bound"), nullptr);
+}
+
+TEST(AnalyzePasses, PrepBoundFiresWhenPrepBlocksTraining) {
+  Timeline tl;
+  tl.submit_worker(0, "prep:overlap-extract", 50.0);        // [0, 50)
+  tl.submit(0, Resource::Compute, "kernel:k", 50.0, 50.0);  // [50, 100)
+  const auto a = analyze_timeline(tl);
+  const auto* f = find_pass(a, "prep_bound");
+  ASSERT_NE(f, nullptr);
+  EXPECT_DOUBLE_EQ(f->recoverable_us, 50.0);
+  EXPECT_EQ(f->severity, analyze::Severity::High);
+  ASSERT_FALSE(f->blamed.empty());
+  EXPECT_EQ(f->blamed[0].first, "prep:overlap-extract");
+}
+
+TEST(AnalyzePasses, PrepBoundSilentWhenPrepOverlapsTraining) {
+  Timeline tl;
+  tl.submit(0, Resource::Compute, "kernel:k", 100.0);  // [0, 100)
+  tl.submit_worker(0, "prep:overlap-extract", 50.0);   // [0, 50) hidden
+  EXPECT_EQ(find_pass(analyze_timeline(tl), "prep_bound"), nullptr);
+}
+
+TEST(AnalyzePasses, ComputeImbalanceFiresOnSkewedLanes) {
+  Timeline tl;
+  tl.set_worker_lanes(2);
+  tl.submit_worker(0, "compute:gemm", 80.0);
+  tl.submit_worker(1, "compute:gemm", 10.0);
+  const auto a = analyze_timeline(tl);
+  const auto* f = find_pass(a, "compute_imbalance");
+  ASSERT_NE(f, nullptr);
+  // Re-balancing recovers (max - mean) = 80 - 45.
+  EXPECT_DOUBLE_EQ(f->recoverable_us, 35.0);
+  ASSERT_EQ(f->blamed.size(), 2u);
+  EXPECT_EQ(f->blamed[0].first, "cpu-w0");
+  EXPECT_DOUBLE_EQ(f->blamed[0].second, 80.0);
+}
+
+TEST(AnalyzePasses, ComputeImbalanceSilentOnBalancedLanes) {
+  Timeline tl;
+  tl.set_worker_lanes(2);
+  tl.submit_worker(0, "compute:gemm", 50.0);
+  tl.submit_worker(1, "compute:gemm", 48.0);
+  EXPECT_EQ(find_pass(analyze_timeline(tl), "compute_imbalance"), nullptr);
+}
+
+TEST(AnalyzePasses, StreamBackpressureFiresOnDeadWait) {
+  Timeline tl;
+  tl.submit(0, Resource::Cpu, "wait:frame", 50.0);          // [0, 50)
+  tl.submit(0, Resource::Compute, "kernel:k", 50.0, 50.0);  // [50, 100)
+  const auto a = analyze_timeline(tl);
+  const auto* f = find_pass(a, "stream_backpressure");
+  ASSERT_NE(f, nullptr);
+  EXPECT_DOUBLE_EQ(f->recoverable_us, 50.0);
+  ASSERT_FALSE(f->blamed.empty());
+  EXPECT_EQ(f->blamed[0].first, "wait:frame");
+}
+
+TEST(AnalyzePasses, StreamBackpressureSilentWhenWaitHidesWork) {
+  Timeline tl;
+  tl.submit(0, Resource::Cpu, "wait:frame", 50.0);  // [0, 50)
+  tl.submit_worker(0, "prep:extract", 50.0);        // [0, 50) keeps it live
+  EXPECT_EQ(find_pass(analyze_timeline(tl), "stream_backpressure"), nullptr);
+}
+
+TEST(AnalyzePasses, SerializationFlagsPingPongWindows) {
+  Timeline tl;
+  for (int i = 0; i < 10; ++i) {
+    tl.submit(0, Resource::H2D, "h2d:chunk", 10.0);
+    tl.submit(0, Resource::Compute, "kernel:chunk", 10.0);
+  }
+  const auto a = analyze_timeline(tl);
+  const auto* f = find_pass(a, "serialization");
+  ASSERT_NE(f, nullptr);
+  // Every window ping-pongs, so they merge into one full-span finding.
+  EXPECT_DOUBLE_EQ(f->from_us, 0.0);
+  EXPECT_DOUBLE_EQ(f->to_us, 200.0);
+  EXPECT_GT(f->recoverable_us, 0.0);
+}
+
+TEST(AnalyzePasses, SerializationSilentWhenPipelined) {
+  Timeline tl;
+  const auto s = tl.create_stream("copy");
+  for (int i = 0; i < 10; ++i) {
+    tl.submit(s, Resource::H2D, "h2d:chunk", 10.0);
+    tl.submit(0, Resource::Compute, "kernel:chunk", 10.0);
+  }
+  EXPECT_EQ(find_pass(analyze_timeline(tl), "serialization"), nullptr);
+}
+
+// ---- CSV round trip ------------------------------------------------------
+
+TEST(AnalyzeTrace, CsvRoundTripYieldsIdenticalAnalysis) {
+  Timeline tl;
+  tl.set_worker_lanes(2);
+  const auto s = tl.create_stream("copy");
+  tl.submit(0, Resource::Cpu, "launch:graph", 0.37);
+  tl.submit(s, Resource::H2D, "h2d:x", 25.125, 0.0, 4096);
+  const auto e = tl.record_event(s);
+  tl.wait_event(0, e);
+  tl.submit(0, Resource::Compute, "kernel:agg", 10.0 / 3.0);
+  tl.submit_worker(0, "prep:we\"ird,name", 7.77);  // CSV-hostile name.
+  tl.submit_worker(1, "compute:gemm", 3.3);
+  tl.submit(s, Resource::D2H, "d2h:loss", 1.0 / 7.0, 0.0, 8);
+
+  auto live = analyze::from_timeline(tl);
+  live.dataset = "rt";
+  live.model = "tgcn";
+  live.method = "pipad";
+  std::ostringstream csv;
+  gpusim::write_trace_csv(tl, csv, {"rt", "tgcn", "pipad"});
+  std::istringstream in(csv.str());
+  const auto reread = analyze::read_trace_csv(in, "<mem>");
+
+  const auto a1 = analyze::analyze_trace(live);
+  const auto a2 = analyze::analyze_trace(reread);
+  EXPECT_EQ(json_of(a1), json_of(a2));
+  std::ostringstream h1, h2;
+  analyze::write_human_report(h1, a1);
+  analyze::write_human_report(h2, a2);
+  EXPECT_EQ(h1.str(), h2.str());
+}
+
+TEST(AnalyzeTrace, ReaderRejectsMalformedInput) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return analyze::read_trace_csv(in, "<mem>");
+  };
+  const std::string header = "name,resource,stream,start_us,end_us,bytes,lane\n";
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse(header + "k,warp,0,0,1,0,0\n"), Error);
+  EXPECT_THROW(parse(header + "k,compute,0,5,1,0,0\n"), Error);
+  EXPECT_THROW(parse(header + "k,compute,0,zero,1,0,0\n"), Error);
+  EXPECT_NO_THROW(parse(header + "k,compute,0,0,1,0,0\n"));
+}
+
+// ---- determinism ---------------------------------------------------------
+
+TEST(AnalyzeDeterminism, ReportIsBitIdenticalAcrossThreadCounts) {
+  // Large enough that the DAG build actually fans out on the pool.
+  Timeline tl;
+  const auto s = tl.create_stream("copy");
+  for (int i = 0; i < 800; ++i) {
+    tl.submit(s, Resource::H2D, "h2d:t", 3.0);
+    const auto e = tl.record_event(s);
+    tl.wait_event(0, e);
+    tl.submit(0, Resource::Compute, "kernel:k", 2.0);
+    tl.submit(0, Resource::Cpu, "launch:k", 0.5);
+  }
+  const auto td = analyze::from_timeline(tl);
+  ASSERT_GE(td.records.size(), 2048u);
+  ThreadPool pool8(8);
+  ThreadPool pool1(1);
+  const auto serial = analyze::analyze_trace(td);
+  const auto wide = analyze::analyze_trace(td, {}, &pool8);
+  const auto narrow = analyze::analyze_trace(td, {}, &pool1);
+  EXPECT_EQ(json_of(serial), json_of(wide));
+  EXPECT_EQ(json_of(serial), json_of(narrow));
+}
+
+// ---- report rendering ----------------------------------------------------
+
+TEST(AnalyzeReport, HumanReportShowsPathFindingsAndGantt) {
+  Timeline tl;
+  for (int i = 0; i < 10; ++i) {
+    tl.submit(0, Resource::H2D, "h2d:chunk", 10.0);
+    tl.submit(0, Resource::Compute, "kernel:chunk", 10.0);
+  }
+  const auto a = analyze_timeline(tl);
+  std::ostringstream os;
+  analyze::write_human_report(os, a);
+  const std::string r = os.str();
+  EXPECT_NE(r.find("critical path:"), std::string::npos) << r;
+  EXPECT_NE(r.find("serialization"), std::string::npos) << r;
+  EXPECT_NE(r.find("top finding window:"), std::string::npos) << r;
+  EXPECT_NE(r.find("h2d"), std::string::npos) << r;
+}
+
+TEST(AnalyzeReport, JsonCarriesGateableRecordsAndDetailFindings) {
+  Timeline tl;
+  tl.submit_worker(0, "prep:x", 50.0);
+  tl.submit(0, Resource::Compute, "kernel:k", 50.0, 50.0);
+  auto a = analyze::analyze_trace(analyze::from_timeline(tl));
+  const std::string js = json_of(a, 4);
+  EXPECT_NE(js.find("\"bench\": \"pipad-analyze\""), std::string::npos);
+  EXPECT_NE(js.find("\"threads\": 4"), std::string::npos);
+  // Unlabeled traces key under "trace" so bench_diff still matches them.
+  EXPECT_NE(js.find("\"dataset\": \"trace\""), std::string::npos);
+  EXPECT_NE(js.find("\"critical_path_us\": 100.0"), std::string::npos);
+  EXPECT_NE(js.find("\"findings_high\": 1"), std::string::npos);
+  EXPECT_NE(js.find("\"pass\": \"prep_bound\""), std::string::npos);
+  EXPECT_EQ(analyze::max_severity({}), analyze::Severity::Info);
+}
+
+// ---- trainer classification (measured wall clock; excluded from TSan) ----
+
+// The analyzer must tell the ablation's two schedules apart: the batch
+// extractor stalls training while it prepares every partition, the
+// streaming extractor hides preparation under the steady epochs. Runs the
+// real trainer at the CI ablation shape (2 worker lanes); the comparison
+// is structural, but the charged prep times are measured, so this is a
+// wall-clock test.
+TEST(AnalyzeTrainer, BatchExtractionExposesMorePrepThanStreaming) {
+  graph::DatasetConfig cfg;
+  cfg.name = "synthetic-long";
+  cfg.num_nodes = 16384;
+  cfg.raw_events = 131072;
+  cfg.num_snapshots = 64;
+  cfg.feat_dim = 2;
+  cfg.edge_life = 6.0;
+  cfg.seed = 2023;
+  ComputePool::instance().configure(2);
+  const auto g = graph::generate(cfg, &ComputePool::instance().pool());
+
+  models::TrainConfig tcfg;
+  tcfg.model = models::ModelType::TGcn;
+  tcfg.frame_size = 8;
+  tcfg.epochs = 2;
+  tcfg.max_frames_per_epoch = 4;  // The CI ablation shape, capped for speed.
+
+  const auto run = [&](bool stream_prep) {
+    runtime::PipadOptions o;
+    o.stream_prep = stream_prep;
+    o.host_threads = 2;
+    gpusim::Gpu gpu;
+    runtime::PipadTrainer trainer(gpu, g, tcfg, o);
+    trainer.train();
+    return analyze::analyze_trace(analyze::from_timeline(gpu.timeline()));
+  };
+  const auto batch = run(false);
+  const auto stream = run(true);
+
+  const auto* fb = find_pass(batch, "prep_bound");
+  ASSERT_NE(fb, nullptr)
+      << "batch extraction must be diagnosed as prep_bound";
+  const auto* fs = find_pass(stream, "prep_bound");
+  const double stream_exposed = fs != nullptr ? fs->recoverable_us : 0.0;
+  // On a multi-core host the streaming run does not fire at all; on a
+  // loaded single-core host the fake lane overlap leaves some measured
+  // exposure, but the batch barrier always exposes strictly more.
+  EXPECT_LT(stream_exposed, fb->recoverable_us);
+}
+
+}  // namespace
+}  // namespace pipad

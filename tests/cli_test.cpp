@@ -168,8 +168,9 @@ TEST(CliParse, IntOverflowRejectedInsteadOfWrapping) {
 
 TEST(CliUsage, MentionsEverySubcommandAndModel) {
   const std::string u = usage();
-  for (const char* s : {"train", "bench", "trace", "gcn", "tgcn", "evolvegcn",
-                        "mpnn-lstm", "--snapshots", "--threads"}) {
+  for (const char* s : {"train", "bench", "trace", "analyze", "gcn", "tgcn",
+                        "evolvegcn", "mpnn-lstm", "--snapshots", "--threads",
+                        "--trace", "--fail-above", "--prep", "--top"}) {
     EXPECT_NE(u.find(s), std::string::npos) << s;
   }
 }
@@ -231,9 +232,38 @@ TEST(CliParse, EdgeLifeForFileDatasetsMustBeInteger) {
   EXPECT_TRUE(parse({"train", "--edge-life", "4.5"}).ok);
 }
 
-TEST(CliParse, JsonOnlyForBench) {
+TEST(CliParse, JsonOnlyForBenchAndAnalyze) {
   EXPECT_TRUE(parse({"bench", "--json", "/tmp/r.json"}).ok);
+  EXPECT_TRUE(parse({"analyze", "--json", "/tmp/r.json"}).ok);
   EXPECT_FALSE(parse({"train", "--json", "/tmp/r.json"}).ok);
+  EXPECT_FALSE(parse({"trace", "--json", "/tmp/r.json"}).ok);
+}
+
+TEST(CliParse, AnalyzeFlagsLand) {
+  const auto r = parse({"analyze", "--trace", "a.csv", "--trace", "b.csv",
+                        "--fail-above", "medium", "--top", "3"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.command, Command::Analyze);
+  ASSERT_EQ(r.options.traces.size(), 2u);
+  EXPECT_EQ(r.options.traces[0], "a.csv");
+  EXPECT_EQ(r.options.traces[1], "b.csv");
+  EXPECT_EQ(r.options.fail_above, "medium");
+  EXPECT_EQ(r.options.top, 3);
+}
+
+TEST(CliParse, AnalyzeFlagValidation) {
+  // Live analyze runs accept --prep; trace-file runs don't (the schedule
+  // is already baked into the file).
+  EXPECT_TRUE(parse({"analyze", "--prep", "batch"}).ok);
+  EXPECT_FALSE(parse({"analyze", "--prep", "eager"}).ok);
+  EXPECT_FALSE(parse({"analyze", "--trace", "a.csv", "--prep", "batch"}).ok);
+  EXPECT_FALSE(parse({"analyze", "--trace", ""}).ok);
+  EXPECT_FALSE(parse({"analyze", "--top", "0"}).ok);
+  EXPECT_FALSE(parse({"analyze", "--fail-above", "critical"}).ok);
+  // Analyzer flags are meaningless for the other subcommands.
+  EXPECT_FALSE(parse({"train", "--trace", "a.csv"}).ok);
+  EXPECT_FALSE(parse({"bench", "--fail-above", "low"}).ok);
+  EXPECT_FALSE(parse({"trace", "--top", "3"}).ok);
 }
 
 TEST(CliParse, UnknownLogLevelRejected) {
@@ -306,6 +336,37 @@ TEST(CliRun, TrainAndBenchOnFileDataset) {
   EXPECT_NE(doc.find("\"method\": \"pipad\""), std::string::npos);
   EXPECT_NE(doc.find("\"epoch_us\""), std::string::npos);
   std::remove(json.c_str());
+}
+
+TEST(CliRun, AnalyzeLiveRunAndTraceFileRoundTrip) {
+  // Live mode: train a tiny graph in-process and analyze its timeline.
+  Options o = tiny(Command::Analyze);
+  const std::string json = ::testing::TempDir() + "cli_analyze.json";
+  o.json = json;
+  EXPECT_EQ(run(o), 0);
+  std::ifstream is(json);
+  ASSERT_TRUE(is.good());
+  std::stringstream buf;
+  buf << is.rdbuf();
+  const std::string doc = buf.str();
+  EXPECT_NE(doc.find("\"bench\": \"pipad-analyze\""), std::string::npos);
+  EXPECT_NE(doc.find("\"critical_path_us\""), std::string::npos);
+  std::remove(json.c_str());
+
+  // Trace-file mode: `pipad trace` writes a labeled CSV, analyze reads it.
+  Options t = tiny(Command::Trace);
+  const std::string csv = ::testing::TempDir() + "cli_analyze_trace.csv";
+  t.out = csv;
+  EXPECT_EQ(run(t), 0);
+  Options a = tiny(Command::Analyze);
+  a.traces = {csv};
+  EXPECT_EQ(run(a), 0);
+  std::remove(csv.c_str());
+}
+
+TEST(CliRun, AnalyzeMissingTraceFileFailsCleanly) {
+  const char* argv[] = {"pipad", "analyze", "--trace", "/no/such/trace.csv"};
+  EXPECT_EQ(main_impl(4, argv), 1);
 }
 
 TEST(CliRun, MissingFileDatasetFailsCleanly) {

@@ -55,6 +55,8 @@ void expect_same_dtdg(const DTDG& a, const DTDG& b) {
         << "adj differs at snapshot " << t;
     EXPECT_TRUE(same_topology(a.snapshots[t].adj_t, b.snapshots[t].adj_t))
         << "adj_t differs at snapshot " << t;
+    EXPECT_EQ(a.snapshots[t].edge_w, b.snapshots[t].edge_w)
+        << "edge_w differs at snapshot " << t;
     EXPECT_EQ(a.snapshots[t].features.storage(),
               b.snapshots[t].features.storage())
         << "features differ at snapshot " << t;
@@ -303,6 +305,44 @@ TEST(Loader, SelfLoopOption) {
   EXPECT_EQ(g.snapshots[0].nnz(), 3u);  // 0->1 plus two self loops.
 }
 
+TEST(Loader, WeightColumnKeptSummedAndSelfLooped) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(dir / "w.el",
+                               "0 1 0 2.5\n"
+                               "0 1 0 0.5\n"
+                               "1 1 0 4.0\n"
+                               "2 0 0 0.25\n");
+  LoadOptions o;
+  o.add_self_loops = true;
+  const DTDG g = load_dataset(p, o);
+  ASSERT_TRUE(g.snapshots[0].weighted());
+  // CSR (dst, src) order: (0,0) loop, (0,2), (1,0) duplicate summed,
+  // (1,1) real self edge + loop, (2,2) loop.
+  ASSERT_EQ(g.snapshots[0].nnz(), 5u);
+  EXPECT_EQ(g.snapshots[0].edge_w,
+            (std::vector<float>{1.0f, 0.25f, 3.0f, 5.0f, 1.0f}));
+}
+
+TEST(Loader, CsvWeightColumnKept) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(dir / "w.csv",
+                               "src,dst,w,t\n"
+                               "0,1,0.75,0\n"
+                               "1,0,1.25,0\n");
+  const DTDG g = load_dataset(p);
+  ASSERT_TRUE(g.snapshots[0].weighted());
+  EXPECT_EQ(g.snapshots[0].edge_w, (std::vector<float>{1.25f, 0.75f}));
+}
+
+TEST(Loader, UnweightedFilesLeaveEdgeWEmpty) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(dir / "u.el", "0 1 0\n1 0 1\n");
+  LoadOptions o;
+  o.add_self_loops = true;
+  const DTDG g = load_dataset(p, o);
+  for (const Snapshot& s : g.snapshots) EXPECT_FALSE(s.weighted());
+}
+
 TEST(Loader, StaticFeatureFileAppliesToEverySnapshot) {
   LoadOptions o;
   o.features_path = fixture("sample_features.tsv");
@@ -399,6 +439,37 @@ TEST(RoundTrip, CsvExportLoadIsBitExact) {
   expect_same_dtdg(g0, g1);
 }
 
+TEST(RoundTrip, WeightedExportLoadIsBitExact) {
+  const auto dir = temp_dir();
+  // Fractional weights that are NOT short decimals in binary32, plus a
+  // real self edge, so the round trip has to carry exact floats through
+  // the %.9g text form and the diagonal +1 exactly once.
+  const auto src = write_file_at(dir / "w.el",
+                                 "# nodes=5 snapshots=3\n"
+                                 "0 1 0 0.1\n"
+                                 "1 2 0 2.5\n"
+                                 "3 3 1 0.3\n"
+                                 "2 4 1 7.0\n"
+                                 "4 0 2 0.0078125\n"
+                                 "0 1 2 1e-3\n");
+  LoadOptions o;
+  o.add_self_loops = true;
+  const DTDG g0 = load_dataset(src, o);
+  export_edge_list(g0, (dir / "rt.el").string());
+  export_csv(g0, (dir / "rt.csv").string());
+  export_features(g0, (dir / "rt_features.tsv").string());
+  export_targets(g0, (dir / "rt_targets.tsv").string());
+  // The export already contains the self loops and the summed weights, so
+  // the reload must NOT re-add them.
+  LoadOptions r;
+  r.features_path = (dir / "rt_features.tsv").string();
+  r.targets_path = (dir / "rt_targets.tsv").string();
+  const DTDG g_el = load_dataset((dir / "rt.el").string(), r);
+  expect_same_dtdg(g0, g_el);
+  const DTDG g_csv = load_dataset((dir / "rt.csv").string(), r);
+  expect_same_dtdg(g0, g_csv);
+}
+
 TEST(RoundTrip, LoadIsBitIdenticalAcrossPoolWidths) {
   const auto dir = temp_dir();
   // Big enough to fan out to several parse chunks and build tasks.
@@ -437,6 +508,19 @@ TEST(DtdgFile, WriteReadRoundTripsBitExact) {
   EXPECT_EQ(read_dtdg_hash(p), 0xfeedu);
   EXPECT_EQ(g1.name, g0.name);
   EXPECT_EQ(g1.sim_scale, g0.sim_scale);
+  expect_same_dtdg(g0, g1);
+}
+
+TEST(DtdgFile, WeightedWriteReadRoundTripsBitExact) {
+  const auto dir = temp_dir();
+  const auto src = write_file_at(dir / "w.el", "0 1 0 0.5\n1 0 0 2.25\n");
+  LoadOptions o;
+  o.add_self_loops = true;
+  const DTDG g0 = load_dataset(src, o);
+  ASSERT_TRUE(g0.snapshots[0].weighted());
+  const auto p = (dir / "g.dtdg").string();
+  write_dtdg(g0, p, 7u);
+  const DTDG g1 = read_dtdg(p);
   expect_same_dtdg(g0, g1);
 }
 

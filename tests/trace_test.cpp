@@ -2,6 +2,7 @@
 // trainer timelines (the testable core of Fig. 8).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "baselines/baseline_trainer.hpp"
@@ -96,6 +97,89 @@ TEST(Trace, GanttWindowClipping) {
   opts.to_us = 300.0;
   const std::string gantt = gpusim::render_gantt(tl, opts);
   EXPECT_NE(gantt.find("compute     .........."), std::string::npos) << gantt;
+}
+
+TEST(Trace, CsvQuotesHostileNamesAndRoundTripsExactly) {
+  Timeline tl;
+  tl.submit(0, Resource::Compute, "k\"er,nel:a", 10.0 / 3.0);
+  tl.submit(0, Resource::Compute, "plain", 1.0);
+  std::ostringstream os;
+  gpusim::write_trace_csv(tl, os);
+  const std::string csv = os.str();
+  // Embedded quotes double, the field is quoted; plain names are not.
+  EXPECT_NE(csv.find("\"k\"\"er,nel:a\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\nplain,"), std::string::npos) << csv;
+  // Times carry enough digits that strtod gives back the exact double.
+  const auto pos = csv.find("3.3333333333333335");
+  ASSERT_NE(pos, std::string::npos) << csv;
+  EXPECT_EQ(std::strtod(csv.c_str() + pos, nullptr), 10.0 / 3.0);
+}
+
+TEST(Trace, CsvMetaHeaderLabelsTheTrace) {
+  Timeline tl;
+  tl.submit(0, Resource::Compute, "k", 1.0);
+  std::ostringstream os;
+  gpusim::write_trace_csv(tl, os, {"reddit body", "tgcn", "pipad"});
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.rfind("# pipad-trace v1\n", 0), 0u) << csv;
+  // Whitespace in labels would break the space-separated meta comment.
+  EXPECT_NE(csv.find("# dataset=reddit_body model=tgcn method=pipad\n"),
+            std::string::npos)
+      << csv;
+}
+
+// Out of line: GCC 12's -Wrestrict analysis trips on short string-literal
+// assignment when fully inlined into the test body (PR105329).
+[[gnu::noinline]] std::vector<gpusim::OpRecord> single_compute_record(
+    double start_us, double end_us) {
+  gpusim::OpRecord rec;
+  rec.name = "kernel";
+  rec.resource = Resource::Compute;
+  rec.stream = 0;
+  rec.start_us = start_us;
+  rec.end_us = end_us;
+  return {rec};
+}
+
+TEST(Trace, GanttDefaultWindowEndsAtLastRecord) {
+  // Record-level overload: to_us = -1 must clamp to the latest end even
+  // without a Timeline to ask for the makespan.
+  const auto recs = single_compute_record(0.0, 40.0);
+  gpusim::GanttOptions opts;
+  opts.width = 10;
+  const std::string gantt = gpusim::render_gantt(recs, 1, opts);
+  EXPECT_NE(gantt.find("compute     ##########"), std::string::npos) << gantt;
+  EXPECT_NE(gantt.find("[0, 40) us"), std::string::npos) << gantt;
+}
+
+TEST(Trace, GanttWindowPastTheDataRendersIdle) {
+  const auto recs = single_compute_record(0.0, 40.0);
+  gpusim::GanttOptions opts;
+  opts.width = 10;
+  opts.from_us = 20.0;
+  opts.to_us = 100.0;  // Half busy, then idle beyond the data.
+  const std::string gantt = gpusim::render_gantt(recs, 1, opts);
+  EXPECT_NE(gantt.find("compute     ###......."), std::string::npos) << gantt;
+}
+
+TEST(Trace, OverlapFractionEmptyAndDefaultWindows) {
+  Timeline tl;
+  tl.submit(0, Resource::Compute, "k", 60.0);
+  tl.submit(0, Resource::H2D, "t", 40.0);
+  // Degenerate windows must not divide by zero.
+  EXPECT_EQ(gpusim::overlap_fraction(tl, Resource::Compute, Resource::H2D,
+                                     50.0, 50.0),
+            0.0);
+  EXPECT_EQ(gpusim::overlap_fraction(tl, Resource::Compute, Resource::H2D,
+                                     80.0, 20.0),
+            0.0);
+  // to_us = -1 resolves to the makespan.
+  EXPECT_NEAR(gpusim::overlap_fraction(tl, Resource::Compute, Resource::H2D,
+                                       0.0, -1.0),
+              0.0, 1e-9);
+  EXPECT_NEAR(gpusim::overlap_fraction(tl, Resource::Compute,
+                                       Resource::Compute, 0.0, -1.0),
+              0.6, 1e-9);
 }
 
 }  // namespace
