@@ -54,8 +54,8 @@ GnnRun run_parallel(const graph::DTDG& g, int start, int count, int f,
   const auto part = sliced::build_partition(g, start, count);
   std::vector<Tensor> xs;
   std::vector<const Tensor*> xp;
-  std::vector<const std::vector<int>*> degs;
-  std::vector<std::vector<int>> deg_store;
+  std::vector<const std::vector<float>*> degs;
+  std::vector<std::vector<float>> deg_store;
   for (int i = 0; i < count; ++i) {
     xs.push_back(Tensor::randn(g.num_nodes, f, rng));
     deg_store.push_back(kernels::degrees(g.snapshots[start + i].adj));

@@ -301,6 +301,14 @@ class ComputeImbalancePass final : public Pass {
     double mean = 0.0;
     for (double b : lanes) mean += b;
     mean /= static_cast<double>(lanes.size());
+    // Sum the region executor's steal counters over worker compute ops: the
+    // skew we report is what remains *after* work stealing already moved
+    // these blocks, so a nonzero count shifts the diagnosis from scheduling
+    // to block granularity.
+    std::uint64_t steals = 0;
+    for (const auto& rec : td.records) {
+      if (rec.resource == Resource::CpuWorker) steals += rec.steals;
+    }
 
     Finding f;
     f.pass = name();
@@ -308,6 +316,7 @@ class ComputeImbalancePass final : public Pass {
     f.to_us = td.makespan_us;
     f.recoverable_us = std::max(0.0, maxb - mean);
     f.severity = severity_for(f.recoverable_us, td.makespan_us);
+    f.steals = steals;
     for (std::size_t l = 0; l < lanes.size(); ++l) {
       f.blamed.emplace_back("cpu-w" + std::to_string(l), lanes[l]);
     }
@@ -317,7 +326,9 @@ class ComputeImbalancePass final : public Pass {
                 return a.first < b.first;
               });
     f.detail = "lane busy skew " + format_pct(skew) + " (busiest " +
-               format_us(maxb) + " us, idlest " + format_us(minb) + " us)";
+               format_us(maxb) + " us, idlest " + format_us(minb) +
+               " us) despite " + std::to_string(steals) + " stolen block" +
+               (steals == 1 ? "" : "s");
     return {f};
   }
 };

@@ -6,8 +6,10 @@
 // in-process trainer run (from_timeline) and over a trace CSV written by
 // `pipad trace`, `pipad analyze`, or a bench's --trace-dir
 // (read_trace_csv / read_trace_file). The CSV reader understands the
-// optional `# pipad-trace v1` metadata header that labels a trace with the
-// (dataset, model, method) key the bench_diff-compatible JSON report uses.
+// optional `# pipad-trace v2` metadata header that labels a trace with the
+// (dataset, model, method) key the bench_diff-compatible JSON report uses,
+// and accepts both the 7-field v1 row layout and the 9-field v2 one
+// (v2 appends the region executor's steals,blocks counters).
 #pragma once
 
 #include <istream>

@@ -49,6 +49,7 @@ class BaselineExecutor final : public models::FrameExecutor,
     coo_.resize(data.num_snapshots());
     coo_t_.resize(data.num_snapshots());
     deg_.resize(data.num_snapshots());
+    w_t_.resize(data.num_snapshots());
   }
 
   StreamId compute_stream() const { return compute_; }
@@ -85,13 +86,15 @@ class BaselineExecutor final : public models::FrameExecutor,
         continue;
       }
       const auto& snap = data_.snapshots[t];
+      const auto* w = snap.weighted() ? &snap.edge_w : nullptr;
       Tensor agg(xs[i]->rows(), xs[i]->cols());
       KernelStats st;
       if (variant_ == Variant::PyGTG) {
-        st = kernels::agg_gespmm(snap.adj, *xs[i], agg);
+        st = kernels::agg_gespmm(snap.adj, *xs[i], agg, false, w);
         record("agg:gespmm:" + tag, st);
       } else {
-        st = kernels::agg_coo(coo(t), *xs[i], agg);
+        // coo_from_csr preserves CSR nnz order, so edge_w passes through.
+        st = kernels::agg_coo(coo(t), *xs[i], agg, false, w);
         record("agg:coo:" + tag, st);
       }
       Tensor h(agg.rows(), agg.cols());
@@ -111,6 +114,7 @@ class BaselineExecutor final : public models::FrameExecutor,
     for (int i = 0; i < static_cast<int>(d_h.size()); ++i) {
       const int t = frame_.start + i;
       const auto& snap = data_.snapshots[t];
+      const auto* wt = snap.weighted() ? &weights_t(t) : nullptr;
       Tensor d_agg(d_h[i].rows(), d_h[i].cols());
       Tensor d_direct(d_h[i].rows(), d_h[i].cols());
       record("normalize:" + tag + ".bwd",
@@ -119,10 +123,10 @@ class BaselineExecutor final : public models::FrameExecutor,
       Tensor d_x(d_h[i].rows(), d_h[i].cols());
       KernelStats st;
       if (variant_ == Variant::PyGTG) {
-        st = kernels::agg_gespmm(snap.adj_t, d_agg, d_x);
+        st = kernels::agg_gespmm(snap.adj_t, d_agg, d_x, false, wt);
         record("agg:gespmm:" + tag + ".bwd", st);
       } else {
-        st = kernels::agg_coo(coo_t(t), d_agg, d_x);
+        st = kernels::agg_coo(coo_t(t), d_agg, d_x, false, wt);
         record("agg:coo:" + tag + ".bwd", st);
       }
       ops::add_inplace(d_x, d_direct);
@@ -181,9 +185,23 @@ class BaselineExecutor final : public models::FrameExecutor,
     }
     return *coo_t_[t];
   }
-  const std::vector<int>& degrees(int t) {
-    if (!deg_[t].has_value()) deg_[t] = kernels::degrees(data_.snapshots[t].adj);
+  const std::vector<float>& degrees(int t) {
+    if (!deg_[t].has_value()) {
+      const auto& snap = data_.snapshots[t];
+      deg_[t] = kernels::degrees(snap.adj,
+                                 snap.weighted() ? &snap.edge_w : nullptr);
+    }
     return *deg_[t];
+  }
+  /// Backward weights: edge_w permuted into adj_t's nnz order. The COO
+  /// transpose reuses the same arrays with row/col swapped, so this is the
+  /// weight order both agg_coo(coo_t) and agg_gespmm(adj_t) need.
+  const std::vector<float>& weights_t(int t) {
+    if (!w_t_[t].has_value()) {
+      const auto& snap = data_.snapshots[t];
+      w_t_[t] = graph::transpose_weights(snap.adj, snap.edge_w);
+    }
+    return *w_t_[t];
   }
 
   gpusim::Gpu& gpu_;
@@ -198,7 +216,8 @@ class BaselineExecutor final : public models::FrameExecutor,
   std::vector<bool> waited_;
 
   std::vector<std::optional<graph::COO>> coo_, coo_t_;
-  std::vector<std::optional<std::vector<int>>> deg_;
+  std::vector<std::optional<std::vector<float>>> deg_;
+  std::vector<std::optional<std::vector<float>>> w_t_;
   std::map<int, Tensor> cache_;  ///< snapshot -> normalized layer-0 agg.
 };
 

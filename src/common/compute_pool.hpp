@@ -5,20 +5,28 @@
 // owning threads. `--threads N` configures it once and scales everything.
 //
 // Parallel regions are *deterministic by construction*: the block
-// partitioning of a region depends only on the problem size and fixed
-// constants — never on the pool width — and every block writes disjoint
-// output rows/elements, so results are bit-identical for any thread count
-// (including the inline serial fallback). Reductions whose rounding depends
-// on combine order (losses, norms) stay serial in their callers.
+// partitioning of a region depends only on the problem size and a
+// per-process calibration constant — never on the pool width — and every
+// block writes disjoint output rows/elements, so results are bit-identical
+// for any thread count (including the inline serial fallback). Which worker
+// *executes* a block is dynamic: regions run through per-worker Chase-Lev
+// deques with randomized-victim work stealing (ThreadPool::run_blocks), so
+// a skewed block distribution no longer idles the other workers.
+// Reductions whose rounding depends on combine order (losses, norms) stay
+// serial in their callers.
 //
 // Each region's blocks are measured individually (thread-CPU time) and
 // placed onto per-lane cost bins (aggregated per kernel name) so trainers
 // can charge them to the simulated Timeline worker lanes the same way
 // host::HostLane charges prep jobs — `pipad bench` epoch times reflect
 // measured compute decomposed across `--threads N` lanes, not an assumed
-// speedup factor.
+// speedup factor. Placement stays least-loaded-in-block-order (not "which
+// worker grabbed it"), which is what keeps the simulated timelines
+// deterministic while stealing reshuffles real execution; the stealing
+// outcome is surfaced separately as RegionStats::steals.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <map>
@@ -59,11 +67,14 @@ class ComputePool {
   /// fewer cores than pool workers does not inflate it) and placed on the
   /// least-loaded simulated lane in block order — the same per-lane
   /// accounting HostLane applies to prep jobs, kept deterministic by
-  /// placing blocks instead of recording which worker happened to grab
-  /// them.
-  struct Region {
+  /// placing blocks instead of recording which worker happened to execute
+  /// them. `blocks`/`steals` report what the work-stealing executor
+  /// actually did, for the trace records and the imbalance analyzer.
+  struct RegionStats {
     std::vector<double> lane_us;  ///< Summed measured cost per lane.
     std::size_t count = 0;        ///< Number of regions aggregated.
+    std::size_t blocks = 0;       ///< Blocks executed across those regions.
+    std::size_t steals = 0;       ///< Blocks executed off their home slot.
 
     double total_us() const {
       double s = 0.0;
@@ -72,22 +83,24 @@ class ComputePool {
     }
     std::size_t lanes() const { return lane_us.size(); }
   };
+  using Region = RegionStats;
 
   using BlockFn = std::function<void(std::size_t, std::size_t)>;
   using Ranges = std::vector<std::pair<std::size_t, std::size_t>>;
 
   /// Run fn(lo, hi) over contiguous blocks covering [0, n). The block
-  /// layout derives from n and total_work only (never the pool width), so
-  /// any order-sensitive per-block math is reproducible across thread
-  /// counts. Small regions (total_work < kMinRegionWork) run inline and are
-  /// not logged — on that path fn is called directly, without type
-  /// erasure, so tiny ops stay cheap. fn must write only block-disjoint
-  /// state. The first block exception is rethrown after the region drains.
+  /// layout derives from n, total_work and the per-process calibration
+  /// only (never the pool width), so any order-sensitive per-block math is
+  /// reproducible across thread counts. Small regions (total_work <
+  /// min_block_work()) run inline and are not logged — on that path fn is
+  /// called directly, without type erasure, so tiny ops stay cheap. fn
+  /// must write only block-disjoint state. The first block exception is
+  /// rethrown after the region drains.
   template <typename F>
   void for_blocks(const char* name, std::size_t n, std::size_t total_work,
                   F&& fn) {
     if (n == 0) return;
-    if (total_work < kMinRegionWork) {
+    if (total_work < min_block_work()) {
       fn(std::size_t{0}, n);
       return;
     }
@@ -116,13 +129,37 @@ class ComputePool {
   static Ranges even_ranges(std::size_t n, std::size_t blocks);
 
   /// Regions measured since the last drain, keyed by kernel name.
-  std::map<std::string, Region> drain_regions();
+  std::map<std::string, RegionStats> drain_regions();
   void discard_regions();
 
-  /// Below this many scalar operations a region runs inline, unmeasured.
-  static constexpr std::size_t kMinRegionWork = 16384;
-  /// Upper bound on blocks per region (fixed so the layout is independent
-  /// of the pool width).
+  /// The work-unit floor: below this many scalar operations a region runs
+  /// inline and unmeasured, and block_count() targets at least this much
+  /// work per block. Calibrated once per process by measuring the
+  /// per-block dispatch overhead (clock reads + type-erased call) against
+  /// the throughput of a canonical work unit, then clamped to
+  /// [kMinBlockWorkFloor, kMinBlockWorkCeil] — a block must cost well over
+  /// its own bookkeeping, or splitting is pure loss. Thread-count
+  /// independent, so the block layout never varies with `--threads`.
+  static std::size_t min_block_work();
+  /// Pin the floor (tests, benches that assert exact block counts);
+  /// 0 restores the measured calibration.
+  static void set_min_block_work(std::size_t work);
+
+  /// Enable/disable work stealing in the region executor (default on).
+  /// Affects only which worker runs a block — never the block layout, the
+  /// numeric outputs or the simulated lane charges — so the
+  /// contention_pool bench can compare steal vs. static end to end.
+  void set_stealing(bool on);
+  bool stealing() const;
+
+  /// Calibration clamp bounds; a measured floor is kept inside them.
+  static constexpr std::size_t kMinBlockWorkFloor = 4096;
+  static constexpr std::size_t kMinBlockWorkCeil = 1u << 20;
+  /// Target ratio of block work to per-block dispatch overhead.
+  static constexpr std::size_t kBlockOverheadBudget = 64;
+  /// Upper bound on blocks per region — more blocks than the widest
+  /// default pool (8), so the stealing executor has slack to rebalance,
+  /// and fixed so the layout is independent of the pool width.
   static constexpr std::size_t kMaxBlocks = 32;
 
  private:
@@ -130,12 +167,14 @@ class ComputePool {
   ThreadPool& pool_locked();
   void for_blocks_erased(const char* name, std::size_t n,
                          std::size_t total_work, const BlockFn& fn);
-  void record_region(const char* name, const std::vector<double>& lane_us);
+  void record_region(const char* name, const std::vector<double>& lane_us,
+                     std::size_t blocks, std::size_t steals);
 
   std::mutex pool_mutex_;  ///< Guards pool_ creation/replacement.
   std::unique_ptr<ThreadPool> pool_;
   std::mutex region_mutex_;  ///< Guards regions_.
-  std::map<std::string, Region> regions_;
+  std::map<std::string, RegionStats> regions_;
+  std::atomic<bool> steal_{true};
 };
 
 }  // namespace pipad

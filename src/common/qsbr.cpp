@@ -1,0 +1,151 @@
+#include "common/qsbr.hpp"
+
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace pipad {
+
+Qsbr& Qsbr::instance() {
+  static Qsbr* q = new Qsbr;  // Leaked by design; see header.
+  return *q;
+}
+
+Qsbr::Handle Qsbr::register_thread() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t e = global_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kMaxSlots; ++i) {
+    if (!slots_[i].used.load(std::memory_order_relaxed)) {
+      slots_[i].local.store(e, std::memory_order_relaxed);
+      slots_[i].online.store(true, std::memory_order_relaxed);
+      slots_[i].used.store(true, std::memory_order_release);
+      return i;
+    }
+  }
+  throw Error("Qsbr: slot table exhausted (" + std::to_string(kMaxSlots) +
+              " registered threads)");
+}
+
+void Qsbr::unregister_thread(Handle h) {
+  std::vector<Retired> safe;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_[h].online.store(false, std::memory_order_relaxed);
+    slots_[h].used.store(false, std::memory_order_release);
+    // The departing thread may have been the laggard: try to advance.
+    advance_locked(safe);
+  }
+  run(safe);
+}
+
+void Qsbr::quiescent(Handle h) {
+  slots_[h].local.store(global_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+  // Opportunistic reclaim: only one thread needs to make progress per
+  // grace period, so a contended lock is simply skipped.
+  if (pending_.load(std::memory_order_relaxed) == 0) return;
+  std::vector<Retired> safe;
+  {
+    std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+    if (!lock.owns_lock()) return;
+    advance_locked(safe);
+  }
+  run(safe);
+}
+
+void Qsbr::offline(Handle h) {
+  // Going offline is a quiescent point; the thread re-enters via online().
+  slots_[h].local.store(global_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+  slots_[h].online.store(false, std::memory_order_release);
+}
+
+void Qsbr::online(Handle h) {
+  slots_[h].local.store(global_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+  slots_[h].online.store(true, std::memory_order_release);
+}
+
+void Qsbr::retire(std::function<void()> deleter) {
+  std::vector<Retired> safe;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retired_.push_back(
+        Retired{std::move(deleter), global_.load(std::memory_order_relaxed)});
+    pending_.store(retired_.size(), std::memory_order_relaxed);
+    // With no registered online readers the epoch can advance freely, so
+    // earlier retirees may already be safe; never this one (e + 2 rule).
+    advance_locked(safe);
+  }
+  run(safe);
+}
+
+void Qsbr::advance_locked(std::vector<Retired>& out) {
+  const std::uint64_t e = global_.load(std::memory_order_relaxed);
+  for (const Slot& s : slots_) {
+    if (!s.used.load(std::memory_order_acquire)) continue;
+    if (!s.online.load(std::memory_order_acquire)) continue;
+    if (s.local.load(std::memory_order_acquire) < e) return;  // Laggard.
+  }
+  global_.store(e + 1, std::memory_order_release);
+  collect_safe_locked(out);
+}
+
+void Qsbr::collect_safe_locked(std::vector<Retired>& out) {
+  const std::uint64_t e = global_.load(std::memory_order_relaxed);
+  std::size_t kept = 0;
+  for (auto& r : retired_) {
+    if (r.epoch + 2 <= e) {
+      out.push_back(std::move(r));
+    } else {
+      retired_[kept++] = std::move(r);
+    }
+  }
+  retired_.resize(kept);
+  pending_.store(kept, std::memory_order_relaxed);
+}
+
+void Qsbr::run(std::vector<Retired>& batch) {
+  for (auto& r : batch) {
+    r.deleter();
+    reclaimed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  batch.clear();
+}
+
+std::size_t Qsbr::reclaim() {
+  std::vector<Retired> safe;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    advance_locked(safe);
+  }
+  const std::size_t n = safe.size();
+  run(safe);
+  return n;
+}
+
+std::size_t Qsbr::drain(std::size_t max_spins) {
+  std::size_t freed = 0;
+  for (std::size_t i = 0; i < max_spins; ++i) {
+    freed += reclaim();
+    if (pending_.load(std::memory_order_relaxed) == 0) break;
+    std::this_thread::yield();
+  }
+  return freed;
+}
+
+std::size_t Qsbr::pending() const {
+  return pending_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Qsbr::reclaimed() const {
+  return reclaimed_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Qsbr::epoch() const {
+  return global_.load(std::memory_order_relaxed);
+}
+
+}  // namespace pipad

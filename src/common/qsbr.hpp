@@ -1,0 +1,125 @@
+// Quiescent-state-based reclamation (QSBR) for buffers handed between
+// threads.
+//
+// The streaming prep pipeline passes large partition/snapshot buffers from
+// HostLane::stream() producer jobs (pool workers) to the trainer consumer.
+// Freeing one of those buffers inline would (a) stall the consumer on a
+// multi-megabyte deallocation and (b) require proving that no pool worker
+// still holds a reference from an in-flight region. QSBR solves both: the
+// consumer *retires* the buffer (cheap — it just enqueues a deleter), and
+// the deleter runs only after every registered thread has passed a
+// quiescent point in two consecutive epochs, i.e. provably dropped any
+// reference it may have held. Pool workers quiesce between tasks, so the
+// deferred frees execute on worker idle time, never on the consumer.
+//
+// The epoch rules are the classic ones (the qsbr reclaimer of the setbench
+// recordmgr family):
+//   - a global epoch E advances only when every *online* registered thread
+//     has announced a quiescent state during E;
+//   - an object retired during epoch e may be freed once E >= e + 2 (two
+//     grace periods: one to flush announcements racing the retire, one to
+//     flush references taken before it);
+//   - a thread that is about to block (a pool worker waiting for work) goes
+//     *offline* and is excluded from the advance check, so idle workers
+//     never stall reclamation.
+//
+// Threads that are never registered (the trainer main thread) may retire
+// freely; the contract is that the retiring thread itself no longer uses
+// the object, and registration covers every *other* thread that might.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace pipad {
+
+class Qsbr {
+ public:
+  /// Process-wide domain. Intentionally leaked: pool workers may announce
+  /// quiescence during static destruction, after function-local statics
+  /// with ordinary lifetimes would already be gone.
+  static Qsbr& instance();
+
+  /// Opaque per-thread slot id.
+  using Handle = std::size_t;
+
+  /// Register the calling thread as a reader. It starts online, in the
+  /// current epoch.
+  Handle register_thread();
+  /// Remove the thread from the domain (its slot is recycled).
+  void unregister_thread(Handle h);
+
+  /// Announce a quiescent point: the thread holds no references to any
+  /// retirable object. Opportunistically advances the epoch and runs the
+  /// deleters that became safe (so frees land on worker threads).
+  void quiescent(Handle h);
+
+  /// The thread is about to block indefinitely; exclude it from grace
+  /// periods until online() is called. Going offline is itself quiescent.
+  void offline(Handle h);
+  void online(Handle h);
+
+  /// Defer `deleter` until two grace periods have elapsed. The caller must
+  /// already have stopped using the object itself. Never runs deleters
+  /// synchronously for the retired object; it may run *previously* safe
+  /// deleters inline.
+  void retire(std::function<void()> deleter);
+
+  /// Deleters currently queued (retired but not yet freed).
+  std::size_t pending() const;
+  /// Deleters executed since construction (test observability).
+  std::uint64_t reclaimed() const;
+  /// Current global epoch (test observability).
+  std::uint64_t epoch() const;
+
+  /// Run every deleter that is safe *now* (one advance attempt, no spin).
+  /// Returns the number executed.
+  std::size_t reclaim();
+
+  /// Drive epochs until the queue empties or `max_spins` advance attempts
+  /// fail (a registered online thread that never quiesces would otherwise
+  /// hang us). Trainers call this at teardown so ASan sees no outstanding
+  /// allocations; with all workers idle/offline it converges in two
+  /// iterations. Returns the number of deleters executed.
+  std::size_t drain(std::size_t max_spins = 1024);
+
+ private:
+  Qsbr() = default;
+
+  struct Slot {
+    std::atomic<std::uint64_t> local{0};  ///< Last epoch quiesced in.
+    std::atomic<bool> online{false};
+    std::atomic<bool> used{false};
+  };
+  struct Retired {
+    std::function<void()> deleter;
+    std::uint64_t epoch = 0;
+  };
+
+  /// Advance the epoch if every online slot has caught up, then move the
+  /// newly safe deleters into `out`. Caller runs them outside the lock.
+  void advance_locked(std::vector<Retired>& out);
+  void collect_safe_locked(std::vector<Retired>& out);
+
+  void run(std::vector<Retired>& batch);
+
+  /// Fixed slot table: quiescent()/offline()/online() index it without the
+  /// mutex, so it must never move. register_thread() throws when full —
+  /// far above any realistic thread count here (pool width caps at 8 by
+  /// default and slots are recycled on unregister).
+  static constexpr std::size_t kMaxSlots = 256;
+
+  mutable std::mutex mutex_;               ///< Guards slot (de)allocation
+                                           ///< and retired_.
+  Slot slots_[kMaxSlots];
+  std::vector<Retired> retired_;
+  std::atomic<std::uint64_t> global_{1};
+  std::atomic<std::uint64_t> reclaimed_{0};
+  std::atomic<std::size_t> pending_{0};
+};
+
+}  // namespace pipad

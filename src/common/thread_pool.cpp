@@ -2,13 +2,28 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+
+#include "common/qsbr.hpp"
+#include "common/work_deque.hpp"
 
 namespace pipad {
 
 namespace {
 thread_local std::size_t tl_worker_index = ThreadPool::npos;
 thread_local const ThreadPool* tl_pool = nullptr;
+
+/// xorshift64*: cheap per-runner victim randomization. Seeded from the slot
+/// index only — victim order varies run to run with timing anyway, and a
+/// deterministic seed keeps the executor free of global RNG state.
+inline std::uint64_t next_rand(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s * 0x2545F4914F6CDD1Dull;
+}
 }  // namespace
 
 std::size_t ThreadPool::worker_index() { return tl_worker_index; }
@@ -51,17 +66,29 @@ void ThreadPool::shutdown() {
 void ThreadPool::worker_loop(std::size_t index) {
   tl_worker_index = index;
   tl_pool = this;
+  Qsbr& qsbr = Qsbr::instance();
+  const Qsbr::Handle qh = qsbr.register_thread();
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
+      if (!stopping_ && queue_.empty()) {
+        // Idle workers go offline so they never stall a grace period.
+        qsbr.offline(qh);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        qsbr.online(qh);
+      }
+      if (stopping_ && queue_.empty()) break;
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
+    // Drop the task's captured state *before* quiescing: a quiescent
+    // announcement promises this thread holds no retirable references.
+    task = nullptr;
+    qsbr.quiescent(qh);
   }
+  qsbr.unregister_thread(qh);
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -70,31 +97,117 @@ void ThreadPool::parallel_for(std::size_t n,
   // Chunked static partition; the chunk count tracks pool width to bound
   // scheduling overhead on small n. The first n % chunks chunks take one
   // extra element, so every chunk is non-empty and the sizes are exact —
-  // no empty trailing chunks to skip.
+  // no empty trailing chunks to skip. Chunks execute through the stealing
+  // region executor, so a slow chunk (skewed job sizes) is backfilled by
+  // idle workers instead of serializing the tail.
   const std::size_t chunks = std::min(n, workers_.size() * 4);
   const std::size_t per = n / chunks;
   const std::size_t extra = n % chunks;
-  std::vector<std::future<void>> futs;
-  futs.reserve(chunks);
-  std::size_t lo = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
+  run_blocks(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * per + std::min(c, extra);
     const std::size_t hi = lo + per + (c < extra ? 1 : 0);
-    futs.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
-    lo = hi;
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+ThreadPool::StealStats ThreadPool::run_blocks(
+    std::size_t n, const std::function<void(std::size_t)>& fn, bool steal) {
+  StealStats stats;
+  if (n == 0) return stats;
+  reject_nested_submit();  // Same deadlock hazard as submit().
+  const std::size_t slots = std::min(n, workers_.size());
+  if (slots <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    stats.executed = n;
+    return stats;
   }
-  // Drain every chunk before rethrowing so no chunk is left referencing fn
-  // after this frame unwinds.
-  std::exception_ptr first;
-  for (auto& f : futs) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first) first = std::current_exception();
+
+  // Preload: block i homes on slot i % slots, pushed in descending order so
+  // the owner pops (LIFO) in ascending block order — cache-friendly for
+  // row-contiguous blocks — while thieves take (FIFO) from the far end.
+  // This all happens before any runner task is submitted; the injector
+  // mutex publishes the deques to the workers.
+  std::vector<std::unique_ptr<WorkDeque>> deques(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    deques[s] = std::make_unique<WorkDeque>(n / slots + 1);
+    for (std::size_t i = ((n - 1 - s) / slots) * slots + s;;
+         i -= slots) {
+      deques[s]->prefill(i);
+      if (i < slots) break;
     }
   }
+
+  std::atomic<std::size_t> stolen{0};
+  std::mutex error_mutex;
+  std::exception_ptr first;
+  const auto record_error = [&] {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!first) first = std::current_exception();
+  };
+
+  const auto runner = [&, slots, steal](std::size_t s) {
+    std::uint64_t rng = 0x9E3779B97F4A7C15ull ^ (s + 1);
+    std::size_t id = 0;
+    for (;;) {
+      bool have = deques[s]->pop(id);
+      bool was_steal = false;
+      if (!have && steal) {
+        // Randomized victims first (spreads contention), then one
+        // deterministic sweep so a runner only exits when every deque was
+        // seen empty — any still-missing block is already claimed.
+        for (std::size_t tries = 0; tries < 2 * slots && !have; ++tries) {
+          const std::size_t v =
+              (s + 1 + next_rand(rng) % (slots - 1)) % slots;
+          have = deques[v]->steal(id);
+        }
+        for (std::size_t v = 0; v < slots && !have; ++v) {
+          if (v != s) have = deques[v]->steal(id);
+        }
+        was_steal = have;
+      }
+      if (!have) return;
+      if (was_steal) stolen.fetch_add(1, std::memory_order_relaxed);
+      try {
+        fn(id);
+      } catch (...) {
+        // Keep draining: blocks must not outlive fn's frame, and callers
+        // expect the whole region to settle before the rethrow — stolen or
+        // not.
+        record_error();
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futs;
+  futs.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    try {
+      futs.push_back(submit([&runner, s] { runner(s); }));
+    } catch (...) {
+      // Pool shutting down mid-region: stop submitting; the leftover
+      // blocks are drained inline below, after the submitted runners —
+      // which reference this frame — are joined.
+      break;
+    }
+  }
+  for (auto& f : futs) f.get();  // Runners trap fn's exceptions themselves.
+  // Every block must run exactly once even if some runner never started
+  // (shutdown race) or stealing was off: claim leftovers through the
+  // thief-side CAS, which stays correct now that no runner is active.
+  std::size_t id = 0;
+  for (std::size_t s = 0; s < slots; ++s) {
+    while (deques[s]->steal(id)) {
+      try {
+        fn(id);
+      } catch (...) {
+        record_error();
+      }
+    }
+  }
+  stats.executed = n;
+  stats.stolen = stolen.load(std::memory_order_relaxed);
   if (first) std::rethrow_exception(first);
+  return stats;
 }
 
 }  // namespace pipad

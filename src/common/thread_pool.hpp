@@ -4,6 +4,24 @@
 // extraction, partition assembly) with simulated device work (§4.3). The pool
 // executes that host work for real; host::HostLane measures each job and
 // charges the simulated time to the Timeline worker lane it actually ran on.
+//
+// Scheduling is two-level:
+//   - submit()/map() enqueue whole jobs on a shared injector queue (mutex +
+//     condition variable — jobs are coarse, so the injector is touched a
+//     handful of times per frame and is never the bottleneck);
+//   - run_blocks() executes a *region* of fine-grained blocks through
+//     per-worker Chase-Lev deques with randomized-victim work stealing: the
+//     launching thread preloads one deque per runner slot (round-robin, a
+//     pure function of the block count), submits one runner task per slot
+//     through the injector, and each runner drains its own deque LIFO and
+//     then steals FIFO from random victims. Which worker executes a block
+//     is dynamic — skewed blocks no longer idle the other workers — but
+//     the *set* of blocks never depends on the pool width, which is what
+//     keeps region outputs bit-identical across thread counts.
+//
+// Workers register with the process Qsbr domain and announce a quiescent
+// state between tasks (offline while idle), so buffers retired by trainer
+// threads are freed on worker idle time (see common/qsbr.hpp).
 #pragma once
 
 #include <condition_variable>
@@ -84,6 +102,26 @@ class ThreadPool {
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
   /// The first exception thrown by any chunk is rethrown here.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Work-stealing outcome of one run_blocks() region.
+  struct StealStats {
+    std::size_t executed = 0;  ///< Blocks executed (== n on success).
+    std::size_t stolen = 0;    ///< Blocks executed away from their home slot.
+  };
+
+  /// Execute fn(i) for every i in [0, n) through per-slot Chase-Lev deques
+  /// (see file header). Blocks are preloaded round-robin (block i homes on
+  /// slot i % slots, slots = min(n, size())) so the assignment is a pure
+  /// function of n; with `steal` true, runners that drain their own deque
+  /// steal from randomized victims, otherwise they stop at their static
+  /// share (the contention_pool bench compares the two). Blocks must write
+  /// disjoint state. Waits for completion; the first exception any block
+  /// threw is rethrown after the region drains (remaining blocks still
+  /// run). Must not be called from a worker of this pool — run nested
+  /// regions inline, like submit().
+  StealStats run_blocks(std::size_t n,
+                        const std::function<void(std::size_t)>& fn,
+                        bool steal = true);
 
  private:
   void worker_loop(std::size_t index);

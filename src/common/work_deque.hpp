@@ -1,0 +1,99 @@
+// Chase-Lev work-stealing deque over small integer payloads (block ids).
+//
+// One deque per runner slot: the owner pushes and pops at the bottom
+// (LIFO, cache-warm), thieves CAS-claim single items at the top (FIFO, so
+// they take the work the owner will reach last). This is the classic
+// Chase-Lev layout (SPAA'05) with the memory orderings of Lê et al.
+// (PPoPP'13), except that `top`/`bottom` use seq_cst operations instead of
+// standalone fences — ThreadSanitizer models atomic operations but not
+// `atomic_thread_fence`, and the pool's region executor is race-checked in
+// CI. Elements are relaxed atomics for the same reason: the benign
+// buffer-slot race between a losing thief and a recycling owner must not
+// read as a data race.
+//
+// Capacity is fixed at construction: regions preload every block id before
+// any runner starts (ThreadPool::run_blocks), so the deque never grows.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace pipad {
+
+class WorkDeque {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 1).
+  explicit WorkDeque(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    buf_ = std::make_unique<std::atomic<std::size_t>[]>(cap);
+  }
+
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  /// Preload an item before the deque is published to other threads (the
+  /// region executor fills all deques, then submits the runner tasks; the
+  /// pool's queue mutex provides the happens-before edge). Not thread-safe.
+  void prefill(std::size_t v) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    PIPAD_CHECK_MSG(static_cast<std::size_t>(b - top_.load(
+                        std::memory_order_relaxed)) <= mask_,
+                    "WorkDeque::prefill past capacity");
+    buf_[static_cast<std::size_t>(b) & mask_].store(
+        v, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only: take the most recently added item. Returns false when the
+  /// deque is empty (or the last item was lost to a concurrent thief).
+  bool pop(std::size_t& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // Already empty: undo.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = buf_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t < b) return true;  // More than one item left: no race possible.
+    // Exactly one item: race the thieves for it via top.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return won;
+  }
+
+  /// Any thread: claim the oldest item. Returns false when empty or when a
+  /// concurrent pop/steal won the race (callers retry or move on to the
+  /// next victim; no spurious loss of items).
+  bool steal(std::size_t& out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    out = buf_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    return top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+  }
+
+  /// Approximate (racy) emptiness check, for termination sweeps.
+  bool empty() const {
+    return top_.load(std::memory_order_seq_cst) >=
+           bottom_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::unique_ptr<std::atomic<std::size_t>[]> buf_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace pipad

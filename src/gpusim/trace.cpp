@@ -32,12 +32,15 @@ std::string csv_time(double us) {
 }
 
 void write_rows(const Timeline& tl, std::ostream& os) {
-  os << "name,resource,stream,start_us,end_us,bytes,lane\n";
+  // v2 layout: the steals/blocks pair carries the work-stealing region
+  // executor's counters on compute:* worker ops (0 everywhere else). The
+  // reader accepts both this and the 7-column v1 layout.
+  os << "name,resource,stream,start_us,end_us,bytes,lane,steals,blocks\n";
   for (const auto& rec : tl.records()) {
     os << csv_quote(rec.name) << ',' << resource_name(rec.resource) << ','
        << rec.stream << ',' << csv_time(rec.start_us) << ','
-       << csv_time(rec.end_us) << ',' << rec.bytes << ',' << rec.lane
-       << '\n';
+       << csv_time(rec.end_us) << ',' << rec.bytes << ',' << rec.lane << ','
+       << rec.steals << ',' << rec.blocks << '\n';
   }
 }
 
@@ -58,7 +61,7 @@ void write_trace_csv(const Timeline& tl, std::ostream& os) {
 
 void write_trace_csv(const Timeline& tl, std::ostream& os,
                      const TraceMeta& meta) {
-  os << "# pipad-trace v1\n";
+  os << "# pipad-trace v2\n";
   os << "# dataset=" << meta_value(meta.dataset)
      << " model=" << meta_value(meta.model)
      << " method=" << meta_value(meta.method) << '\n';

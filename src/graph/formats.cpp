@@ -99,6 +99,24 @@ CSR transpose(const CSR& csr) {
   return t;
 }
 
+std::vector<float> transpose_weights(const CSR& csr,
+                                     const std::vector<float>& w) {
+  PIPAD_CHECK_MSG(w.size() == csr.nnz(),
+                  "transpose_weights: " << w.size() << " weights vs "
+                                        << csr.nnz() << " nnz");
+  std::vector<int> row_ptr(csr.cols + 1, 0);
+  for (int s : csr.col_idx) row_ptr[s + 1]++;
+  for (int r = 0; r < csr.cols; ++r) row_ptr[r + 1] += row_ptr[r];
+  std::vector<int> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  std::vector<float> out(csr.nnz(), 0.0f);
+  for (int r = 0; r < csr.rows; ++r) {
+    for (int i = csr.row_ptr[r]; i < csr.row_ptr[r + 1]; ++i) {
+      out[cursor[csr.col_idx[i]]++] = w[i];
+    }
+  }
+  return out;
+}
+
 std::vector<std::uint64_t> edge_keys(const CSR& csr) {
   std::vector<std::uint64_t> keys;
   keys.reserve(csr.nnz());

@@ -85,6 +85,13 @@ CSR csr_from_coo(const COO& coo);
 /// and CSC to the device (§5.2).
 CSR transpose(const CSR& csr);
 
+/// Permute per-edge values aligned with csr.col_idx into the layout of
+/// transpose(csr) — the backward pass aggregates along reversed edges with
+/// the same weights. Uses the identical cursor walk as transpose(), so
+/// out[j] is the weight of exactly the edge transpose(csr) stores at j.
+std::vector<float> transpose_weights(const CSR& csr,
+                                     const std::vector<float>& w);
+
 /// Sorted edge-key list for set algebra (overlap extraction).
 std::vector<std::uint64_t> edge_keys(const CSR& csr);
 

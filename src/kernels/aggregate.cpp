@@ -75,28 +75,50 @@ void check_spmm_shapes(int a_rows, int a_cols, const Tensor& x,
 }  // namespace
 
 void ref_spmm(const graph::CSR& a, const Tensor& x, Tensor& out,
-              bool accumulate) {
+              bool accumulate, const std::vector<float>* w) {
   check_spmm_shapes(a.rows, a.cols, x, out);
+  if (w != nullptr && w->empty()) w = nullptr;
+  if (w != nullptr) {
+    PIPAD_CHECK_MSG(w->size() == a.nnz(), "ref_spmm: " << w->size()
+                                                       << " weights vs "
+                                                       << a.nnz() << " nnz");
+  }
   if (!accumulate) out.fill(0.0f);
   const int f = x.cols();
   // Row-blocked: each destination row is owned by exactly one block and
-  // accumulates its neighbors in CSR order, as the serial loop would.
+  // accumulates its neighbors in CSR order, as the serial loop would. The
+  // unweighted path is kept as a separate loop (not weight=1.0) so existing
+  // datasets stay bit-identical.
   ComputePool::instance().for_blocks(
       "agg:spmm", static_cast<std::size_t>(a.rows), a.nnz() * f,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t r = lo; r < hi; ++r) {
           float* orow = out.row(static_cast<int>(r));
-          for (int i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
-            const float* xrow = x.row(a.col_idx[i]);
-            for (int d = 0; d < f; ++d) orow[d] += xrow[d];
+          if (w == nullptr) {
+            for (int i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+              const float* xrow = x.row(a.col_idx[i]);
+              for (int d = 0; d < f; ++d) orow[d] += xrow[d];
+            }
+          } else {
+            for (int i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+              const float* xrow = x.row(a.col_idx[i]);
+              const float wi = (*w)[i];
+              for (int d = 0; d < f; ++d) orow[d] += wi * xrow[d];
+            }
           }
         }
       });
 }
 
 KernelStats agg_coo(const graph::COO& a, const Tensor& x, Tensor& out,
-                    bool accumulate) {
+                    bool accumulate, const std::vector<float>* w) {
   check_spmm_shapes(a.rows, a.cols, x, out);
+  if (w != nullptr && w->empty()) w = nullptr;
+  if (w != nullptr) {
+    PIPAD_CHECK_MSG(w->size() == a.nnz(), "agg_coo: " << w->size()
+                                                      << " weights vs "
+                                                      << a.nnz() << " nnz");
+  }
   if (!accumulate) out.fill(0.0f);
   const int f = x.cols();
   const std::uint64_t nnz = a.nnz();
@@ -107,10 +129,19 @@ KernelStats agg_coo(const graph::COO& a, const Tensor& x, Tensor& out,
   // timeline like everything else) — mirroring how PyG's scatter-add gains
   // nothing from dimension-aware parallelism.
   ComputePool::instance().run_serial("agg:coo", nnz * f, [&] {
-    for (std::size_t i = 0; i < a.nnz(); ++i) {
-      const float* xrow = x.row(a.col[i]);
-      float* orow = out.row(a.row[i]);
-      for (int d = 0; d < f; ++d) orow[d] += xrow[d];
+    if (w == nullptr) {
+      for (std::size_t i = 0; i < a.nnz(); ++i) {
+        const float* xrow = x.row(a.col[i]);
+        float* orow = out.row(a.row[i]);
+        for (int d = 0; d < f; ++d) orow[d] += xrow[d];
+      }
+    } else {
+      for (std::size_t i = 0; i < a.nnz(); ++i) {
+        const float* xrow = x.row(a.col[i]);
+        float* orow = out.row(a.row[i]);
+        const float wi = (*w)[i];
+        for (int d = 0; d < f; ++d) orow[d] += wi * xrow[d];
+      }
     }
   });
 
@@ -136,9 +167,9 @@ KernelStats agg_coo(const graph::COO& a, const Tensor& x, Tensor& out,
 }
 
 KernelStats agg_csr(const graph::CSR& a, const Tensor& x, Tensor& out,
-                    bool accumulate) {
+                    bool accumulate, const std::vector<float>* w) {
   check_spmm_shapes(a.rows, a.cols, x, out);
-  ref_spmm(a, x, out, accumulate);
+  ref_spmm(a, x, out, accumulate, w);
 
   KernelStats s;
   const std::uint64_t f = static_cast<std::uint64_t>(x.cols());
@@ -172,9 +203,9 @@ KernelStats agg_csr(const graph::CSR& a, const Tensor& x, Tensor& out,
 }
 
 KernelStats agg_gespmm(const graph::CSR& a, const Tensor& x, Tensor& out,
-                       bool accumulate) {
+                       bool accumulate, const std::vector<float>* w) {
   check_spmm_shapes(a.rows, a.cols, x, out);
-  ref_spmm(a, x, out, accumulate);
+  ref_spmm(a, x, out, accumulate, w);
 
   KernelStats s;
   const std::uint64_t f = static_cast<std::uint64_t>(x.cols());
@@ -268,25 +299,54 @@ KernelStats sliced_agg_stats(std::uint64_t nnz, std::uint64_t num_slices,
 }
 
 KernelStats agg_sliced(const sliced::SlicedCSR& a, const Tensor& x,
-                       Tensor& out, int coalesce_num, bool accumulate) {
+                       Tensor& out, int coalesce_num, bool accumulate,
+                       const std::vector<const std::vector<float>*>& stripe_w) {
   check_spmm_shapes(a.rows, a.cols, x, out);
   if (!accumulate) out.fill(0.0f);
 
   const int fc = x.cols();
+  const int parts = static_cast<int>(stripe_w.size());
+  if (parts > 0) {
+    PIPAD_CHECK_MSG(fc % parts == 0, "agg_sliced: coalesced width "
+                                         << fc << " not a multiple of "
+                                         << parts << " weight stripes");
+    for (const auto* sw : stripe_w) {
+      PIPAD_CHECK(sw != nullptr);
+      PIPAD_CHECK_MSG(sw->size() == a.nnz(),
+                      "agg_sliced: stripe weights " << sw->size() << " vs "
+                                                    << a.nnz() << " nnz");
+    }
+  }
+  const int fpp = parts > 0 ? fc / parts : 0;
   // Real math: slice-by-slice accumulation (mirrors the per-TG partial
   // result + atomicAdd structure of Algorithm 1). Chunked over
   // destination-row-aligned slice blocks: each output row belongs to one
   // block, so no atomics are needed and every row accumulates its slices in
-  // serial order — bit-identical results for any thread count.
+  // serial order — bit-identical results for any thread count. With stripe
+  // weights, the shared topology is still walked once per non-zero; each
+  // member's F-wide stripe just gets its own scale.
   const std::size_t work = a.nnz() * static_cast<std::size_t>(fc);
   ComputePool::instance().run_ranges(
       "agg:sliced", slice_blocks(a, work), work,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t sl = lo; sl < hi; ++sl) {
           float* orow = out.row(a.row_idx[sl]);
-          for (int i = a.slice_off[sl]; i < a.slice_off[sl + 1]; ++i) {
-            const float* xrow = x.row(a.col_idx[i]);
-            for (int d = 0; d < fc; ++d) orow[d] += xrow[d];
+          if (parts == 0) {
+            for (int i = a.slice_off[sl]; i < a.slice_off[sl + 1]; ++i) {
+              const float* xrow = x.row(a.col_idx[i]);
+              for (int d = 0; d < fc; ++d) orow[d] += xrow[d];
+            }
+          } else {
+            for (int i = a.slice_off[sl]; i < a.slice_off[sl + 1]; ++i) {
+              const float* xrow = x.row(a.col_idx[i]);
+              for (int p = 0; p < parts; ++p) {
+                const float wp = (*stripe_w[p])[i];
+                for (int d = 0; d < fpp; ++d) {
+                  const int c = p * fpp + d;
+                  orow[c] += wp * xrow[c];
+                }
+              }
+            }
           }
         }
       });
@@ -296,7 +356,7 @@ KernelStats agg_sliced(const sliced::SlicedCSR& a, const Tensor& x,
 }
 
 KernelStats gcn_normalize_backward_coalesced(
-    const std::vector<const std::vector<int>*>& degs, const Tensor& d_out,
+    const std::vector<const std::vector<float>*>& degs, const Tensor& d_out,
     Tensor& d_agg, Tensor& d_x_direct) {
   PIPAD_CHECK(!degs.empty());
   PIPAD_CHECK(d_out.same_shape(d_agg) && d_out.same_shape(d_x_direct));
@@ -312,7 +372,7 @@ KernelStats gcn_normalize_backward_coalesced(
           float* ga = d_agg.row(v);
           float* gx = d_x_direct.row(v);
           for (int p = 0; p < parts; ++p) {
-            const float inv = 1.0f / static_cast<float>((*degs[p])[v] + 1);
+            const float inv = 1.0f / ((*degs[p])[v] + 1.0f);
             for (int d = 0; d < f; ++d) {
               const int c = p * f + d;
               ga[c] = g[c] * inv;
@@ -327,7 +387,7 @@ KernelStats gcn_normalize_backward_coalesced(
   return s;
 }
 
-KernelStats gcn_normalize(const std::vector<int>& deg, const Tensor& x,
+KernelStats gcn_normalize(const std::vector<float>& deg, const Tensor& x,
                           const Tensor& agg, Tensor& out) {
   PIPAD_CHECK(static_cast<int>(deg.size()) == x.rows());
   PIPAD_CHECK(x.same_shape(agg));
@@ -338,7 +398,7 @@ KernelStats gcn_normalize(const std::vector<int>& deg, const Tensor& x,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t vv = lo; vv < hi; ++vv) {
           const int v = static_cast<int>(vv);
-          const float inv = 1.0f / static_cast<float>(deg[v] + 1);
+          const float inv = 1.0f / (deg[v] + 1.0f);
           const float* xr = x.row(v);
           const float* ar = agg.row(v);
           float* orow = out.row(v);
@@ -353,7 +413,7 @@ KernelStats gcn_normalize(const std::vector<int>& deg, const Tensor& x,
 }
 
 KernelStats gcn_normalize_coalesced(
-    const std::vector<const std::vector<int>*>& degs, const Tensor& x,
+    const std::vector<const std::vector<float>*>& degs, const Tensor& x,
     const Tensor& agg, Tensor& out) {
   PIPAD_CHECK(!degs.empty());
   PIPAD_CHECK(x.same_shape(agg) && x.same_shape(out));
@@ -369,7 +429,7 @@ KernelStats gcn_normalize_coalesced(
           const float* ar = agg.row(v);
           float* orow = out.row(v);
           for (int p = 0; p < parts; ++p) {
-            const float inv = 1.0f / static_cast<float>((*degs[p])[v] + 1);
+            const float inv = 1.0f / ((*degs[p])[v] + 1.0f);
             for (int d = 0; d < f; ++d) {
               const int c = p * f + d;
               orow[c] = (ar[c] + xr[c]) * inv;
@@ -383,7 +443,7 @@ KernelStats gcn_normalize_coalesced(
   return s;
 }
 
-KernelStats gcn_normalize_backward(const std::vector<int>& deg,
+KernelStats gcn_normalize_backward(const std::vector<float>& deg,
                                    const Tensor& d_out, Tensor& d_agg,
                                    Tensor& d_x_direct) {
   PIPAD_CHECK(static_cast<int>(deg.size()) == d_out.rows());
@@ -394,7 +454,7 @@ KernelStats gcn_normalize_backward(const std::vector<int>& deg,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t vv = lo; vv < hi; ++vv) {
           const int v = static_cast<int>(vv);
-          const float inv = 1.0f / static_cast<float>(deg[v] + 1);
+          const float inv = 1.0f / (deg[v] + 1.0f);
           const float* g = d_out.row(v);
           float* ga = d_agg.row(v);
           float* gx = d_x_direct.row(v);
@@ -407,21 +467,64 @@ KernelStats gcn_normalize_backward(const std::vector<int>& deg,
   return elementwise_stats(d_out.size(), 1, 2);
 }
 
-std::vector<int> degrees(const graph::CSR& a) {
-  std::vector<int> deg(a.rows);
-  for (int r = 0; r < a.rows; ++r) deg[r] = a.degree(r);
+std::vector<float> degrees(const graph::CSR& a, const std::vector<float>* w) {
+  if (w != nullptr && w->empty()) w = nullptr;
+  std::vector<float> deg(a.rows, 0.0f);
+  if (w == nullptr) {
+    // Counts are < 2^24 in practice, so the float conversion is exact and
+    // the downstream 1/(deg+1) matches the historic int-degree kernels bit
+    // for bit.
+    for (int r = 0; r < a.rows; ++r) {
+      deg[r] = static_cast<float>(a.degree(r));
+    }
+  } else {
+    PIPAD_CHECK_MSG(w->size() == a.nnz(), "degrees: " << w->size()
+                                                      << " weights vs "
+                                                      << a.nnz() << " nnz");
+    for (int r = 0; r < a.rows; ++r) {
+      float sum = 0.0f;
+      for (int i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) sum += (*w)[i];
+      deg[r] = sum;
+    }
+  }
   return deg;
 }
 
-std::vector<int> combined_degrees(const sliced::SlicedCSR& overlap,
-                                  const sliced::SlicedCSR& exclusive) {
+std::vector<float> combined_degrees(const sliced::SlicedCSR& overlap,
+                                    const sliced::SlicedCSR& exclusive,
+                                    const std::vector<float>* overlap_w,
+                                    const std::vector<float>* exclusive_w) {
   PIPAD_CHECK(overlap.rows == exclusive.rows);
-  std::vector<int> deg(overlap.rows, 0);
+  if (overlap_w != nullptr && overlap_w->empty()) overlap_w = nullptr;
+  if (exclusive_w != nullptr && exclusive_w->empty()) exclusive_w = nullptr;
+  PIPAD_CHECK(overlap_w == nullptr || overlap_w->size() == overlap.nnz());
+  PIPAD_CHECK(exclusive_w == nullptr ||
+              exclusive_w->size() == exclusive.nnz());
+  std::vector<float> deg(overlap.rows, 0.0f);
+  // Unweighted parts contribute integer counts; summing ints as floats is
+  // exact below 2^24 and keeps parity with the weighted path's layout.
   for (std::size_t s = 0; s < overlap.num_slices(); ++s) {
-    deg[overlap.row_idx[s]] += overlap.slice_size(s);
+    if (overlap_w == nullptr) {
+      deg[overlap.row_idx[s]] += static_cast<float>(overlap.slice_size(s));
+    } else {
+      float sum = 0.0f;
+      for (int i = overlap.slice_off[s]; i < overlap.slice_off[s + 1]; ++i) {
+        sum += (*overlap_w)[i];
+      }
+      deg[overlap.row_idx[s]] += sum;
+    }
   }
   for (std::size_t s = 0; s < exclusive.num_slices(); ++s) {
-    deg[exclusive.row_idx[s]] += exclusive.slice_size(s);
+    if (exclusive_w == nullptr) {
+      deg[exclusive.row_idx[s]] += static_cast<float>(exclusive.slice_size(s));
+    } else {
+      float sum = 0.0f;
+      for (int i = exclusive.slice_off[s]; i < exclusive.slice_off[s + 1];
+           ++i) {
+        sum += (*exclusive_w)[i];
+      }
+      deg[exclusive.row_idx[s]] += sum;
+    }
   }
   return deg;
 }

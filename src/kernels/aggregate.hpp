@@ -19,6 +19,15 @@
 // GCN normalization — ĥ(v) = (agg(v) + x(v)) / (deg(v) + 1), the mean over
 // N(v) ∪ {v} — is a separate streaming kernel so the adjacency can stay
 // unweighted (which is what makes cross-snapshot topology sharing exact).
+//
+// Edge weights: every aggregation kernel takes an optional weight array
+// aligned with the adjacency's nnz order (Snapshot::edge_w). The topology
+// stays unweighted data — cross-snapshot sharing still transfers the
+// shared structure once; only the small per-member value array differs —
+// and a null/empty weight argument runs the exact legacy unweighted loop,
+// so unweighted datasets keep bit-identical outputs. Degrees generalize to
+// float (weighted degree = incident weight sum; int counts < 2^24 convert
+// exactly, preserving unweighted normalization bit for bit).
 #pragma once
 
 #include <vector>
@@ -32,29 +41,42 @@ namespace pipad::kernels {
 
 using gpusim::KernelStats;
 
-/// Reference implementation for tests: plain loop over CSR.
+/// Reference implementation for tests: plain loop over CSR. `w` (nullable)
+/// holds per-edge weights aligned with a.col_idx.
 void ref_spmm(const graph::CSR& a, const Tensor& x, Tensor& out,
-              bool accumulate = false);
+              bool accumulate = false,
+              const std::vector<float>* w = nullptr);
 
-/// Scatter-add over COO (PyG baseline). If accumulate, adds into out.
+/// Scatter-add over COO (PyG baseline). If accumulate, adds into out. `w`
+/// aligns with the COO's nnz order (coo_from_csr preserves CSR order, so a
+/// Snapshot::edge_w passes through unchanged).
 KernelStats agg_coo(const graph::COO& a, const Tensor& x, Tensor& out,
-                    bool accumulate = false);
+                    bool accumulate = false,
+                    const std::vector<float>* w = nullptr);
 
 /// Row-per-warp CSR SpMM, no shared-memory staging.
 KernelStats agg_csr(const graph::CSR& a, const Tensor& x, Tensor& out,
-                    bool accumulate = false);
+                    bool accumulate = false,
+                    const std::vector<float>* w = nullptr);
 
 /// GE-SpMM-style CSR SpMM with shared-memory adjacency caching.
 KernelStats agg_gespmm(const graph::CSR& a, const Tensor& x, Tensor& out,
-                       bool accumulate = false);
+                       bool accumulate = false,
+                       const std::vector<float>* w = nullptr);
 
 /// PiPAD parallel aggregation (Algorithm 1) over a SlicedCSR. `x` is the
 /// coalesced feature matrix [N x (F * S)]; its full row width is processed
 /// per non-zero. coalesce_num bounds the number of thread groups per warp
-/// (the paper fixes the max at 4).
-KernelStats agg_sliced(const sliced::SlicedCSR& a, const Tensor& x,
-                       Tensor& out, int coalesce_num = 4,
-                       bool accumulate = false);
+/// (the paper fixes the max at 4). `stripe_w` carries per-member edge
+/// weights for weighted graphs: stripe_w[p] aligns with a.col_idx and
+/// scales stripe p's F-wide slice of the coalesced row (x.cols() must be a
+/// multiple of stripe_w.size()); the shared overlap topology is aggregated
+/// once even though every member weights it differently. Empty = the exact
+/// unweighted loop.
+KernelStats agg_sliced(
+    const sliced::SlicedCSR& a, const Tensor& x, Tensor& out,
+    int coalesce_num = 4, bool accumulate = false,
+    const std::vector<const std::vector<float>*>& stripe_w = {});
 
 /// Effective thread-group count per warp for a given coalesced width.
 int effective_coalesce_num(int coalesced_dim, int requested);
@@ -68,34 +90,40 @@ KernelStats sliced_agg_stats(std::uint64_t nnz, std::uint64_t num_slices,
 /// Coalesced backward normalize: d_agg = d_out/(deg+1) stripe-wise, and the
 /// identical direct term.
 KernelStats gcn_normalize_backward_coalesced(
-    const std::vector<const std::vector<int>*>& degs, const Tensor& d_out,
+    const std::vector<const std::vector<float>*>& degs, const Tensor& d_out,
     Tensor& d_agg, Tensor& d_x_direct);
 
 /// GCN mean normalization: out = (agg + x) / (deg + 1), rows aligned.
-/// `deg` holds the in-degree of each vertex in the *full* snapshot topology
-/// (overlap + exclusive combined).
-KernelStats gcn_normalize(const std::vector<int>& deg, const Tensor& x,
+/// `deg` holds the (possibly weighted) in-degree of each vertex in the
+/// *full* snapshot topology (overlap + exclusive combined).
+KernelStats gcn_normalize(const std::vector<float>& deg, const Tensor& x,
                           const Tensor& agg, Tensor& out);
 
 /// Coalesced variant: x/agg/out are [N x (F*S)] and degs[i] is snapshot i's
 /// degree vector; each F-wide stripe is normalized by its own degrees.
 KernelStats gcn_normalize_coalesced(
-    const std::vector<const std::vector<int>*>& degs, const Tensor& x,
+    const std::vector<const std::vector<float>*>& degs, const Tensor& x,
     const Tensor& agg, Tensor& out);
 
 /// Backward of gcn_normalize wrt both inputs:
 ///   d_agg = d_out / (deg+1)  and  d_x_direct = d_out / (deg+1).
 /// (The indirect path d_x += A^T d_agg is a normal aggregation with the
 /// transposed adjacency.)
-KernelStats gcn_normalize_backward(const std::vector<int>& deg,
+KernelStats gcn_normalize_backward(const std::vector<float>& deg,
                                    const Tensor& d_out, Tensor& d_agg,
                                    Tensor& d_x_direct);
 
 /// In-degree vector of a CSR (host-side helper; transferred as metadata).
-std::vector<int> degrees(const graph::CSR& a);
+/// With `w` (aligned with a.col_idx), the weighted in-degree: the incident
+/// weight sum per row. Without, plain counts (exact in float: < 2^24).
+std::vector<float> degrees(const graph::CSR& a,
+                           const std::vector<float>* w = nullptr);
 
 /// Combined degrees of an overlap + exclusive decomposition for one member.
-std::vector<int> combined_degrees(const sliced::SlicedCSR& overlap,
-                                  const sliced::SlicedCSR& exclusive);
+/// Weight arrays (nullable) align with the respective part's col_idx.
+std::vector<float> combined_degrees(const sliced::SlicedCSR& overlap,
+                                    const sliced::SlicedCSR& exclusive,
+                                    const std::vector<float>* overlap_w = nullptr,
+                                    const std::vector<float>* exclusive_w = nullptr);
 
 }  // namespace pipad::kernels

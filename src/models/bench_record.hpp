@@ -50,21 +50,22 @@ inline std::string bench_record_json(const std::string& dataset_raw,
       "\"method\": \"%s\", \"epoch_us\": %.1f, "
       "\"total_us\": %.1f, \"transfer_us\": %.1f, "
       "\"compute_us\": %.1f, \"prep_us\": %.1f, "
-      "\"first_steady_us\": %.1f, "
+      "\"first_steady_us\": %.1f, \"steals\": %llu, "
       "\"sm_util\": %.4f, \"final_loss\": %.6f}";
   // Sized dynamically: dataset names are user-controlled file stems, and a
   // truncated record would be invalid JSON (breaking the bench_diff gate).
+  const auto steals = static_cast<unsigned long long>(r.steals);
   const int needed =
       std::snprintf(nullptr, 0, fmt, dataset.c_str(), model.c_str(),
                     method.c_str(), epoch_us, r.total_us, r.transfer_us,
-                    r.compute_us, r.prep_us, r.first_steady_us,
+                    r.compute_us, r.prep_us, r.first_steady_us, steals,
                     r.sm_utilization, r.final_loss());
   std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
   if (needed > 0) {
     std::snprintf(out.data(), out.size() + 1, fmt, dataset.c_str(),
                   model.c_str(), method.c_str(), epoch_us, r.total_us,
                   r.transfer_us, r.compute_us, r.prep_us, r.first_steady_us,
-                  r.sm_utilization, r.final_loss());
+                  steals, r.sm_utilization, r.final_loss());
   }
   return out;
 }

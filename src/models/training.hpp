@@ -39,6 +39,11 @@ struct TrainResult {
   /// baselines have no steady state).
   double first_steady_us = 0.0;
 
+  /// Blocks the work-stealing region executor moved off their home slot,
+  /// summed over all charged compute regions (0 with stealing disabled or
+  /// a single lane). Not a timing: a load-balance observability counter.
+  std::uint64_t steals = 0;
+
   // Compute-time breakdown by kernel tag (Fig. 4).
   double gnn_us = 0.0;   ///< Aggregation + normalize + GCN update kernels.
   double rnn_us = 0.0;   ///< LSTM/GRU/weight-evolution kernels.
@@ -77,7 +82,9 @@ inline void summarize_timeline(const gpusim::Timeline& tl, TrainResult& r) {
   r.sm_utilization = tl.utilization(Resource::Compute);
   r.device_active = tl.device_active_fraction();
   r.gnn_us = r.rnn_us = r.other_us = 0.0;
+  r.steals = 0;
   for (const auto& rec : tl.records()) {
+    if (rec.resource == Resource::CpuWorker) r.steals += rec.steals;
     if (rec.resource != Resource::Compute) continue;
     const double d = rec.end_us - rec.start_us;
     if (is_gnn_kernel(rec.name)) {

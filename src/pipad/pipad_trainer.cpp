@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/qsbr.hpp"
 #include "common/timer.hpp"
 #include "host/host_lane.hpp"
 #include "kernels/aggregate.hpp"
@@ -29,11 +30,19 @@ namespace {
 struct SlicedSnapshot {
   sliced::SlicedCSR adj;
   sliced::SlicedCSR adj_t;
-  std::vector<int> deg;
+  std::vector<float> deg;  ///< Weighted in-degree (plain counts when unweighted).
+  // Per-edge weights for weighted snapshots (empty otherwise). `w` aligns
+  // with adj.col_idx (slice() copies it verbatim from the CSR); `w_t` is
+  // the same values permuted into adj_t's order for the backward pass.
+  std::vector<float> w;
+  std::vector<float> w_t;
 
   std::size_t transfer_bytes(bool with_transpose) const {
-    std::size_t b = adj.transfer_bytes() + deg.size() * sizeof(int);
-    if (with_transpose) b += adj_t.transfer_bytes();
+    std::size_t b = adj.transfer_bytes() + deg.size() * sizeof(float) +
+                    w.size() * sizeof(float);
+    if (with_transpose) {
+      b += adj_t.transfer_bytes() + w_t.size() * sizeof(float);
+    }
     return b;
   }
 };
@@ -230,6 +239,9 @@ class PipadExecutor final : public models::FrameExecutor,
       wait_snapshot(i);
       const auto& ss = (*sliced_)[t];
       const auto& a = transposed ? ss.adj_t : ss.adj;
+      // Weighted snapshots pass their single value stripe along.
+      std::vector<const std::vector<float>*> sw;
+      if (!ss.w.empty()) sw.push_back(transposed ? &ss.w_t : &ss.w);
       if (transposed) {
         Tensor d_agg(xs[i]->rows(), xs[i]->cols());
         Tensor d_direct(xs[i]->rows(), xs[i]->cols());
@@ -238,7 +250,8 @@ class PipadExecutor final : public models::FrameExecutor,
                                                d_direct));
         Tensor d_x(xs[i]->rows(), xs[i]->cols());
         record("agg:sliced:" + tag,
-               kernels::agg_sliced(a, d_agg, d_x, opts_.coalesce_num));
+               kernels::agg_sliced(a, d_agg, d_x, opts_.coalesce_num, false,
+                                   sw));
         ops::add_inplace(d_x, d_direct);
         record("ew:" + tag + ".add",
                kernels::elementwise_stats(d_x.size(), 2, 1));
@@ -246,7 +259,8 @@ class PipadExecutor final : public models::FrameExecutor,
       } else {
         Tensor agg(xs[i]->rows(), xs[i]->cols());
         record("agg:sliced:" + tag,
-               kernels::agg_sliced(a, *xs[i], agg, opts_.coalesce_num));
+               kernels::agg_sliced(a, *xs[i], agg, opts_.coalesce_num, false,
+                                   sw));
         Tensor h(agg.rows(), agg.cols());
         record("normalize:" + tag,
                kernels::gcn_normalize(ss.deg, *xs[i], agg, h));
@@ -277,7 +291,7 @@ class PipadExecutor final : public models::FrameExecutor,
       record("ew:" + tag + ".coalesce",
              kernels::elementwise_stats(coal.size(), 1, 0));
 
-      std::vector<const std::vector<int>*> degs;
+      std::vector<const std::vector<float>*> degs;
       for (int i = 0; i < s; ++i) {
         degs.push_back(&(*sliced_)[p.start + i].deg);
       }
@@ -294,19 +308,32 @@ class PipadExecutor final : public models::FrameExecutor,
         in_coal = std::move(coal);
       }
 
-      // Parallel aggregation on the shared topology.
+      // Parallel aggregation on the shared topology. For weighted groups
+      // every member gets its own value stripe over the one shared walk.
+      std::vector<const std::vector<float>*> ow;
+      if (!p.overlap_w.empty()) {
+        for (int i = 0; i < s; ++i) {
+          ow.push_back(transposed ? &p.overlap_w_t[i] : &p.overlap_w[i]);
+        }
+      }
       Tensor agg(in_coal.rows(), in_coal.cols());
       record("agg:sliced:" + tag + ".overlap",
              kernels::agg_sliced(transposed ? p.overlap_t : p.overlap,
-                                 in_coal, agg, opts_.coalesce_num));
+                                 in_coal, agg, opts_.coalesce_num, false,
+                                 ow));
       // Exclusive remainders at native width, scattered into their stripe.
       for (int i = 0; i < s; ++i) {
         const auto& ex = transposed ? p.exclusive_t[i] : p.exclusive[i];
         if (ex.nnz() == 0) continue;
+        std::vector<const std::vector<float>*> ew;
+        if (!p.exclusive_w.empty()) {
+          ew.push_back(transposed ? &p.exclusive_w_t[i] : &p.exclusive_w[i]);
+        }
         Tensor in_i = ops::slice_cols(in_coal, i * f, f);
         Tensor e(in_i.rows(), f);
         record("agg:sliced:" + tag + ".excl",
-               kernels::agg_sliced(ex, in_i, e, opts_.coalesce_num));
+               kernels::agg_sliced(ex, in_i, e, opts_.coalesce_num, false,
+                                   ew));
         ops::add_into_cols(agg, e, i * f);
         record("ew:" + tag + ".scatter",
                kernels::elementwise_stats(e.size(), 2, 1));
@@ -370,6 +397,7 @@ struct PipadTrainer::Impl {
   std::map<std::pair<int, int>, gpusim::EventId> partition_ready;
   std::map<int, int> decisions;  ///< frame start -> S_per.
   bool steady_prepared = false;
+  bool final_epoch = false;  ///< Partitions behind the window get retired.
 
   // Streaming steady-state extraction (stream_prep): jobs write disjoint
   // stream_parts slots; partition() retires them in first-use order. The
@@ -410,6 +438,13 @@ struct PipadTrainer::Impl {
                            : models::default_hidden_dim(d.feat_dim);
   }
 
+  ~Impl() {
+    // Run any partition deleters still queued in the QSBR domain before the
+    // trainer's storage goes away, so teardown leaks nothing (ASan) even if
+    // the pool workers never got idle time to reclaim them.
+    Qsbr::instance().drain();
+  }
+
   bool needs_topology_steady() const {
     return model->num_agg_layers() > 1 || !opts.enable_reuse;
   }
@@ -422,11 +457,18 @@ struct PipadTrainer::Impl {
     sliced.resize(n);
     lane.run("graph-analyzer", static_cast<std::size_t>(n),
              [&](std::size_t t) {
-               sliced[t].adj =
-                   sliced::slice(data.snapshots[t].adj, opts.slice_bound);
-               sliced[t].adj_t =
-                   sliced::slice(data.snapshots[t].adj_t, opts.slice_bound);
-               sliced[t].deg = kernels::degrees(data.snapshots[t].adj);
+               const auto& snap = data.snapshots[t];
+               sliced[t].adj = sliced::slice(snap.adj, opts.slice_bound);
+               sliced[t].adj_t = sliced::slice(snap.adj_t, opts.slice_bound);
+               if (snap.weighted()) {
+                 // slice() copies col_idx verbatim, so edge_w stays aligned;
+                 // adj_t = transpose(adj), so the permuted weights align too.
+                 sliced[t].w = snap.edge_w;
+                 sliced[t].w_t =
+                     graph::transpose_weights(snap.adj, snap.edge_w);
+               }
+               sliced[t].deg = kernels::degrees(
+                   snap.adj, snap.weighted() ? &snap.edge_w : nullptr);
              });
     exec.set_sliced(&sliced);
   }
@@ -656,6 +698,7 @@ struct PipadTrainer::Impl {
     bool first_steady_recorded = false;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
       const bool prep = epoch < opts.preparing_epochs;
+      final_epoch = epoch == cfg.epochs - 1;
       if (!prep) prepare_steady(frames);
       for (const auto& frame : frames) {
         if (prep) {
@@ -776,6 +819,29 @@ struct PipadTrainer::Impl {
     // Frames slide forward by one: results before the next frame's start
     // will never be used again.
     gpu_buffer.evict_before(frame.start + 1);
+    // Same for host-side partitions, but only in the final epoch (earlier
+    // epochs revisit every frame). Retire rather than free inline: the
+    // deleters run on pool-worker idle time after a QSBR grace period, so
+    // the training thread never stalls on a multi-megabyte deallocation
+    // and any worker still draining a region that touched the buffers is
+    // provably done first.
+    if (final_epoch) retire_partitions_before(frame.start + 1);
+  }
+
+  /// Move every cached partition that ends at or before `bound` out of the
+  /// cache and hand it to the QSBR domain.
+  void retire_partitions_before(int bound) {
+    auto& qsbr = Qsbr::instance();
+    for (auto it = partition_cache.begin(); it != partition_cache.end();) {
+      if (it->first.first + it->first.second <= bound) {
+        auto* stale = new sliced::FramePartition(std::move(it->second));
+        qsbr.retire([stale] { delete stale; });
+        partition_ready.erase(it->first);
+        it = partition_cache.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 
   std::size_t activation_bytes(const graph::Frame& frame) const {

@@ -4,6 +4,35 @@
 
 namespace pipad::sliced {
 
+namespace {
+
+/// Weights of `part`'s edges (aligned with part.col_idx) looked up in a
+/// member snapshot's (adj, edge_w). Every part edge exists in adj by the
+/// decomposition invariant (overlap ∪ exclusive == member); columns are
+/// sorted within each row, so the lookup is a binary search. An unweighted
+/// member (empty w) gets a 1.0 fill so mixed groups can still share one
+/// aggregation pass.
+std::vector<float> part_weights(const graph::CSR& part, const graph::CSR& adj,
+                                const std::vector<float>& w) {
+  if (w.empty()) return std::vector<float>(part.nnz(), 1.0f);
+  PIPAD_CHECK(w.size() == adj.nnz());
+  std::vector<float> out(part.nnz());
+  for (int r = 0; r < part.rows; ++r) {
+    const auto row_lo = adj.col_idx.begin() + adj.row_ptr[r];
+    const auto row_hi = adj.col_idx.begin() + adj.row_ptr[r + 1];
+    for (int i = part.row_ptr[r]; i < part.row_ptr[r + 1]; ++i) {
+      const auto it = std::lower_bound(row_lo, row_hi, part.col_idx[i]);
+      PIPAD_CHECK_MSG(it != row_hi && *it == part.col_idx[i],
+                      "part edge (" << part.col_idx[i] << "->" << r
+                                    << ") missing from member adjacency");
+      out[i] = w[it - adj.col_idx.begin()];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::size_t FramePartition::unshared_topology_bytes() const {
   // Reconstruct each member's full size: overlap nnz + its exclusive nnz,
   // charged once per snapshot (plus transposes), as the one-at-a-time
@@ -36,26 +65,67 @@ FramePartition build_partition(const graph::DTDG& g, int start, int count,
   auto decomp = graph::decompose_group(group);
   p.group_overlap_rate = graph::group_overlap_rate(group);
 
+  bool weighted = false;
+  for (int i = 0; i < count; ++i) {
+    weighted = weighted || g.snapshots[start + i].weighted();
+  }
+
   p.exclusive.resize(count);
   p.exclusive_t.resize(count);
+  if (weighted) {
+    p.overlap_w.resize(count);
+    p.overlap_w_t.resize(count);
+    p.exclusive_w.resize(count);
+    p.exclusive_w_t.resize(count);
+  }
   // Tasks 0/1 build the shared overlap (forward/transposed); tasks 2 + 2i
   // and 3 + 2i build member i's exclusive pair. Every task writes its own
   // slot, so the parallel build is race-free and bit-identical to serial.
+  // Weight fills live inside the task that owns the matching slot; task 1
+  // recomputes the forward overlap weights itself rather than reading
+  // task 0's output, which may not exist yet.
   const auto build_one = [&](std::size_t task) {
     const std::size_t member = (task - 2) / 2;
     switch (task) {
       case 0:
         p.overlap = slice(decomp.overlap, slice_bound);
+        if (weighted) {
+          for (int m = 0; m < count; ++m) {
+            const auto& snap = g.snapshots[start + m];
+            p.overlap_w[m] =
+                part_weights(decomp.overlap, snap.adj, snap.edge_w);
+          }
+        }
         break;
       case 1:
         p.overlap_t = slice(graph::transpose(decomp.overlap), slice_bound);
+        if (weighted) {
+          for (int m = 0; m < count; ++m) {
+            const auto& snap = g.snapshots[start + m];
+            p.overlap_w_t[m] = graph::transpose_weights(
+                decomp.overlap,
+                part_weights(decomp.overlap, snap.adj, snap.edge_w));
+          }
+        }
         break;
       default:
         if (task % 2 == 0) {
           p.exclusive[member] = slice(decomp.exclusive[member], slice_bound);
+          if (weighted) {
+            const auto& snap = g.snapshots[start + static_cast<int>(member)];
+            p.exclusive_w[member] =
+                part_weights(decomp.exclusive[member], snap.adj, snap.edge_w);
+          }
         } else {
           p.exclusive_t[member] =
               slice(graph::transpose(decomp.exclusive[member]), slice_bound);
+          if (weighted) {
+            const auto& snap = g.snapshots[start + static_cast<int>(member)];
+            p.exclusive_w_t[member] = graph::transpose_weights(
+                decomp.exclusive[member],
+                part_weights(decomp.exclusive[member], snap.adj,
+                             snap.edge_w));
+          }
         }
     }
   };

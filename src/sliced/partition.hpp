@@ -27,14 +27,30 @@ struct FramePartition {
   std::vector<SlicedCSR> exclusive;   ///< Per-snapshot leftovers (forward).
   std::vector<SlicedCSR> exclusive_t; ///< Transposed leftovers (backward).
 
+  // Per-edge weights for weighted groups; all empty when no member carries
+  // Snapshot::edge_w. The *topology* stays shared — members differ only in
+  // these small value arrays. overlap_w[i] aligns with overlap.col_idx
+  // (slice() copies the part CSR's col_idx verbatim) and holds member i's
+  // weights of the shared edges; unweighted members of a mixed group get
+  // 1.0 fills. The _t variants align with the transposed parts.
+  std::vector<std::vector<float>> overlap_w;     ///< [count] x overlap.nnz().
+  std::vector<std::vector<float>> overlap_w_t;   ///< [count] x overlap.nnz().
+  std::vector<std::vector<float>> exclusive_w;   ///< [count], member i's nnz.
+  std::vector<std::vector<float>> exclusive_w_t; ///< [count], member i's nnz.
+
   double group_overlap_rate = 0.0;    ///< |∩| / |∪| over the group.
 
   /// Device bytes for the partition's topology: the overlap is shipped once
-  /// instead of `count` times — the transfer saving of §4.1.
+  /// instead of `count` times — the transfer saving of §4.1. Weighted groups
+  /// additionally ship every member's value arrays (no sharing there).
   std::size_t topology_transfer_bytes() const {
     std::size_t b = overlap.transfer_bytes() + overlap_t.transfer_bytes();
     for (std::size_t i = 0; i < exclusive.size(); ++i) {
       b += exclusive[i].transfer_bytes() + exclusive_t[i].transfer_bytes();
+    }
+    for (const auto* ws :
+         {&overlap_w, &overlap_w_t, &exclusive_w, &exclusive_w_t}) {
+      for (const auto& w : *ws) b += w.size() * sizeof(float);
     }
     return b;
   }

@@ -318,7 +318,7 @@ TEST(AnalyzeTrace, CsvRoundTripYieldsIdenticalAnalysis) {
   tl.wait_event(0, e);
   tl.submit(0, Resource::Compute, "kernel:agg", 10.0 / 3.0);
   tl.submit_worker(0, "prep:we\"ird,name", 7.77);  // CSV-hostile name.
-  tl.submit_worker(1, "compute:gemm", 3.3);
+  tl.submit_worker(1, "compute:gemm", 3.3, 0.0, /*steals=*/5, /*blocks=*/32);
   tl.submit(s, Resource::D2H, "d2h:loss", 1.0 / 7.0, 0.0, 8);
 
   auto live = analyze::from_timeline(tl);
@@ -329,6 +329,13 @@ TEST(AnalyzeTrace, CsvRoundTripYieldsIdenticalAnalysis) {
   gpusim::write_trace_csv(tl, csv, {"rt", "tgcn", "pipad"});
   std::istringstream in(csv.str());
   const auto reread = analyze::read_trace_csv(in, "<mem>");
+
+  // The v2 steals/blocks columns survive the round trip.
+  ASSERT_EQ(reread.records.size(), live.records.size());
+  for (std::size_t i = 0; i < live.records.size(); ++i) {
+    EXPECT_EQ(reread.records[i].steals, live.records[i].steals) << i;
+    EXPECT_EQ(reread.records[i].blocks, live.records[i].blocks) << i;
+  }
 
   const auto a1 = analyze::analyze_trace(live);
   const auto a2 = analyze::analyze_trace(reread);
@@ -349,7 +356,11 @@ TEST(AnalyzeTrace, ReaderRejectsMalformedInput) {
   EXPECT_THROW(parse(header + "k,warp,0,0,1,0,0\n"), Error);
   EXPECT_THROW(parse(header + "k,compute,0,5,1,0,0\n"), Error);
   EXPECT_THROW(parse(header + "k,compute,0,zero,1,0,0\n"), Error);
+  // 7-field v1 rows and 9-field v2 rows parse; 8 fields is neither.
   EXPECT_NO_THROW(parse(header + "k,compute,0,0,1,0,0\n"));
+  EXPECT_NO_THROW(parse(header + "k,compute,0,0,1,0,0,2,8\n"));
+  EXPECT_THROW(parse(header + "k,compute,0,0,1,0,0,2\n"), Error);
+  EXPECT_THROW(parse(header + "k,compute,0,0,1,0,0,x,8\n"), Error);
 }
 
 // ---- determinism ---------------------------------------------------------

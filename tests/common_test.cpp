@@ -249,14 +249,17 @@ TEST(ThreadPool, NestedSubmitFromOwnWorkerThrowsInsteadOfDeadlocking) {
 
 TEST(ComputePool, BlockLayoutIsIndependentOfThreadCount) {
   // Determinism across --threads rests on this: the layout derives from the
-  // problem size and fixed constants only.
+  // problem size and the per-process work floor only. Pin the floor so the
+  // exact block counts are assertable regardless of this machine's
+  // calibration.
+  ComputePool::set_min_block_work(16384);
   const auto blocks_at = [](std::size_t n, std::size_t work) {
     return ComputePool::block_count(n, work);
   };
   EXPECT_EQ(blocks_at(1000, 100), 1u);        // Tiny work: serial.
   EXPECT_EQ(blocks_at(1000, 1 << 30), 32u);   // Capped at kMaxBlocks.
   EXPECT_EQ(blocks_at(5, 1 << 30), 5u);       // Never more blocks than items.
-  EXPECT_EQ(blocks_at(1000, 3 * ComputePool::kMinRegionWork), 3u);
+  EXPECT_EQ(blocks_at(1000, 3 * 16384), 3u);  // total_work / floor.
   // The layout must not change when the pool is reconfigured.
   ComputePool::instance().configure(1);
   const std::size_t reference = blocks_at(1000, 1 << 20);
@@ -268,6 +271,26 @@ TEST(ComputePool, BlockLayoutIsIndependentOfThreadCount) {
     EXPECT_EQ(ComputePool::instance().threads(), t);
   }
   ComputePool::instance().configure(0);
+  ComputePool::set_min_block_work(0);  // Back to the measured calibration.
+}
+
+TEST(ComputePool, CalibratedFloorIsClampedAndStable) {
+  ComputePool::set_min_block_work(0);
+  const std::size_t floor = ComputePool::min_block_work();
+  EXPECT_GE(floor, ComputePool::kMinBlockWorkFloor);
+  EXPECT_LE(floor, ComputePool::kMinBlockWorkCeil);
+  // Calibration happens once per process: repeated queries (and queries
+  // from any thread count) must agree, or block layouts would drift
+  // between regions within one run.
+  EXPECT_EQ(ComputePool::min_block_work(), floor);
+  ComputePool::instance().configure(8);
+  EXPECT_EQ(ComputePool::min_block_work(), floor);
+  ComputePool::instance().configure(0);
+  // The pin overrides, 0 restores.
+  ComputePool::set_min_block_work(4096);
+  EXPECT_EQ(ComputePool::min_block_work(), 4096u);
+  ComputePool::set_min_block_work(0);
+  EXPECT_EQ(ComputePool::min_block_work(), floor);
 }
 
 TEST(ComputePool, ForBlocksCoversRangeExactlyOnceForAnyWidth) {
@@ -301,6 +324,7 @@ TEST(ComputePool, NestedRegionFallsBackToInlineExecution) {
 
 TEST(ComputePool, MeasuredRegionsAggregateAndDrain) {
   auto& cp = ComputePool::instance();
+  ComputePool::set_min_block_work(16384);  // Assertable block counts below.
   cp.configure(4);
   cp.discard_regions();
   // Real arithmetic per block so the measured thread-CPU cost is non-zero.
@@ -312,7 +336,7 @@ TEST(ComputePool, MeasuredRegionsAggregateAndDrain) {
     }
     sink.fetch_add(acc);
   };
-  const std::size_t big = 1 << 20;  // Above kMinRegionWork: measured.
+  const std::size_t big = 1 << 20;  // Above the work floor: measured.
   cp.for_blocks("k1", 256, big, burn);
   cp.for_blocks("k1", 256, big, burn);
   cp.run_serial("k2", big, [&] { burn(0, 256); });
@@ -328,7 +352,14 @@ TEST(ComputePool, MeasuredRegionsAggregateAndDrain) {
   for (double l : regions.at("k1").lane_us) EXPECT_GT(l, 0.0);
   // Serial region: one lane carries the whole cost.
   EXPECT_EQ(regions.at("k2").lanes(), 1u);
+  // The executor reports what it ran: 32 blocks per "k1" region, and the
+  // serial region counts as one block with no steals possible.
+  EXPECT_EQ(regions.at("k1").blocks, 64u);
+  EXPECT_LE(regions.at("k1").steals, regions.at("k1").blocks);
+  EXPECT_EQ(regions.at("k2").blocks, 1u);
+  EXPECT_EQ(regions.at("k2").steals, 0u);
   EXPECT_TRUE(cp.drain_regions().empty());  // Drain clears.
+  ComputePool::set_min_block_work(0);
 }
 
 TEST(ComputePool, RethrowsBlockExceptionAfterDraining) {

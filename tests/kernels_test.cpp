@@ -211,6 +211,223 @@ TEST(ParallelAgg, CombinedDegreesMatchSnapshotDegrees) {
   }
 }
 
+// ---------- Edge-weighted aggregation ----------
+
+/// Deterministic non-uniform weights, a pure function of (src, dst, salt).
+std::vector<float> test_weights(const CSR& a, int salt) {
+  std::vector<float> w(a.nnz());
+  for (int r = 0; r < a.rows; ++r) {
+    for (int i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      w[i] = 0.25f +
+             0.125f * static_cast<float>((a.col_idx[i] * 31 + r * 7 + salt) %
+                                         16);
+    }
+  }
+  return w;
+}
+
+TEST(WeightedAgg, RefSpmmAppliesEdgeWeights) {
+  // dst 1 <- src 0 (w=2), dst 2 <- src 1 (w=0.5) and src 2 (w=3).
+  const CSR a = graph::csr_from_edges(3, 3, {{0, 1}, {1, 2}, {2, 2}});
+  ASSERT_EQ(a.col_idx, (std::vector<int>{0, 1, 2}));
+  const std::vector<float> w{2.0f, 0.5f, 3.0f};
+  Tensor x(3, 1);
+  x.at(0, 0) = 1.0f;
+  x.at(1, 0) = 10.0f;
+  x.at(2, 0) = 100.0f;
+  Tensor out(3, 1);
+  kernels::ref_spmm(a, x, out, false, &w);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(2, 0), 305.0f);
+}
+
+TEST(WeightedAgg, AllKernelsMatchWeightedReference) {
+  Rng rng(50);
+  const CSR a = random_csr(64, 400, rng);
+  const auto w = test_weights(a, 3);
+  const Tensor x = Tensor::randn(64, 6, rng);
+  Tensor ref(64, 6);
+  kernels::ref_spmm(a, x, ref, false, &w);
+
+  Tensor coo(64, 6), csr(64, 6), ge(64, 6), sl(64, 6);
+  // coo_from_csr preserves CSR nnz order, so the same array aligns.
+  kernels::agg_coo(graph::coo_from_csr(a), x, coo, false, &w);
+  kernels::agg_csr(a, x, csr, false, &w);
+  kernels::agg_gespmm(a, x, ge, false, &w);
+  kernels::agg_sliced(sliced::slice(a, 8), x, sl, 4, false, {&w});
+  EXPECT_LT(ops::max_abs_diff(ref, coo), 1e-5f);
+  EXPECT_LT(ops::max_abs_diff(ref, csr), 1e-5f);
+  EXPECT_LT(ops::max_abs_diff(ref, ge), 1e-5f);
+  EXPECT_LT(ops::max_abs_diff(ref, sl), 1e-4f);
+}
+
+TEST(WeightedAgg, UnitWeightsBitIdenticalToUnweighted) {
+  Rng rng(51);
+  const CSR a = random_csr(48, 300, rng);
+  const std::vector<float> ones(a.nnz(), 1.0f);
+  const Tensor x = Tensor::randn(48, 5, rng);
+  Tensor plain(48, 5), unit(48, 5);
+  kernels::ref_spmm(a, x, plain);
+  kernels::ref_spmm(a, x, unit, false, &ones);
+  for (std::size_t i = 0; i < plain.storage().size(); ++i) {
+    ASSERT_EQ(plain.storage()[i], unit.storage()[i]) << "elem " << i;
+  }
+  // Null and empty weight arguments both take the legacy loop.
+  const std::vector<float> empty;
+  Tensor viaEmpty(48, 5);
+  kernels::ref_spmm(a, x, viaEmpty, false, &empty);
+  for (std::size_t i = 0; i < plain.storage().size(); ++i) {
+    ASSERT_EQ(plain.storage()[i], viaEmpty.storage()[i]);
+  }
+}
+
+TEST(WeightedAgg, TransposeWeightsFollowEdges) {
+  Rng rng(52);
+  const int n = 90;
+  const CSR a = random_csr(n, 700, rng);
+  // Encode each edge's identity into its weight; n < 1000 keeps it exact.
+  std::vector<float> w(a.nnz());
+  for (int r = 0; r < a.rows; ++r) {
+    for (int i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) {
+      w[i] = static_cast<float>(a.col_idx[i] * 1000 + r);
+    }
+  }
+  const CSR t = graph::transpose(a);
+  const auto wt = graph::transpose_weights(a, w);
+  ASSERT_EQ(wt.size(), t.nnz());
+  // In the transpose, row = original source, column = original destination.
+  for (int s = 0; s < t.rows; ++s) {
+    for (int i = t.row_ptr[s]; i < t.row_ptr[s + 1]; ++i) {
+      EXPECT_FLOAT_EQ(wt[i], static_cast<float>(s * 1000 + t.col_idx[i]));
+    }
+  }
+}
+
+TEST(WeightedAgg, DegreesSumIncidentWeights) {
+  Rng rng(53);
+  const CSR a = random_csr(32, 200, rng);
+  const auto w = test_weights(a, 9);
+  const auto deg = kernels::degrees(a, &w);
+  ASSERT_EQ(static_cast<int>(deg.size()), a.rows);
+  for (int r = 0; r < a.rows; ++r) {
+    float sum = 0.0f;
+    for (int i = a.row_ptr[r]; i < a.row_ptr[r + 1]; ++i) sum += w[i];
+    EXPECT_EQ(deg[r], sum);
+  }
+  // Unweighted degrees stay the exact integer counts, now as floats.
+  const auto plain = kernels::degrees(a);
+  for (int r = 0; r < a.rows; ++r) {
+    EXPECT_EQ(plain[r], static_cast<float>(a.degree(r)));
+  }
+}
+
+/// Weighted DTDG for partition tests: weights differ per member so the
+/// shared overlap topology genuinely carries distinct value stripes.
+graph::DTDG weighted_dtdg(int nodes, int events, int snaps, int feat) {
+  graph::DatasetConfig cfg;
+  cfg.name = "tw";
+  cfg.num_nodes = nodes;
+  cfg.raw_events = events;
+  cfg.num_snapshots = snaps;
+  cfg.feat_dim = feat;
+  cfg.edge_life = 4.0;
+  auto g = graph::generate(cfg);
+  for (std::size_t t = 0; t < g.snapshots.size(); ++t) {
+    g.snapshots[t].edge_w =
+        test_weights(g.snapshots[t].adj, static_cast<int>(t) * 13);
+  }
+  return g;
+}
+
+TEST(WeightedAgg, PartitionStripeWeightsMatchPerSnapshotReference) {
+  const auto g = weighted_dtdg(80, 900, 6, 3);
+  const auto part = sliced::build_partition(g, 1, 4);
+  ASSERT_EQ(part.overlap_w.size(), 4u);
+  ASSERT_EQ(part.exclusive_w.size(), 4u);
+  std::vector<const Tensor*> feats;
+  for (int i = 0; i < 4; ++i) feats.push_back(&g.snapshots[1 + i].features);
+  const Tensor coal = sliced::coalesce_features(feats);
+
+  std::vector<const std::vector<float>*> ow;
+  for (int i = 0; i < 4; ++i) ow.push_back(&part.overlap_w[i]);
+  Tensor agg(80, 12);
+  kernels::agg_sliced(part.overlap, coal, agg, 4, false, ow);
+  for (int i = 0; i < 4; ++i) {
+    Tensor e(80, 3);
+    kernels::agg_sliced(part.exclusive[i], *feats[i], e, 4, false,
+                        {&part.exclusive_w[i]});
+    ops::add_into_cols(agg, e, i * 3);
+  }
+  const auto split = sliced::split_coalesced(agg, 4);
+  for (int i = 0; i < 4; ++i) {
+    Tensor ref(80, 3);
+    kernels::ref_spmm(g.snapshots[1 + i].adj, *feats[i], ref, false,
+                      &g.snapshots[1 + i].edge_w);
+    EXPECT_LT(ops::max_abs_diff(split[i], ref), 1e-4f) << "snapshot " << i;
+  }
+}
+
+TEST(WeightedAgg, TransposedPartitionWeightsMatchBackwardReference) {
+  const auto g = weighted_dtdg(60, 700, 5, 2);
+  const auto part = sliced::build_partition(g, 0, 3);
+  std::vector<const Tensor*> feats;
+  for (int i = 0; i < 3; ++i) feats.push_back(&g.snapshots[i].features);
+  const Tensor coal = sliced::coalesce_features(feats);
+
+  std::vector<const std::vector<float>*> ow;
+  for (int i = 0; i < 3; ++i) ow.push_back(&part.overlap_w_t[i]);
+  Tensor agg(60, 6);
+  kernels::agg_sliced(part.overlap_t, coal, agg, 4, false, ow);
+  for (int i = 0; i < 3; ++i) {
+    Tensor e(60, 2);
+    kernels::agg_sliced(part.exclusive_t[i], *feats[i], e, 4, false,
+                        {&part.exclusive_w_t[i]});
+    ops::add_into_cols(agg, e, i * 2);
+  }
+  const auto split = sliced::split_coalesced(agg, 3);
+  for (int i = 0; i < 3; ++i) {
+    const auto& snap = g.snapshots[i];
+    const auto wt = graph::transpose_weights(snap.adj, snap.edge_w);
+    Tensor ref(60, 2);
+    kernels::ref_spmm(snap.adj_t, *feats[i], ref, false, &wt);
+    EXPECT_LT(ops::max_abs_diff(split[i], ref), 1e-4f) << "snapshot " << i;
+  }
+}
+
+TEST(WeightedAgg, CombinedDegreesMatchWeightedSnapshotDegrees) {
+  const auto g = weighted_dtdg(50, 600, 4, 2);
+  const auto part = sliced::build_partition(g, 0, 3);
+  for (int i = 0; i < 3; ++i) {
+    const auto combined = kernels::combined_degrees(
+        part.overlap, part.exclusive[i], &part.overlap_w[i],
+        &part.exclusive_w[i]);
+    const auto full =
+        kernels::degrees(g.snapshots[i].adj, &g.snapshots[i].edge_w);
+    ASSERT_EQ(combined.size(), full.size());
+    for (std::size_t v = 0; v < full.size(); ++v) {
+      EXPECT_NEAR(combined[v], full[v], 1e-4f) << "vertex " << v;
+    }
+  }
+}
+
+TEST(WeightedAgg, UnweightedGroupsBuildNoWeightArrays) {
+  Rng rng(54);
+  graph::DatasetConfig cfg;
+  cfg.name = "t";
+  cfg.num_nodes = 40;
+  cfg.raw_events = 400;
+  cfg.num_snapshots = 4;
+  cfg.feat_dim = 2;
+  cfg.edge_life = 3.0;
+  const auto g = graph::generate(cfg);
+  const auto part = sliced::build_partition(g, 0, 3);
+  EXPECT_TRUE(part.overlap_w.empty());
+  EXPECT_TRUE(part.overlap_w_t.empty());
+  EXPECT_TRUE(part.exclusive_w.empty());
+  EXPECT_TRUE(part.exclusive_w_t.empty());
+}
+
 // ---------- Determinism of the pooled kernels across thread counts ----------
 
 /// Run kernel() under a 1-wide and an 8-wide ComputePool: the destination-

@@ -1,0 +1,402 @@
+// Work-stealing executor tests: WorkDeque (Chase-Lev) semantics and
+// concurrent exactly-once claiming, ThreadPool::run_blocks steal behavior,
+// and the Qsbr reclamation domain (grace periods, offline exclusion,
+// drain, multi-thread stress). These suites are the ones CI runs under
+// TSan/ASan to race- and leak-check the pool internals; higher-level
+// ComputePool region semantics live in common_test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/compute_pool.hpp"
+#include "common/error.hpp"
+#include "common/qsbr.hpp"
+#include "common/thread_pool.hpp"
+#include "common/work_deque.hpp"
+
+namespace pipad {
+namespace {
+
+// ------------------------------------------------------------------ WorkDeque
+
+TEST(WorkDeque, OwnerPopIsLifo) {
+  WorkDeque d(8);
+  d.prefill(10);
+  d.prefill(20);
+  d.prefill(30);
+  std::size_t v = 0;
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 30u);
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 20u);
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 10u);
+  EXPECT_FALSE(d.pop(v));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(WorkDeque, ThiefStealIsFifo) {
+  WorkDeque d(8);
+  d.prefill(1);
+  d.prefill(2);
+  d.prefill(3);
+  std::size_t v = 0;
+  ASSERT_TRUE(d.steal(v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(d.steal(v));
+  EXPECT_EQ(v, 2u);
+  ASSERT_TRUE(d.steal(v));
+  EXPECT_EQ(v, 3u);
+  EXPECT_FALSE(d.steal(v));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(WorkDeque, PopAndStealMeetInTheMiddleWithoutOverlap) {
+  WorkDeque d(8);
+  for (std::size_t i = 1; i <= 4; ++i) d.prefill(i);
+  std::size_t v = 0;
+  ASSERT_TRUE(d.steal(v));
+  EXPECT_EQ(v, 1u);  // Oldest.
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 4u);  // Newest.
+  ASSERT_TRUE(d.steal(v));
+  EXPECT_EQ(v, 2u);
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 3u);
+  EXPECT_FALSE(d.pop(v));
+  EXPECT_FALSE(d.steal(v));
+}
+
+TEST(WorkDeque, CapacityRoundsUpToPowerOfTwo) {
+  WorkDeque d(5);  // Rounds up to 8.
+  for (std::size_t i = 0; i < 8; ++i) d.prefill(i);
+  EXPECT_THROW(d.prefill(8), Error);  // 9th item exceeds the fixed buffer.
+  std::size_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(d.pop(v));
+    EXPECT_EQ(v, 7 - i);
+  }
+}
+
+// The exactly-once contract under contention: one owner popping LIFO races
+// several thieves stealing FIFO over a fully preloaded deque; every item
+// must be claimed by exactly one thread (no losses, no duplicates).
+TEST(WorkDeque, ConcurrentPopAndStealClaimEveryItemExactlyOnce) {
+  constexpr std::size_t kItems = 1 << 12;
+  constexpr int kThieves = 3;
+  WorkDeque d(kItems);
+  for (std::size_t i = 0; i < kItems; ++i) d.prefill(i);
+
+  std::vector<std::vector<std::size_t>> claimed(kThieves + 1);
+  const auto thief = [&](int t) {
+    std::size_t v = 0;
+    for (;;) {
+      if (d.steal(v)) {
+        claimed[t].push_back(v);
+      } else if (d.empty()) {
+        return;  // steal() may fail spuriously under CAS contention;
+                 // only an observed-empty deque ends the loop.
+      }
+    }
+  };
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back(thief, t);
+  }
+  // This thread plays the owner.
+  std::size_t v = 0;
+  for (;;) {
+    if (d.pop(v)) {
+      claimed[kThieves].push_back(v);
+    } else if (d.empty()) {
+      break;  // pop() only fails when empty or the last item was lost.
+    }
+  }
+  for (auto& th : thieves) th.join();
+
+  std::vector<int> count(kItems, 0);
+  std::size_t total = 0;
+  for (const auto& c : claimed) {
+    total += c.size();
+    for (std::size_t id : c) {
+      ASSERT_LT(id, kItems);
+      ++count[id];
+    }
+  }
+  EXPECT_EQ(total, kItems);
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(count[i], 1) << "item " << i;
+  }
+}
+
+// --------------------------------------------------------------- run_blocks
+
+TEST(RunBlocks, ExecutesEveryBlockExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kBlocks = 257;  // Not a multiple of the pool width.
+  std::vector<std::atomic<int>> hits(kBlocks);
+  const auto stats = pool.run_blocks(kBlocks, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(stats.executed, kBlocks);
+  for (std::size_t i = 0; i < kBlocks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "block " << i;
+  }
+}
+
+TEST(RunBlocks, StealDisabledRunsEveryBlockOnItsHomeSlotOnly) {
+  ThreadPool pool(4);
+  constexpr std::size_t kBlocks = 32;
+  std::vector<std::atomic<int>> hits(kBlocks);
+  const auto stats = pool.run_blocks(
+      kBlocks,
+      [&](std::size_t i) {
+        if (i == 0) {  // Skew the first block; nobody may rebalance it.
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      },
+      /*steal=*/false);
+  EXPECT_EQ(stats.executed, kBlocks);
+  EXPECT_EQ(stats.stolen, 0u);
+  for (std::size_t i = 0; i < kBlocks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "block " << i;
+  }
+}
+
+// Deterministic steal: with 2 workers and 4 blocks, slot 1 owns blocks
+// {1, 3} and pops them in ascending order (the preload is descending so
+// owners run cache-friendly ascending). Block 1 spins until block 3 has
+// executed — the only way block 3 can run while slot 1's owner is pinned
+// inside block 1 is for the other worker to steal it.
+TEST(RunBlocks, IdleWorkerStealsFromABlockedSiblingsDeque) {
+  ThreadPool pool(2);
+  std::atomic<bool> block3_done{false};
+  std::atomic<bool> timed_out{false};
+  const auto stats = pool.run_blocks(4, [&](std::size_t i) {
+    if (i == 3) {
+      block3_done.store(true, std::memory_order_release);
+    } else if (i == 1) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (!block3_done.load(std::memory_order_acquire)) {
+        if (std::chrono::steady_clock::now() > deadline) {
+          timed_out.store(true, std::memory_order_relaxed);
+          return;  // Fail via the flag below instead of hanging the suite.
+        }
+        std::this_thread::yield();
+      }
+    }
+  });
+  EXPECT_FALSE(timed_out.load()) << "block 3 was never stolen";
+  EXPECT_EQ(stats.executed, 4u);
+  EXPECT_GE(stats.stolen, 1u);
+}
+
+TEST(RunBlocks, SingleWorkerFallsBackToInlineWithoutSteals) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  const auto stats = pool.run_blocks(
+      5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(stats.executed, 5u);
+  EXPECT_EQ(stats.stolen, 0u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(RunBlocks, RethrowsFirstBlockExceptionAfterDrainingRegion) {
+  ThreadPool pool(4);
+  constexpr std::size_t kBlocks = 64;
+  std::vector<std::atomic<int>> hits(kBlocks);
+  EXPECT_THROW(pool.run_blocks(kBlocks,
+                               [&](std::size_t i) {
+                                 hits[i].fetch_add(
+                                     1, std::memory_order_relaxed);
+                                 if (i == 7) throw Error("block 7 failed");
+                               }),
+               Error);
+  // The throwing block must not abort the region: every block still ran.
+  for (std::size_t i = 0; i < kBlocks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "block " << i;
+  }
+}
+
+TEST(RunBlocks, CalledFromOwnWorkerThrowsInsteadOfDeadlocking) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([&pool] {
+    pool.run_blocks(8, [](std::size_t) {});
+  });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+// ---------------------------------------------------------- ComputePool knob
+
+TEST(ComputePoolSteal, DisablingStealingZeroesTheRegionStealCounter) {
+  auto& cp = ComputePool::instance();
+  cp.configure(4);
+  ComputePool::set_min_block_work(1);  // Force the parallel path.
+  cp.discard_regions();
+
+  cp.set_stealing(false);
+  EXPECT_FALSE(cp.stealing());
+  std::vector<double> out(4096, 0.0);
+  cp.for_blocks("pool_test_static", out.size(), out.size() * 64,
+                [&](std::size_t lo, std::size_t hi) {
+                  for (std::size_t i = lo; i < hi; ++i) {
+                    out[i] = static_cast<double>(i) * 0.5;
+                  }
+                });
+  auto regions = cp.drain_regions();
+  ASSERT_TRUE(regions.count("pool_test_static"));
+  EXPECT_GT(regions["pool_test_static"].blocks, 1u);
+  EXPECT_EQ(regions["pool_test_static"].steals, 0u);
+
+  cp.set_stealing(true);
+  EXPECT_TRUE(cp.stealing());
+  ComputePool::set_min_block_work(0);  // Restore the calibrated floor.
+}
+
+// --------------------------------------------------------------------- Qsbr
+
+TEST(Qsbr, GracePeriodWaitsForEveryOnlineThread) {
+  Qsbr& q = Qsbr::instance();
+  const Qsbr::Handle h1 = q.register_thread();
+  const Qsbr::Handle h2 = q.register_thread();
+  bool freed = false;
+  q.retire([&freed] { freed = true; });
+  EXPECT_FALSE(freed);  // Never freed synchronously with the retire.
+  // h2 never announces quiescence, so no amount of progress by h1 may
+  // advance the epoch far enough to free the object.
+  for (int i = 0; i < 5; ++i) q.quiescent(h1);
+  EXPECT_FALSE(freed);
+  q.quiescent(h2);  // The laggard catches up: one grace period.
+  q.quiescent(h1);
+  q.quiescent(h2);  // Second grace period; e + 2 reached.
+  q.quiescent(h1);
+  EXPECT_TRUE(freed);
+  q.unregister_thread(h1);
+  q.unregister_thread(h2);
+}
+
+TEST(Qsbr, OfflineThreadIsExcludedFromGracePeriods) {
+  Qsbr& q = Qsbr::instance();
+  const Qsbr::Handle h1 = q.register_thread();
+  const Qsbr::Handle h2 = q.register_thread();
+  bool freed = false;
+  q.retire([&freed] { freed = true; });
+  for (int i = 0; i < 5; ++i) q.quiescent(h1);
+  EXPECT_FALSE(freed);  // Blocked on h2.
+  q.offline(h2);  // An idle worker must not stall reclamation.
+  for (int i = 0; i < 5; ++i) q.quiescent(h1);
+  EXPECT_TRUE(freed);
+  q.online(h2);
+  q.unregister_thread(h1);
+  q.unregister_thread(h2);
+}
+
+TEST(Qsbr, UnregisterActsAsFinalQuiescentPoint) {
+  Qsbr& q = Qsbr::instance();
+  const Qsbr::Handle h1 = q.register_thread();
+  const Qsbr::Handle h2 = q.register_thread();
+  bool freed = false;
+  q.retire([&freed] { freed = true; });
+  for (int i = 0; i < 5; ++i) q.quiescent(h1);
+  EXPECT_FALSE(freed);
+  q.unregister_thread(h2);  // The departing laggard unblocks the epoch.
+  for (int i = 0; i < 5; ++i) q.quiescent(h1);
+  EXPECT_TRUE(freed);
+  q.unregister_thread(h1);
+}
+
+TEST(Qsbr, DrainFreesEverythingWithNoRegisteredReaders) {
+  Qsbr& q = Qsbr::instance();
+  std::atomic<int> freed{0};
+  constexpr int kObjects = 100;
+  const std::uint64_t reclaimed_before = q.reclaimed();
+  for (int i = 0; i < kObjects; ++i) {
+    q.retire([&freed] { freed.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_LT(freed.load(), kObjects);  // At least the newest must pend.
+  EXPECT_GT(q.pending(), 0u);
+  q.drain();
+  EXPECT_EQ(freed.load(), kObjects);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_GE(q.reclaimed(), reclaimed_before + kObjects);
+}
+
+TEST(Qsbr, EpochAdvancesMonotonically) {
+  Qsbr& q = Qsbr::instance();
+  const Qsbr::Handle h = q.register_thread();
+  const std::uint64_t e0 = q.epoch();
+  q.retire([] {});  // pending > 0 lets quiescent() attempt advances.
+  for (int i = 0; i < 3; ++i) q.quiescent(h);
+  EXPECT_GT(q.epoch(), e0);
+  q.unregister_thread(h);
+  q.drain();
+}
+
+// Readers churn through register/quiescent/unregister while the main thread
+// retires objects: every deleter must run exactly once, and only after the
+// retire. Run under TSan/ASan in CI.
+TEST(Qsbr, StressManyReadersNoLostOrDoubleFrees) {
+  Qsbr& q = Qsbr::instance();
+  constexpr int kReaders = 4;
+  constexpr int kObjects = 2000;
+  std::vector<std::atomic<int>> runs(kObjects);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&q, &stop] {
+      const Qsbr::Handle h = q.register_thread();
+      while (!stop.load(std::memory_order_acquire)) {
+        q.quiescent(h);
+        std::this_thread::yield();
+      }
+      q.unregister_thread(h);
+    });
+  }
+  for (int i = 0; i < kObjects; ++i) {
+    q.retire([&runs, i] { runs[i].fetch_add(1, std::memory_order_relaxed); });
+    if (i % 64 == 0) std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  q.drain();
+
+  for (int i = 0; i < kObjects; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "object " << i;
+  }
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+// Pool workers announce quiescence between tasks and go offline while idle,
+// so a trainer-thread retire is freed by worker progress alone — the
+// end-to-end wiring the streaming prep pipeline relies on.
+TEST(Qsbr, PoolWorkersDriveReclamationOfTrainerRetires) {
+  Qsbr& q = Qsbr::instance();
+  q.drain();  // Start from an empty queue.
+  ThreadPool pool(2);
+  std::atomic<bool> freed{false};
+  q.retire([&freed] { freed.store(true, std::memory_order_release); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!freed.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    // Each task ends with a quiescent announcement on its worker; idle
+    // workers sit offline, so two small batches are enough to advance two
+    // epochs no matter how the tasks interleave.
+    for (auto& f : pool.map(4, [](std::size_t) {})) f.get();
+  }
+  EXPECT_TRUE(freed.load());
+}
+
+}  // namespace
+}  // namespace pipad

@@ -26,6 +26,8 @@ inline graph::DatasetConfig tiny_config(int nodes = 40, int snapshots = 8,
 
 /// Reference executor: per-snapshot ref_spmm + exact normalization; no
 /// recorder, no simulation. The ground truth all runtimes must reproduce.
+/// Weighted snapshots (Snapshot::edge_w non-empty) aggregate with per-edge
+/// weights and weighted degrees, exactly like the runtimes under test.
 class ReferenceExecutor final : public models::FrameExecutor {
  public:
   ReferenceExecutor(const graph::DTDG& data, graph::Frame frame)
@@ -38,10 +40,12 @@ class ReferenceExecutor final : public models::FrameExecutor {
     std::vector<Tensor> out(xs.size());
     for (std::size_t i = 0; i < xs.size(); ++i) {
       const auto& snap = data_.snapshots[frame_.start + static_cast<int>(i)];
+      const auto* w = snap.weighted() ? &snap.edge_w : nullptr;
       Tensor agg(xs[i]->rows(), xs[i]->cols());
-      kernels::ref_spmm(snap.adj, *xs[i], agg);
+      kernels::ref_spmm(snap.adj, *xs[i], agg, false, w);
       out[i] = Tensor(agg.rows(), agg.cols());
-      kernels::gcn_normalize(kernels::degrees(snap.adj), *xs[i], agg, out[i]);
+      kernels::gcn_normalize(kernels::degrees(snap.adj, w), *xs[i], agg,
+                             out[i]);
     }
     return out;
   }
@@ -51,12 +55,18 @@ class ReferenceExecutor final : public models::FrameExecutor {
     std::vector<Tensor> out(d_h.size());
     for (std::size_t i = 0; i < d_h.size(); ++i) {
       const auto& snap = data_.snapshots[frame_.start + static_cast<int>(i)];
+      const auto* w = snap.weighted() ? &snap.edge_w : nullptr;
       Tensor d_agg(d_h[i].rows(), d_h[i].cols());
       Tensor d_direct(d_h[i].rows(), d_h[i].cols());
-      kernels::gcn_normalize_backward(kernels::degrees(snap.adj), d_h[i],
+      kernels::gcn_normalize_backward(kernels::degrees(snap.adj, w), d_h[i],
                                       d_agg, d_direct);
       out[i] = Tensor(d_h[i].rows(), d_h[i].cols());
-      kernels::ref_spmm(snap.adj_t, d_agg, out[i]);
+      if (w == nullptr) {
+        kernels::ref_spmm(snap.adj_t, d_agg, out[i]);
+      } else {
+        const auto w_t = graph::transpose_weights(snap.adj, snap.edge_w);
+        kernels::ref_spmm(snap.adj_t, d_agg, out[i], false, &w_t);
+      }
       ops::add_inplace(out[i], d_direct);
     }
     return out;
