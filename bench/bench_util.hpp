@@ -17,6 +17,8 @@
 //                     temporal CSV / .dtdg; docs/DATASET_FORMATS.md)
 //                                                          (default all 7)
 //   --snapshot-window=N  file: datasets — fixed time-window width
+//   --window-bytes=N  file: datasets — streaming read window in bytes
+//                     (bounds parse memory; 0 = the 8 MiB loader default)
 //   --cache-dir=DIR   file: datasets — .dtdg snapshot cache
 //   --json=FILE       write per-run records to FILE as JSON (wired into
 //                     fig10_end2end and ablation_sper; other binaries
@@ -68,6 +70,8 @@ struct Flags {
   std::string json;  ///< Non-empty: write run records to this file.
   std::string trace_dir;  ///< Non-empty: write one trace CSV per run here.
   long long snapshot_window = 0;  ///< file: datasets — time-window width.
+  long long window_bytes = 0;     ///< file: datasets — streaming read
+                                  ///< window in bytes (0 = 8 MiB default).
   std::string cache_dir;          ///< file: datasets — .dtdg cache.
 
   static std::string usage(const char* prog) {
@@ -77,7 +81,7 @@ struct Flags {
            " [--frame-size=N]\n        [--threads=N]"
            " [--tuner=analytic|measured] [--datasets=a,b,...]"
            " [--json=FILE]\n        [--trace-dir=DIR] [--snapshot-window=N]"
-           " [--cache-dir=DIR]\n"
+           " [--window-bytes=N] [--cache-dir=DIR]\n"
            "  --scale-large / --scale-small / --epochs / --frame-size /"
            " --snapshot-window\n  must be >= 1,"
            " --frames / --threads must be >= 0,\n"
@@ -138,6 +142,8 @@ struct Flags {
         f.trace_dir = value;
       } else if (key == "--snapshot-window") {
         f.snapshot_window = parse_int("--snapshot-window", value.c_str(), 1);
+      } else if (key == "--window-bytes") {
+        f.window_bytes = parse_int("--window-bytes", value.c_str(), 1);
       } else if (key == "--cache-dir") {
         if (value.empty()) die("--cache-dir expects a directory path");
         f.cache_dir = value;
@@ -188,6 +194,7 @@ struct Flags {
     graph::io::LoadOptions o;
     o.snapshot_window = snapshot_window;
     o.cache_dir = cache_dir;
+    o.window_bytes = static_cast<std::size_t>(window_bytes);
     return o;
   }
 };

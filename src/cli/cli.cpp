@@ -49,8 +49,15 @@ bool parse_ll(const std::string& s, long long& out) {
 bool parse_f(const std::string& s, double& out) {
   if (s.empty()) return false;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(s.c_str(), &end);
-  if (end == nullptr || *end != '\0') return false;
+  // ERANGE catches overflowing literals like 1e999, which strtod "parses"
+  // to HUGE_VAL; the finiteness check additionally rejects literal
+  // inf/nan, which no numeric flag accepts.
+  if (errno == ERANGE || end == nullptr || *end != '\0' ||
+      !std::isfinite(v)) {
+    return false;
+  }
   out = v;
   return true;
 }
@@ -94,6 +101,7 @@ BuiltDataset build_dataset(const Options& o) {
     lo.features_path = o.features;
     lo.cache_dir = o.cache_dir;
     lo.seed = o.seed;
+    lo.window_bytes = static_cast<std::size_t>(o.window_bytes);
     b.from_file = true;
     b.data = graph::io::load_dataset(graph::io::file_dataset_path(o.dataset),
                                      lo, &ComputePool::instance().pool(),
@@ -382,8 +390,9 @@ std::string usage() {
       "                     covid19-england), or file:PATH — load a\n"
       "                     timestamped edge list (`src dst t [w]`), a\n"
       "                     temporal CSV (src,dst,t header), or a binary\n"
-      "                     .dtdg snapshot file from disk (see\n"
-      "                     docs/DATASET_FORMATS.md)  [synthetic]\n"
+      "                     .dtdg snapshot file from disk; text inputs may\n"
+      "                     be gzip'd (.gz) and are read in bounded windows\n"
+      "                     (see docs/DATASET_FORMATS.md)  [synthetic]\n"
       "  --snapshots N      override the dataset's snapshot count (file:\n"
       "                     split the time range into exactly N windows)\n"
       "  --snapshot-window N  file: bucket edges into time windows of N\n"
@@ -394,6 +403,9 @@ std::string usage() {
       "                     omitted = seeded synthetic features\n"
       "  --cache-dir DIR    file: cache parsed snapshots as .dtdg; later\n"
       "                     runs with the same inputs skip the parse\n"
+      "  --window-bytes N   file: streaming read window in bytes — bounds\n"
+      "                     parse memory, never changes the result\n"
+      "                     [8388608]\n"
       "  --nodes N          synthetic: vertex count  [2000]\n"
       "  --events N         synthetic: distinct temporal edges  [40000]\n"
       "  --feat-dim N       synthetic: feature dimension  [2]\n"
@@ -563,7 +575,8 @@ ParseResult parse_args(const std::vector<std::string>& args) {
                flag == "--scale-large" || flag == "--scale-small" ||
                flag == "--epochs" || flag == "--frame-size" ||
                flag == "--frames" || flag == "--threads" ||
-               flag == "--seed" || flag == "--snapshot-window") {
+               flag == "--seed" || flag == "--snapshot-window" ||
+               flag == "--window-bytes") {
       if (!parse_ll(value, n) || n < 0) {
         res.error = flag + " expects a non-negative integer, got '" + value +
                     "'";
@@ -571,7 +584,8 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       }
       // Everything except the 64-bit flags lands in an int.
       if (flag != "--events" && flag != "--seed" &&
-          flag != "--snapshot-window" && n > INT_MAX) {
+          flag != "--snapshot-window" && flag != "--window-bytes" &&
+          n > INT_MAX) {
         res.error = flag + " value " + value + " is out of range";
         return res;
       }
@@ -586,6 +600,7 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       else if (flag == "--frames") o.frames = static_cast<int>(n);
       else if (flag == "--threads") o.threads = static_cast<int>(n);
       else if (flag == "--snapshot-window") o.snapshot_window = n;
+      else if (flag == "--window-bytes") o.window_bytes = n;
       else o.seed = static_cast<std::uint64_t>(n);
     } else {
       res.error = "unknown flag '" + flag + "'";
@@ -605,11 +620,11 @@ ParseResult parse_args(const std::vector<std::string>& args) {
     return res;
   }
   const bool file_ds = graph::io::is_file_dataset(o.dataset);
-  if (!file_ds && (o.snapshot_window > 0 || !o.cache_dir.empty() ||
-                   !o.features.empty())) {
+  if (!file_ds && (o.snapshot_window > 0 || o.window_bytes > 0 ||
+                   !o.cache_dir.empty() || !o.features.empty())) {
     res.error =
-        "--snapshot-window, --cache-dir and --features require "
-        "--dataset file:PATH";
+        "--snapshot-window, --window-bytes, --cache-dir and --features "
+        "require --dataset file:PATH";
     return res;
   }
   if (file_ds && o.snapshot_window > 0 && o.snapshots > 0) {

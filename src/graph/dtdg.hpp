@@ -39,6 +39,11 @@ struct DTDG {
   /// Per-snapshot node regression target [num_nodes x 1] (e.g. next-step
   /// infection count / traffic speed), aligned with `snapshots`.
   std::vector<Tensor> targets;
+  /// String-vertex-id datasets: names[v] is the original id of dense
+  /// vertex v, sorted ascending (the loader's deterministic remap order),
+  /// size == num_nodes. Empty = integer ids (dense index IS the id).
+  /// Persisted through `.dtdg` v3 and re-emitted by the exporters.
+  std::vector<std::string> vertex_names;
 
   int num_snapshots() const { return static_cast<int>(snapshots.size()); }
 

@@ -66,6 +66,19 @@ void write_dtdg(const DTDG& g, const std::string& path,
     const auto name_len = static_cast<std::uint32_t>(g.name.size());
     write_pod(os, name_len);
     write_array(os, g.name.data(), g.name.size());
+    PIPAD_CHECK_MSG(g.vertex_names.empty() ||
+                        g.vertex_names.size() == static_cast<std::size_t>(n),
+                    "vertex_names length mismatch");
+    const std::uint8_t has_names = g.vertex_names.empty() ? 0 : 1;
+    write_pod(os, has_names);
+    if (has_names != 0) {
+      for (const std::string& vn : g.vertex_names) {
+        PIPAD_CHECK_MSG(vn.size() <= kMaxNameLen, "vertex name too long");
+        const auto len = static_cast<std::uint32_t>(vn.size());
+        write_pod(os, len);
+        write_array(os, vn.data(), vn.size());
+      }
+    }
     for (int t = 0; t < S; ++t) {
       const Snapshot& snap = g.snapshots[t];
       PIPAD_CHECK_MSG(snap.adj.rows == n && snap.adj.cols == n,
@@ -200,6 +213,31 @@ DTDG read_dtdg(const std::string& path, ThreadPool* pool,
   g.num_nodes = h.num_nodes;
   g.feat_dim = h.feat_dim;
   g.sim_scale = h.sim_scale;
+
+  // v3 vertex-name table (string-id datasets): names are stored in the
+  // dense remap order, which the loader defines as ascending — readers
+  // enforce sorted + unique so a corrupt table cannot smuggle in an
+  // ambiguous remap.
+  std::uint8_t has_names = 0;
+  read_pod(is, has_names, path);
+  if (has_names > 1) throw Error(path + ": corrupt vertex-name flag");
+  if (has_names != 0) {
+    g.vertex_names.resize(static_cast<std::size_t>(h.num_nodes));
+    for (int v = 0; v < h.num_nodes; ++v) {
+      std::uint32_t len = 0;
+      read_pod(is, len, path);
+      if (len > kMaxNameLen) {
+        throw Error(path + ": implausible vertex name length");
+      }
+      std::string& vn = g.vertex_names[static_cast<std::size_t>(v)];
+      vn.resize(len);
+      if (len > 0) read_array(is, vn.data(), len, path);
+      if (v > 0 && vn <= g.vertex_names[static_cast<std::size_t>(v) - 1]) {
+        throw Error(path + ": vertex-name table is not sorted unique");
+      }
+    }
+  }
+
   g.snapshots.resize(static_cast<std::size_t>(h.num_snapshots));
   g.targets.resize(static_cast<std::size_t>(h.num_snapshots));
 

@@ -4,7 +4,8 @@
 // Layout (native little-endian, no padding; docs/DATASET_FORMATS.md):
 //
 //   u8[8]  magic            "PIPADTDG"
-//   u32    version          2 (v2 added the per-snapshot edge weights; v1
+//   u32    version          3 (v2 added the per-snapshot edge weights; v3
+//                           added the optional vertex-name table; older
 //                           files are rejected, which a cache probe treats
 //                           as a miss)
 //   u64    config_hash      FNV-1a over source bytes + load options; the
@@ -14,6 +15,10 @@
 //   i32    num_snapshots
 //   i32    sim_scale
 //   u32    name_len, u8[name_len] name
+//   u8     has_names        1 when the dataset uses string vertex ids
+//   if has_names, per vertex (num_nodes of them, ascending name order —
+//   the dense remap order):
+//     u32  len, u8[len]     vertex name (validated sorted + unique on read)
 //   per snapshot, in order:
 //     u64  nnz
 //     i32[num_nodes + 1]        adj.row_ptr
@@ -39,7 +44,7 @@
 namespace pipad::graph::io {
 
 inline constexpr char kDtdgMagic[8] = {'P', 'I', 'P', 'A', 'D', 'T', 'D', 'G'};
-inline constexpr std::uint32_t kDtdgVersion = 2;
+inline constexpr std::uint32_t kDtdgVersion = 3;
 
 /// Serialize a DTDG. Writes to `path + ".tmp"` then renames, so concurrent
 /// readers never observe a half-written cache file. Throws Error on I/O

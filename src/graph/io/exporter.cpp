@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "graph/io/text_format.hpp"
 
 namespace pipad::graph::io {
 
@@ -48,25 +49,68 @@ double weight_of(const DTDG& g, int t, int i) {
   return w.empty() ? 1.0 : static_cast<double>(w[static_cast<std::size_t>(i)]);
 }
 
+/// Vertex id as written to text: the dense index, or — string-id datasets
+/// — the quoted original name (quoting forces the reloading parser into
+/// string-id mode even for digit-only names). Names the text formats
+/// cannot represent are errors, not silent corruption.
+std::string text_id(const DTDG& g, int v, bool csv) {
+  if (g.vertex_names.empty()) return std::to_string(v);
+  const std::string& n = g.vertex_names[static_cast<std::size_t>(v)];
+  for (const char c : n) {
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '"' ||
+        (csv && c == ',')) {
+      throw Error("vertex name '" + escape_token(n) +
+                  "' contains separator characters the text formats cannot "
+                  "represent");
+    }
+  }
+  if (!n.empty() && n.front() == '#') {
+    throw Error("vertex name '" + escape_token(n) +
+                "' starts with the comment character");
+  }
+  return '"' + n + '"';
+}
+
+/// The `# nodes=… snapshots=…` directive comment. String-id datasets omit
+/// nodes= (the directive pins an identity integer remap, which string ids
+/// reject); the name table itself defines the vertex set.
+std::string directive_comment(const DTDG& g) {
+  std::string out = "# ";
+  if (g.vertex_names.empty()) {
+    out += "nodes=" + std::to_string(g.num_nodes) + " ";
+  }
+  out += "snapshots=" + std::to_string(g.num_snapshots()) + "\n";
+  return out;
+}
+
 }  // namespace
 
 void export_edge_list(const DTDG& g, const std::string& path) {
   std::ofstream os = open_out(path);
   os << "# pipad temporal edge list — exported from dataset '" << g.name
      << "'\n";
-  os << "# nodes=" << g.num_nodes << " snapshots=" << g.num_snapshots()
-     << "\n";
+  os << directive_comment(g);
   const bool weighted = any_weighted(g);
+  const bool named = !g.vertex_names.empty();
   char buf[64];
   for_each_edge(g, [&](int src, int dst, int t, int i) {
-    if (weighted) {
+    if (named) {
+      os << text_id(g, src, false) << ' ' << text_id(g, dst, false) << ' '
+         << t;
+      if (weighted) {
+        std::snprintf(buf, sizeof(buf), " %.9g", weight_of(g, t, i));
+        os << buf;
+      }
+      os << '\n';
+    } else if (weighted) {
       // %.9g round-trips binary32 exactly (max_digits10 == 9).
       std::snprintf(buf, sizeof(buf), "%d %d %d %.9g\n", src, dst, t,
                     weight_of(g, t, i));
+      os << buf;
     } else {
       std::snprintf(buf, sizeof(buf), "%d %d %d\n", src, dst, t);
+      os << buf;
     }
-    os << buf;
   });
   finish(os, path);
 }
@@ -74,19 +118,28 @@ void export_edge_list(const DTDG& g, const std::string& path) {
 void export_csv(const DTDG& g, const std::string& path) {
   std::ofstream os = open_out(path);
   os << "# exported from dataset '" << g.name << "'\n";
-  os << "# nodes=" << g.num_nodes << " snapshots=" << g.num_snapshots()
-     << "\n";
+  os << directive_comment(g);
   const bool weighted = any_weighted(g);
+  const bool named = !g.vertex_names.empty();
   os << (weighted ? "src,dst,t,w\n" : "src,dst,t\n");
   char buf[64];
   for_each_edge(g, [&](int src, int dst, int t, int i) {
-    if (weighted) {
+    if (named) {
+      os << text_id(g, src, true) << ',' << text_id(g, dst, true) << ','
+         << t;
+      if (weighted) {
+        std::snprintf(buf, sizeof(buf), ",%.9g", weight_of(g, t, i));
+        os << buf;
+      }
+      os << '\n';
+    } else if (weighted) {
       std::snprintf(buf, sizeof(buf), "%d,%d,%d,%.9g\n", src, dst, t,
                     weight_of(g, t, i));
+      os << buf;
     } else {
       std::snprintf(buf, sizeof(buf), "%d,%d,%d\n", src, dst, t);
+      os << buf;
     }
-    os << buf;
   });
   finish(os, path);
 }
@@ -98,7 +151,7 @@ void export_features(const DTDG& g, const std::string& path) {
   for (int t = 0; t < g.num_snapshots(); ++t) {
     const Tensor& f = g.snapshots[t].features;
     for (int v = 0; v < g.num_nodes; ++v) {
-      os << t << ' ' << v;
+      os << t << ' ' << text_id(g, v, false);
       for (int d = 0; d < g.feat_dim; ++d) {
         // %.9g round-trips binary32 exactly (max_digits10 == 9).
         std::snprintf(buf, sizeof(buf), " %.9g",
@@ -120,9 +173,9 @@ void export_targets(const DTDG& g, const std::string& path) {
                         g.targets[t].cols() == 1,
                     "snapshot " << t << " target shape mismatch");
     for (int v = 0; v < g.num_nodes; ++v) {
-      std::snprintf(buf, sizeof(buf), "%d %d %.9g\n", t, v,
+      std::snprintf(buf, sizeof(buf), " %.9g\n",
                     static_cast<double>(g.targets[t].at(v, 0)));
-      os << buf;
+      os << t << ' ' << text_id(g, v, false) << buf;
     }
   }
   finish(os, path);

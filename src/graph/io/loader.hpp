@@ -5,11 +5,19 @@
 // temporal-graph CSV, or a binary `.dtdg` snapshot file into a
 // graph::DTDG:
 //
-//   read      the file is read once and content-hashed (the cache key);
-//   parse     chunk-parallel on the shared ComputePool (text formats);
+//   read      the file is pulled through a bounded StreamReader window
+//             (default 8 MiB; `.gz` inputs are inflated transparently) —
+//             memory stays bounded by the window, not the file size; when
+//             a cache_dir is set the raw bytes are content-hashed in a
+//             separate streaming pass (the cache key);
+//   parse     chunk-parallel on the shared ComputePool (text formats),
+//             window by window; results are bit-identical for any window
+//             size and thread count;
 //   remap     raw vertex ids are densified deterministically — ascending
 //             raw-id order — unless the file declares `nodes=N`, which
 //             pins an identity mapping and makes ids >= N an error;
+//             string-id files (see text_format.hpp) remap the sorted
+//             name set instead and record it in DTDG::vertex_names;
 //   snapshot  edges are bucketed by timestamp into time windows
 //             (snapshot_window), an exact window count (snapshot_count),
 //             the file's `snapshots=S` directive, or — by default — one
@@ -51,13 +59,18 @@ struct LoadOptions {
   std::string cache_dir;      ///< Non-empty: `.dtdg` snapshot cache.
   bool add_self_loops = false;  ///< Append (v, v) to every snapshot.
   std::uint64_t seed = 2023;    ///< Synthesized-feature RNG seed.
+  /// Streaming window for text inputs, in bytes (0 = the StreamReader
+  /// default, 8 MiB). Never changes the loaded DTDG — only peak memory —
+  /// and is therefore excluded from the cache key.
+  std::size_t window_bytes = 0;
 };
 
 /// Measured wall-clock of each load phase (real time, not simulated), plus
 /// the task counts host::charge_load uses to occupy worker lanes.
 struct LoadStats {
-  double read_us = 0.0;   ///< File read + content hash.
-  double parse_us = 0.0;  ///< Chunk-parallel text parse (0 on cache hit).
+  double read_us = 0.0;    ///< File read + content hash.
+  double inflate_us = 0.0;  ///< Gzip decompression (0 for plain inputs).
+  double parse_us = 0.0;   ///< Chunk-parallel text parse (0 on cache hit).
   double build_us = 0.0;  ///< Snapshot CSR/feature/target build.
   double cache_us = 0.0;  ///< Cache read (hit) or write (miss).
   bool cache_hit = false;
@@ -69,7 +82,9 @@ struct LoadStats {
 
 /// Load a dataset from disk. Format is picked by extension: `.csv` ->
 /// temporal CSV, `.dtdg` -> binary snapshot file, anything else -> text
-/// edge list. The DTDG's name is the file's stem. Throws Error on
+/// edge list. A trailing `.gz` is stripped first (`edges.csv.gz` parses as
+/// gzip'd CSV); `.dtdg.gz` is rejected. The DTDG's name is the file's
+/// stem (both extensions stripped). Throws Error on
 /// malformed input. `pool` parallelizes parse/build (pass
 /// &ComputePool::instance().pool(); nullptr = serial).
 DTDG load_dataset(const std::string& path, const LoadOptions& opts = {},

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <string_view>
+#include <unordered_map>
+
+#include "graph/io/stream_reader.hpp"
 
 namespace pipad::graph::io {
 
@@ -32,9 +36,30 @@ std::uint64_t fnv1a_u64(std::uint64_t v, std::uint64_t h) {
   return fnv1a(&v, sizeof(v), h);
 }
 
+std::string escape_token(std::string_view tok, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = std::min(tok.size(), max_bytes);
+  out.reserve(n + 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<unsigned char>(tok[i]);
+    if (c >= 0x20 && c < 0x7f) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+      out += buf;
+    }
+  }
+  if (tok.size() > max_bytes) out += "...";
+  return out;
+}
+
 namespace {
 
 constexpr std::size_t kMinChunkBytes = 4096;
+/// Matches the .dtdg name-table cap (kMaxNameLen): a string vertex id that
+/// could not round-trip through the binary cache is rejected at parse time.
+constexpr std::size_t kMaxNameBytes = 4096;
 
 [[noreturn]] void fail_at(const std::string& path, std::size_t line,
                           const std::string& msg) {
@@ -55,7 +80,7 @@ long long parse_ll_tok(std::string_view tok, const std::string& path,
   const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
   if (ec != std::errc{} || p != tok.data() + tok.size()) {
     fail_at(path, line,
-            std::string("malformed ") + what + " '" + std::string(tok) + "'");
+            std::string("malformed ") + what + " '" + escape_token(tok) + "'");
   }
   return v;
 }
@@ -66,9 +91,27 @@ float parse_f_tok(std::string_view tok, const std::string& path,
   const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
   if (ec != std::errc{} || p != tok.data() + tok.size() || !std::isfinite(v)) {
     fail_at(path, line,
-            std::string("malformed ") + what + " '" + std::string(tok) + "'");
+            std::string("malformed ") + what + " '" + escape_token(tok) + "'");
   }
   return v;
+}
+
+/// True when `tok` is entirely one (signed) 64-bit integer literal.
+bool is_integer_token(std::string_view tok) {
+  long long v = 0;
+  const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  return ec == std::errc{} && p == tok.data() + tok.size();
+}
+
+/// Strip one layer of surrounding double quotes (string-id mode); quotes
+/// do not protect whitespace or commas — ids containing separators are
+/// unsupported.
+std::string_view strip_quotes(std::string_view t) {
+  if (t.size() >= 2 && t.front() == '"' && t.back() == '"') {
+    t.remove_prefix(1);
+    t.remove_suffix(1);
+  }
+  return t;
 }
 
 /// Split a line into whitespace-separated tokens.
@@ -141,6 +184,9 @@ struct Partial {
   bool weights = false;
   std::size_t first_edge_line = 0;  ///< 0 = chunk had no edges.
   std::size_t last_edge_line = 0;
+  /// String-id mode: chunk-local vertex names in first-appearance order
+  /// (views into the chunk's window text); edges' src/dst index into it.
+  std::vector<std::string_view> names;
 };
 
 /// Recognize `nodes=N` / `snapshots=S` tokens in a comment line.
@@ -185,15 +231,39 @@ void check_sorted(long long prev_t, const TemporalEdge& e,
   }
 }
 
+/// Chunk-local string-id interning: maps a name to its chunk-local id
+/// (views into the window text — valid until the merge copies them out).
+using NameScratch = std::unordered_map<std::string_view, long long>;
+
+long long vertex_tok(std::string_view tok, bool string_ids,
+                     NameScratch& scratch, Partial& out,
+                     const std::string& path, std::size_t line,
+                     const char* what) {
+  if (!string_ids) return parse_ll_tok(tok, path, line, what);
+  const std::string_view name = strip_quotes(tok);
+  if (name.empty()) {
+    fail_at(path, line, std::string("empty ") + what + " id");
+  }
+  if (name.size() > kMaxNameBytes) {
+    fail_at(path, line, std::string(what) + " id '" + escape_token(name) +
+                            "' longer than " +
+                            std::to_string(kMaxNameBytes) + " bytes");
+  }
+  const auto [it, inserted] =
+      scratch.try_emplace(name, static_cast<long long>(out.names.size()));
+  if (inserted) out.names.push_back(name);
+  return it->second;
+}
+
 /// Parse one edge-list chunk: `src dst t [w]` per line.
 void parse_el_chunk(const std::string& path, std::string_view text,
-                    std::size_t first_line, Partial& out) {
+                    std::size_t first_line, bool string_ids, Partial& out) {
   std::size_t line = first_line;
   bool have_prev = false;
   long long prev_t = 0;
   std::size_t pos = 0;
-  while (pos <= text.size()) {
-    if (pos == text.size()) break;
+  NameScratch scratch;
+  while (pos < text.size()) {
     std::size_t eol = text.find('\n', pos);
     if (eol == std::string_view::npos) eol = text.size();
     const std::string_view raw = text.substr(pos, eol - pos);
@@ -215,14 +285,16 @@ void parse_el_chunk(const std::string& path, std::string_view text,
                   " token(s)");
     }
     TemporalEdge e;
-    e.src = parse_ll_tok(toks[0], path, line, "src vertex");
-    e.dst = parse_ll_tok(toks[1], path, line, "dst vertex");
+    e.src = vertex_tok(toks[0], string_ids, scratch, out, path, line,
+                       "src vertex");
+    e.dst = vertex_tok(toks[1], string_ids, scratch, out, path, line,
+                       "dst vertex");
     e.t = parse_ll_tok(toks[2], path, line, "timestamp");
     if (toks.size() == 4) {
       e.w = parse_f_tok(toks[3], path, line, "weight");
       out.weights = true;
     }
-    check_vertex_ids(e, path, line);
+    if (!string_ids) check_vertex_ids(e, path, line);
     if (have_prev) check_sorted(prev_t, e, path, line);
     prev_t = e.t;
     have_prev = true;
@@ -282,18 +354,19 @@ CsvLayout parse_csv_header(const std::string& path, std::string_view header,
   if (!have_src || !have_dst || !have_t) {
     fail_at(path, line,
             "CSV header must name src, dst and t columns (got '" +
-                std::string(trim(header)) + "')");
+                escape_token(trim(header), 128) + "')");
   }
   return lay;
 }
 
 void parse_csv_chunk(const std::string& path, std::string_view text,
                      std::size_t first_line, const CsvLayout& lay,
-                     Partial& out) {
+                     bool string_ids, Partial& out) {
   std::size_t line = first_line;
   bool have_prev = false;
   long long prev_t = 0;
   std::size_t pos = 0;
+  NameScratch scratch;
   while (pos < text.size()) {
     std::size_t eol = text.find('\n', pos);
     if (eol == std::string_view::npos) eol = text.size();
@@ -316,14 +389,16 @@ void parse_csv_chunk(const std::string& path, std::string_view text,
                   std::to_string(cells.size()));
     }
     TemporalEdge e;
-    e.src = parse_ll_tok(cells[lay.src], path, line, "src vertex");
-    e.dst = parse_ll_tok(cells[lay.dst], path, line, "dst vertex");
+    e.src = vertex_tok(cells[lay.src], string_ids, scratch, out, path, line,
+                       "src vertex");
+    e.dst = vertex_tok(cells[lay.dst], string_ids, scratch, out, path, line,
+                       "dst vertex");
     e.t = parse_ll_tok(cells[lay.t], path, line, "timestamp");
     if (lay.w != static_cast<std::size_t>(-1)) {
       e.w = parse_f_tok(cells[lay.w], path, line, "weight");
       out.weights = true;
     }
-    check_vertex_ids(e, path, line);
+    if (!string_ids) check_vertex_ids(e, path, line);
     if (have_prev) check_sorted(prev_t, e, path, line);
     prev_t = e.t;
     have_prev = true;
@@ -334,138 +409,256 @@ void parse_csv_chunk(const std::string& path, std::string_view text,
   }
 }
 
-/// Run the per-chunk parser over all chunks (pool-parallel when available)
-/// and merge partials in chunk order.
-template <typename ChunkFn>
-EdgeFile run_chunked(const std::string& path, const std::string& content,
-                     std::size_t start, std::size_t start_line,
-                     ThreadPool* pool, const ChunkFn& parse_chunk) {
-  const auto chunks =
-      chunk_lines(content, start, start_line,
-                  want_chunks(content.size() - start, pool));
-  std::vector<Partial> parts(chunks.size());
-  const auto parse_one = [&](std::size_t i) {
-    const Chunk& c = chunks[i];
-    parse_chunk(std::string_view(content).substr(c.begin, c.end - c.begin),
-                c.first_line, parts[i]);
-  };
-  if (pool != nullptr && chunks.size() > 1 &&
-      ThreadPool::current_pool() == nullptr) {
-    pool->parallel_for(chunks.size(), parse_one);
-  } else {
-    for (std::size_t i = 0; i < chunks.size(); ++i) parse_one(i);
-  }
+/// One parse over a file — in one region (the in-memory entry points) or a
+/// sequence of windows (the streaming ones). Holds everything that must
+/// survive across windows so that the merged stream is byte-identical to a
+/// single-region parse: directives, string-id mode, the global name table,
+/// and the cross-chunk timestamp-ordering state.
+struct ParseState {
+  const std::string& path;
+  ThreadPool* pool;
+  const bool csv;
 
   EdgeFile out;
-  out.parse_chunks = std::max<std::size_t>(1, chunks.size());
-  std::size_t total = 0;
-  for (const auto& p : parts) total += p.edges.size();
-  out.edges.reserve(total);
+  bool first_region = true;
+  bool mode_known = false;
+  bool have_layout = false;  ///< CSV: header row seen.
+  CsvLayout lay;
   bool have_prev = false;
   long long prev_t = 0;
-  for (const Partial& p : parts) {
-    const auto merge_directive = [&](long long mine, long long theirs,
-                                     const char* what) {
-      if (theirs < 0) return mine;
-      if (mine >= 0 && mine != theirs) {
-        throw Error(path + ": conflicting " + what + " directives");
+  /// Global name -> arrival-order id (string-id mode). Owns the strings
+  /// that `out.names` views would dangle on — out.names stores copies.
+  std::unordered_map<std::string, long long> name_index;
+
+  ParseState(const std::string& p, ThreadPool* pl, bool is_csv)
+      : path(p), pool(pl), csv(is_csv) {}
+
+  void merge_directives(long long nodes, long long snaps) {
+    if (nodes >= 0) {
+      if (out.declared_nodes >= 0 && out.declared_nodes != nodes) {
+        throw Error(path + ": conflicting nodes directives");
       }
-      return theirs;
-    };
-    out.declared_nodes = merge_directive(out.declared_nodes, p.nodes, "nodes");
-    const long long snaps = merge_directive(out.declared_snapshots,
-                                            p.snapshots, "snapshots");
-    if (snaps > std::numeric_limits<int>::max()) {
-      throw Error(path + ": snapshots directive out of range");
+      out.declared_nodes = nodes;
     }
-    out.declared_snapshots = static_cast<int>(snaps);
-    out.has_weights = out.has_weights || p.weights;
-    if (!p.edges.empty()) {
+    if (snaps >= 0) {
+      if (snaps > std::numeric_limits<int>::max()) {
+        throw Error(path + ": snapshots directive out of range");
+      }
+      if (out.declared_snapshots >= 0 && out.declared_snapshots != snaps) {
+        throw Error(path + ": conflicting snapshots directives");
+      }
+      out.declared_snapshots = static_cast<int>(snaps);
+    }
+  }
+
+  /// Scan region text forward to the CSV header row, merging directive
+  /// comments along the way. Returns true when the header was found (pos
+  /// and line then point at the first body line).
+  bool scan_to_csv_header(const std::string& text, std::size_t& pos,
+                          std::size_t& line) {
+    while (pos < text.size()) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      const std::string_view l =
+          trim(std::string_view(text).substr(pos, eol - pos));
+      const std::size_t next = eol + 1;
+      if (l.empty()) {
+        pos = next;
+        ++line;
+        continue;
+      }
+      if (l.front() == '#') {
+        Partial pre;
+        scan_directives(l.substr(1), path, line, pre);
+        merge_directives(pre.nodes, pre.snapshots);
+        pos = next;
+        ++line;
+        continue;
+      }
+      lay = parse_csv_header(path, l, line);
+      have_layout = true;
+      pos = std::min(next, text.size());
+      ++line;
+      return true;
+    }
+    return false;
+  }
+
+  /// The first data row's src token decides integer vs string ids. -1 =
+  /// region has no data rows (mode stays undecided).
+  int detect_mode(const std::string& text, std::size_t start) const {
+    std::size_t pos = start;
+    while (pos < text.size()) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      const std::string_view l =
+          trim(std::string_view(text).substr(pos, eol - pos));
+      pos = eol + 1;
+      if (l.empty() || l.front() == '#') continue;
+      std::string_view tok;
+      if (csv) {
+        const auto cells = csv_cells(l);
+        if (lay.src >= cells.size()) return 0;  // Column error surfaces later.
+        tok = cells[lay.src];
+      } else {
+        const auto toks = ws_tokens(l);
+        if (toks.empty()) continue;
+        tok = toks[0];
+      }
+      return is_integer_token(tok) ? 0 : 1;
+    }
+    return -1;
+  }
+
+  void merge(std::vector<Partial>& parts) {
+    std::size_t total = out.edges.size();
+    for (const Partial& p : parts) total += p.edges.size();
+    out.edges.reserve(total);
+    for (Partial& p : parts) {
+      merge_directives(p.nodes, p.snapshots);
+      out.has_weights = out.has_weights || p.weights;
+      if (p.edges.empty()) continue;
       if (have_prev) {
         check_sorted(prev_t, p.edges.front(), path, p.first_edge_line);
       }
       prev_t = p.edges.back().t;
       have_prev = true;
+      if (out.string_ids) {
+        // Translate chunk-local name ids to global arrival order. Chunks
+        // merge in file order, so the global table (and therefore every
+        // downstream remap) is independent of pool width and window size.
+        std::vector<long long> to_global;
+        to_global.reserve(p.names.size());
+        for (const std::string_view nv : p.names) {
+          const auto [it, inserted] = name_index.try_emplace(
+              std::string(nv), static_cast<long long>(out.names.size()));
+          if (inserted) out.names.emplace_back(nv);
+          to_global.push_back(it->second);
+        }
+        for (TemporalEdge& e : p.edges) {
+          e.src = to_global[static_cast<std::size_t>(e.src)];
+          e.dst = to_global[static_cast<std::size_t>(e.dst)];
+        }
+      }
       out.edges.insert(out.edges.end(), p.edges.begin(), p.edges.end());
     }
   }
-  return out;
+
+  /// Parse one region (whole lines) whose first line is `start_line`,
+  /// appending edges to out.edges.
+  void parse_region(const std::string& text, std::size_t start_line) {
+    std::size_t pos = 0;
+    std::size_t line = start_line;
+    if (first_region) {
+      first_region = false;
+      if (const char* fmt = binary_format_name(text)) {
+        throw Error(path + ": not a text dataset — detected " +
+                    std::string(fmt));
+      }
+    }
+    if (const void* nul = std::memchr(text.data(), '\0', text.size())) {
+      const auto* p = static_cast<const char*>(nul);
+      fail_at(path, line + count_newlines(text.data(), p),
+              "NUL byte — binary data is not a text dataset");
+    }
+    if (csv && !have_layout) {
+      if (!scan_to_csv_header(text, pos, line)) return;
+    }
+    if (!mode_known) {
+      const int m = detect_mode(text, pos);
+      if (m >= 0) {
+        out.string_ids = m == 1;
+        mode_known = true;
+      }
+    }
+    const auto chunks =
+        chunk_lines(text, pos, line, want_chunks(text.size() - pos, pool));
+    std::vector<Partial> parts(chunks.size());
+    const auto parse_one = [&](std::size_t i) {
+      const Chunk& c = chunks[i];
+      const auto body =
+          std::string_view(text).substr(c.begin, c.end - c.begin);
+      if (csv) {
+        parse_csv_chunk(path, body, c.first_line, lay, out.string_ids,
+                        parts[i]);
+      } else {
+        parse_el_chunk(path, body, c.first_line, out.string_ids, parts[i]);
+      }
+    };
+    if (pool != nullptr && chunks.size() > 1 &&
+        ThreadPool::current_pool() == nullptr) {
+      pool->parallel_for(chunks.size(), parse_one);
+    } else {
+      for (std::size_t i = 0; i < chunks.size(); ++i) parse_one(i);
+    }
+    merge(parts);
+    out.parse_chunks =
+        std::max(out.parse_chunks, std::max<std::size_t>(1, chunks.size()));
+  }
+
+  void finalize() {
+    if (csv && !have_layout) {
+      throw Error(path + ": empty CSV (no header row)");
+    }
+    if (out.string_ids && out.declared_nodes >= 0) {
+      throw Error(path +
+                  ": the nodes=N directive requires integer vertex ids "
+                  "(this file uses string ids)");
+    }
+  }
+};
+
+template <bool Csv>
+EdgeFile parse_text(const std::string& path, const std::string& content,
+                    ThreadPool* pool) {
+  ParseState st(path, pool, Csv);
+  st.parse_region(content, 1);
+  st.finalize();
+  return std::move(st.out);
 }
 
-/// First non-blank, non-comment line of `content` (the CSV header), along
-/// with the byte offset just past it and its line number. Leading comments
-/// may carry directives, collected into `pre`.
-std::size_t find_csv_header(const std::string& path,
-                            const std::string& content, std::string_view& hdr,
-                            std::size_t& hdr_line, Partial& pre) {
-  std::size_t pos = 0, line = 1;
-  while (pos < content.size()) {
-    std::size_t eol = content.find('\n', pos);
-    if (eol == std::string::npos) eol = content.size();
-    const std::string_view l =
-        trim(std::string_view(content).substr(pos, eol - pos));
-    const std::size_t next = eol + 1;
-    if (l.empty()) {
-      pos = next;
-      ++line;
-      continue;
-    }
-    if (l.front() == '#') {
-      scan_directives(l.substr(1), path, line, pre);
-      pos = next;
-      ++line;
-      continue;
-    }
-    hdr = l;
-    hdr_line = line;
-    return next;
+template <bool Csv>
+EdgeFile parse_text_stream(const std::string& path, StreamReader& in,
+                           ThreadPool* pool, const EdgeSink& sink) {
+  ParseState st(path, pool, Csv);
+  std::string window;
+  std::size_t first_line = 1;
+  while (in.next_window(window, first_line)) {
+    st.parse_region(window, first_line);
+    std::vector<TemporalEdge> batch = std::move(st.out.edges);
+    st.out.edges = std::vector<TemporalEdge>();
+    st.out.streamed_edges += batch.size();
+    sink(st.out, std::move(batch));
   }
-  throw Error(path + ": empty CSV (no header row)");
+  st.finalize();
+  return std::move(st.out);
 }
 
 }  // namespace
 
 EdgeFile parse_edge_list(const std::string& path, const std::string& content,
                          ThreadPool* pool) {
-  return run_chunked(path, content, 0, 1, pool,
-                     [&](std::string_view text, std::size_t first_line,
-                         Partial& out) {
-                       parse_el_chunk(path, text, first_line, out);
-                     });
+  return parse_text<false>(path, content, pool);
 }
 
 EdgeFile parse_temporal_csv(const std::string& path,
                             const std::string& content, ThreadPool* pool) {
-  std::string_view hdr;
-  std::size_t hdr_line = 1;
-  Partial pre;
-  const std::size_t body = find_csv_header(path, content, hdr, hdr_line, pre);
-  const CsvLayout lay = parse_csv_header(path, hdr, hdr_line);
-  EdgeFile out = run_chunked(path, content, body, hdr_line + 1, pool,
-                             [&](std::string_view text, std::size_t first_line,
-                                 Partial& part) {
-                               parse_csv_chunk(path, text, first_line, lay,
-                                               part);
-                             });
-  // Directives seen before the header.
-  if (pre.nodes >= 0) {
-    if (out.declared_nodes >= 0 && out.declared_nodes != pre.nodes) {
-      throw Error(path + ": conflicting nodes directives");
-    }
-    out.declared_nodes = pre.nodes;
-  }
-  if (pre.snapshots >= 0) {
-    if (out.declared_snapshots >= 0 && out.declared_snapshots != pre.snapshots) {
-      throw Error(path + ": conflicting snapshots directives");
-    }
-    out.declared_snapshots = static_cast<int>(pre.snapshots);
-  }
-  return out;
+  return parse_text<true>(path, content, pool);
+}
+
+EdgeFile parse_edge_list_stream(const std::string& path, StreamReader& in,
+                                ThreadPool* pool, const EdgeSink& sink) {
+  return parse_text_stream<false>(path, in, pool, sink);
+}
+
+EdgeFile parse_temporal_csv_stream(const std::string& path, StreamReader& in,
+                                   ThreadPool* pool, const EdgeSink& sink) {
+  return parse_text_stream<true>(path, in, pool, sink);
 }
 
 FeatureFile parse_features(const std::string& path, const std::string& content,
-                           const std::function<int(long long)>& remap,
-                           int num_nodes, int num_snapshots) {
+                           const VertexRemap& remap, int num_nodes,
+                           int num_snapshots) {
   FeatureFile ff;
   std::size_t pos = 0, line = 1;
   bool have_header = false;
@@ -496,7 +689,7 @@ FeatureFile parse_features(const std::string& path, const std::string& content,
       ff.dim = static_cast<int>(d);
       ff.temporal = toks.size() > 4 && toks[4] == "temporal";
       if (toks.size() > 4 && toks[4] != "temporal" && toks[4] != "static") {
-        fail_at(path, line, "bad header mode '" + std::string(toks[4]) + "'");
+        fail_at(path, line, "bad header mode '" + escape_token(toks[4]) + "'");
       }
       if (ff.temporal) {
         ff.per_snapshot.assign(num_snapshots, Tensor(num_nodes, ff.dim));
@@ -531,7 +724,7 @@ FeatureFile parse_features(const std::string& path, const std::string& content,
       }
       snap = static_cast<int>(t);
     }
-    const long long raw = parse_ll_tok(toks[lead - 1], path, line, "vertex id");
+    const std::string_view raw = toks[lead - 1];
     int v;
     try {
       v = remap(raw);
@@ -539,8 +732,8 @@ FeatureFile parse_features(const std::string& path, const std::string& content,
       fail_at(path, line, e.what());
     }
     if (seen[static_cast<std::size_t>(snap)][static_cast<std::size_t>(v)]) {
-      fail_at(path, line, "duplicate feature row for vertex " +
-                              std::to_string(raw));
+      fail_at(path, line,
+              "duplicate feature row for vertex " + escape_token(raw));
     }
     seen[static_cast<std::size_t>(snap)][static_cast<std::size_t>(v)] = true;
     Tensor& dest = ff.temporal ? ff.per_snapshot[snap] : ff.static_feat;
@@ -558,8 +751,8 @@ FeatureFile parse_features(const std::string& path, const std::string& content,
 
 std::vector<Tensor> parse_targets(const std::string& path,
                                   const std::string& content,
-                                  const std::function<int(long long)>& remap,
-                                  int num_nodes, int num_snapshots) {
+                                  const VertexRemap& remap, int num_nodes,
+                                  int num_snapshots) {
   std::vector<Tensor> out(num_snapshots, Tensor(num_nodes, 1));
   std::vector<std::vector<bool>> seen(
       num_snapshots, std::vector<bool>(static_cast<std::size_t>(num_nodes)));
@@ -600,7 +793,7 @@ std::vector<Tensor> parse_targets(const std::string& path,
                               " out of range [0, " +
                               std::to_string(num_snapshots) + ")");
     }
-    const long long raw = parse_ll_tok(toks[1], path, line, "vertex id");
+    const std::string_view raw = toks[1];
     int v;
     try {
       v = remap(raw);
@@ -609,7 +802,7 @@ std::vector<Tensor> parse_targets(const std::string& path,
     }
     if (seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)]) {
       fail_at(path, line,
-              "duplicate target row for vertex " + std::to_string(raw));
+              "duplicate target row for vertex " + escape_token(raw));
     }
     seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(v)] = true;
     out[static_cast<std::size_t>(t)].at(v, 0) =

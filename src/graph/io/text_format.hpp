@@ -14,16 +14,25 @@
 //   targets      `# pipad-targets v1` header, then `t id y`
 //
 // Timestamps are signed 64-bit integers and must be non-decreasing through
-// the file; vertex ids are arbitrary non-negative 64-bit integers that the
-// loader remaps to a dense range. Edge parsing is chunk-parallel on the
-// shared ComputePool: the file is split at newline boundaries into bounded
-// chunks parsed independently, and chunk results are concatenated in file
-// order — so the parsed stream is bit-identical for any thread count.
+// the file. Vertex ids are either non-negative 64-bit integers or — when
+// the first data row's src token is quoted or does not parse as an integer
+// — arbitrary strings (string-id mode, EdgeFile::string_ids): every id in
+// the file is then a string, optionally "double-quoted", and the loader
+// remaps the sorted-unique name set to a dense range. Edge parsing is
+// chunk-parallel on the shared ComputePool: the input is split at newline
+// boundaries into bounded chunks parsed independently, and chunk results
+// are concatenated in file order — so the parsed stream is bit-identical
+// for any thread count. The streaming entry points below additionally
+// window the input (see stream_reader.hpp): windows are parsed one at a
+// time and handed to a sink, which bounds memory by the window size
+// instead of the file size, with byte-identical results for any window
+// size.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/error.hpp"
@@ -31,6 +40,8 @@
 #include "tensor/tensor.hpp"
 
 namespace pipad::graph::io {
+
+class StreamReader;
 
 struct TemporalEdge {
   long long src = 0;
@@ -46,7 +57,15 @@ struct EdgeFile {
   long long declared_nodes = -1;  ///< `nodes=N` directive (-1 = absent).
   int declared_snapshots = -1;    ///< `snapshots=S` directive (-1 = absent).
   bool has_weights = false;       ///< Any row carried a 4th column.
-  std::size_t parse_chunks = 1;   ///< Chunks the parse fanned out to.
+  std::size_t parse_chunks = 1;   ///< Chunks the parse fanned out to (max
+                                  ///< over windows in streaming mode).
+  bool string_ids = false;        ///< String-id mode (see header comment).
+  /// String-id mode: the distinct vertex names in first-appearance order;
+  /// edges' src/dst index into this table. Empty in integer-id mode.
+  std::vector<std::string> names;
+  /// Streaming mode: total edges handed to the sink (EdgeFile::edges stays
+  /// empty there). 0 in the in-memory entry points.
+  std::size_t streamed_edges = 0;
 };
 
 /// Read a whole file into memory; throws Error when it cannot be opened.
@@ -57,6 +76,11 @@ std::uint64_t fnv1a(const void* data, std::size_t n,
                     std::uint64_t h = 0xcbf29ce484222325ull);
 std::uint64_t fnv1a_u64(std::uint64_t v,
                         std::uint64_t h = 0xcbf29ce484222325ull);
+
+/// `tok` made safe for an error message: non-printable bytes become \xNN
+/// escapes and anything past `max_bytes` input bytes is elided with "...",
+/// so a malformed-token error never embeds raw binary garbage.
+std::string escape_token(std::string_view tok, std::size_t max_bytes = 32);
 
 /// Parse whitespace-separated `src dst t [w]` lines. `path` is used in
 /// error messages only; `content` is the file body. With a pool (and when
@@ -69,6 +93,26 @@ EdgeFile parse_temporal_csv(const std::string& path,
                             const std::string& content,
                             ThreadPool* pool = nullptr);
 
+/// Streaming sink: receives each window's edges in file order, exactly
+/// once, after that window fully parsed and merged. `so_far` is the
+/// accumulating summary — directives, string_ids/names and has_weights
+/// reflect everything parsed up to and including this window (so a sink
+/// may commit to a staging strategy on the first call). The edges vector
+/// is moved in; the sink owns it.
+using EdgeSink =
+    std::function<void(const EdgeFile& so_far, std::vector<TemporalEdge>&&)>;
+
+/// Windowed streaming variants: pull newline-aligned windows from `in`,
+/// parse each chunk-parallel, and hand each window's edges to `sink` —
+/// memory stays bounded by the window size. The returned EdgeFile carries
+/// directives/names/flags and streamed_edges but no edges. Byte-identical
+/// to the in-memory parse of the same content for any window size, pool
+/// width included.
+EdgeFile parse_edge_list_stream(const std::string& path, StreamReader& in,
+                                ThreadPool* pool, const EdgeSink& sink);
+EdgeFile parse_temporal_csv_stream(const std::string& path, StreamReader& in,
+                                   ThreadPool* pool, const EdgeSink& sink);
+
 /// A parsed node-feature file. Unlisted (t, id) slots stay 0; duplicate
 /// rows are rejected.
 struct FeatureFile {
@@ -78,16 +122,22 @@ struct FeatureFile {
   std::vector<Tensor> per_snapshot; ///< temporal: S tensors [num_nodes x dim].
 };
 
-/// Parse a feature file. `remap` converts raw vertex ids to dense indices
-/// and throws on unknown ids; `num_snapshots` bounds temporal rows' `t`.
+/// Vertex-id remap for sidecar files: converts a raw id token (integer, or
+/// an optionally-quoted name in string-id mode) to a dense index; throws
+/// Error on unknown/malformed ids.
+using VertexRemap = std::function<int(std::string_view)>;
+
+/// Parse a feature file. `remap` converts raw vertex-id tokens to dense
+/// indices and throws on unknown ids; `num_snapshots` bounds temporal
+/// rows' `t`.
 FeatureFile parse_features(const std::string& path, const std::string& content,
-                           const std::function<int(long long)>& remap,
-                           int num_nodes, int num_snapshots);
+                           const VertexRemap& remap, int num_nodes,
+                           int num_snapshots);
 
 /// Parse a target file into one [num_nodes x 1] tensor per snapshot.
 std::vector<Tensor> parse_targets(const std::string& path,
                                   const std::string& content,
-                                  const std::function<int(long long)>& remap,
-                                  int num_nodes, int num_snapshots);
+                                  const VertexRemap& remap, int num_nodes,
+                                  int num_snapshots);
 
 }  // namespace pipad::graph::io

@@ -12,6 +12,7 @@
 // their data.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -80,9 +81,14 @@ class HostLane {
   /// so a long timeline's partition extraction does not pile up unconsumed
   /// results. 0 picks 2x the pool width. Same charging contract as run():
   /// each job's measured wall-clock lands on the lane that executed it.
+  /// With `adaptive` set the window self-tunes between the pool width and
+  /// 4x the pool width from the measured extraction-cost vs
+  /// consumption-rate balance (see HostStream::wait); `window` then only
+  /// sets the starting point.
   std::unique_ptr<HostStream> stream(std::string name, std::size_t n,
                                      std::function<void(std::size_t)> job,
-                                     std::size_t window = 0);
+                                     std::size_t window = 0,
+                                     bool adaptive = false);
 
   /// Per-lane charged busy time within the sim-time window [t0, t1) of
   /// worker ops whose name starts with `prefix` ("" = all): the measured
@@ -114,6 +120,10 @@ class HostStream {
   /// in-flight window this bounds how far the stream has run ahead.
   std::size_t retired() const { return retired_count_; }
 
+  /// Current in-flight window. Fixed unless the stream was created
+  /// adaptive, in which case wait() retunes it (consumer-thread view).
+  std::size_t window() const { return window_; }
+
   /// Simulated completion time of job j. Blocks until the job is done;
   /// rethrows the first job exception once the waited job has retired.
   /// The error is sticky: after any job failed, every wait() throws, so
@@ -128,7 +138,7 @@ class HostStream {
   friend class HostLane;
   HostStream(gpusim::Gpu& gpu, ThreadPool& pool, std::string name,
              std::size_t n, std::function<void(std::size_t)> job,
-             std::size_t window);
+             std::size_t window, bool adaptive);
 
   struct Completion {
     std::size_t index;
@@ -138,6 +148,8 @@ class HostStream {
   };
 
   void submit_next_locked();       ///< Enqueue one more job if any remain.
+  void refill_locked();            ///< Top the in-flight window back up.
+  void adapt_locked(double job_wall_us);  ///< Retune window_ (adaptive mode).
   void retire(const Completion&);  ///< Charge one completion (consumer thread).
 
   gpusim::Gpu& gpu_;
@@ -146,6 +158,9 @@ class HostStream {
   std::size_t n_;
   std::function<void(std::size_t)> job_;
   std::size_t window_;
+  bool adaptive_ = false;
+  std::size_t min_window_ = 1;  ///< Adaptive bounds: [pool width, 4x].
+  std::size_t max_window_ = 1;
 
   std::mutex mutex_;                  ///< Guards done_, futures_, counters.
   std::condition_variable cv_;
@@ -161,6 +176,16 @@ class HostStream {
   std::vector<double> end_us_;        ///< Sim end per retired job.
   std::vector<bool> retired_;
   std::exception_ptr first_error_;
+
+  // Adaptive-window signal (consumer thread): EWMA of the producers' job
+  // wall time vs the consumer's inter-wait() interval — the extraction
+  // cost vs consumption rate balance.
+  double ewma_job_us_ = 0.0;
+  double ewma_consume_us_ = 0.0;
+  bool have_job_ = false;
+  bool have_consume_ = false;
+  std::chrono::steady_clock::time_point last_wait_{};
+  bool have_last_wait_ = false;
 };
 
 /// Drain the ComputePool's measured kernel regions and charge each to the

@@ -596,7 +596,11 @@ struct PipadTrainer::Impl {
           },
           opts.prep_stream_window > 0
               ? static_cast<std::size_t>(opts.prep_stream_window)
-              : 0);
+              : 0,
+          // An explicit window is a pin (the tuner sweeps depend on it);
+          // otherwise let the stream balance extraction cost against the
+          // measured consumption rate itself.
+          /*adaptive=*/opts.prep_stream_window == 0);
       return;
     }
 

@@ -60,7 +60,11 @@ struct PipadOptions {
   /// only on its own partition; false restores the one-batch extractor
   /// (kept for the ablation_tuner comparison).
   bool stream_prep = true;
-  /// Max in-flight streamed extractions (backpressure; 0 = 2x pool width).
+  /// Max in-flight streamed extractions (backpressure). 0 = adaptive: the
+  /// stream starts at 2x the pool width and self-tunes between 1x and 4x
+  /// from the measured extraction-cost vs consumption-rate balance; a
+  /// positive value pins the window (the ablation/tuner sweeps rely on
+  /// that).
   int prep_stream_window = 0;
 };
 

@@ -217,6 +217,30 @@ TEST(CliParse, WindowAndSnapshotsExclusiveForFileDatasets) {
                       "--snapshot-window", "10", "--snapshots", "4"}).ok);
 }
 
+TEST(CliParse, WindowBytesLandsAndRequiresAFileDataset) {
+  const auto r = parse({"train", "--dataset", "file:/tmp/g.el",
+                        "--window-bytes", "1048576"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.window_bytes, 1048576);
+  EXPECT_FALSE(parse({"train", "--window-bytes", "1048576"}).ok);
+  EXPECT_FALSE(parse({"train", "--dataset", "file:/tmp/g.el",
+                      "--window-bytes", "-1"}).ok);
+  // 0 = the loader default, same convention as --snapshot-window.
+  EXPECT_TRUE(parse({"train", "--dataset", "file:/tmp/g.el",
+                     "--window-bytes", "0"}).ok);
+  EXPECT_NE(usage().find("--window-bytes"), std::string::npos);
+}
+
+TEST(CliParse, OverflowingFloatLiteralsRejected) {
+  // strtod turns 1e999 into +inf with ERANGE; accepting it would silently
+  // train with an infinite edge lifetime.
+  EXPECT_FALSE(parse({"train", "--edge-life", "1e999"}).ok);
+  EXPECT_FALSE(parse({"train", "--edge-life", "inf"}).ok);
+  EXPECT_FALSE(parse({"train", "--edge-life", "nan"}).ok);
+  EXPECT_FALSE(parse({"train", "--edge-life", "1e-999999999"}).ok);
+  EXPECT_TRUE(parse({"train", "--edge-life", "4.5"}).ok);
+}
+
 TEST(CliParse, EdgeLifeForFileDatasetsMustBeInteger) {
   const auto r = parse({"train", "--dataset", "file:/tmp/g.csv",
                         "--edge-life", "3"});

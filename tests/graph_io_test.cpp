@@ -4,6 +4,8 @@
 // snapshot cache, and worker-lane charging of measured load phases.
 #include <gtest/gtest.h>
 
+#include <zlib.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -14,6 +16,7 @@
 #include "graph/io/dtdg_file.hpp"
 #include "graph/io/exporter.hpp"
 #include "graph/io/loader.hpp"
+#include "graph/io/stream_reader.hpp"
 #include "graph/io/text_format.hpp"
 #include "host/host_lane.hpp"
 
@@ -39,6 +42,19 @@ std::string write_file_at(const fs::path& path, const std::string& content) {
   return path.string();
 }
 
+/// Write `content` gzip-compressed (one member) at `path`.
+std::string gzip_file_at(const fs::path& path, const std::string& content) {
+  gzFile gz = gzopen(path.string().c_str(), "wb");
+  EXPECT_NE(gz, nullptr) << path;
+  if (!content.empty()) {
+    EXPECT_EQ(gzwrite(gz, content.data(),
+                      static_cast<unsigned>(content.size())),
+              static_cast<int>(content.size()));
+  }
+  EXPECT_EQ(gzclose(gz), Z_OK);
+  return path.string();
+}
+
 std::string fixture(const char* name) {
   return std::string(PIPAD_TEST_DATA_DIR) + "/" + name;
 }
@@ -50,6 +66,7 @@ void expect_same_dtdg(const DTDG& a, const DTDG& b) {
   ASSERT_EQ(a.feat_dim, b.feat_dim);
   ASSERT_EQ(a.num_snapshots(), b.num_snapshots());
   EXPECT_EQ(a.sim_scale, b.sim_scale);
+  EXPECT_EQ(a.vertex_names, b.vertex_names);
   for (int t = 0; t < a.num_snapshots(); ++t) {
     EXPECT_TRUE(same_topology(a.snapshots[t].adj, b.snapshots[t].adj))
         << "adj differs at snapshot " << t;
@@ -706,6 +723,437 @@ TEST(Docs, FormatSpecWorkedExampleIsTheCheckedInFixture) {
   EXPECT_NE(doc.find(feats), std::string::npos)
       << "docs/DATASET_FORMATS.md must embed tests/data/sample_features.tsv "
          "verbatim";
+}
+
+// ---- streaming windows ----
+
+TEST(Stream, WindowSizeAndPoolWidthNeverChangeTheResult) {
+  const auto dir = temp_dir();
+  const DTDG g0 = generate(small_cfg());
+  const auto p = (dir / "w.el").string();
+  export_edge_list(g0, p);
+  const DTDG base = load_dataset(p);
+  ThreadPool p1(1), p8(8);
+  for (const std::size_t window : {std::size_t{257}, std::size_t{4096}}) {
+    for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), &p1, &p8}) {
+      LoadOptions ow;
+      ow.window_bytes = window;
+      const DTDG g = load_dataset(p, ow, pool);
+      expect_same_dtdg(base, g);
+    }
+  }
+}
+
+TEST(Stream, StreamedParseMatchesInMemoryParse) {
+  const auto dir = temp_dir();
+  std::string content = "# nodes=40 snapshots=6\n";
+  char buf[64];
+  for (int t = 0; t < 6; ++t) {
+    for (int i = 0; i < 50; ++i) {
+      std::snprintf(buf, sizeof(buf), "%d %d %d %.3f\n", (i * 3) % 40,
+                    (i * 11 + t) % 40, t, 0.5 + 0.01 * i);
+      content += buf;
+    }
+  }
+  const EdgeFile mem = parse_edge_list("mem.el", content);
+
+  const auto p = write_file_at(dir / "s.el", content);
+  StreamReader reader(p, 64);  // Dozens of tiny windows.
+  std::vector<TemporalEdge> streamed;
+  const EdgeFile ef = parse_edge_list_stream(
+      p, reader, nullptr,
+      [&](const EdgeFile&, std::vector<TemporalEdge>&& edges) {
+        streamed.insert(streamed.end(), edges.begin(), edges.end());
+      });
+  EXPECT_TRUE(ef.edges.empty());
+  EXPECT_EQ(ef.streamed_edges, mem.edges.size());
+  EXPECT_EQ(ef.declared_nodes, mem.declared_nodes);
+  EXPECT_EQ(ef.declared_snapshots, mem.declared_snapshots);
+  EXPECT_EQ(ef.has_weights, mem.has_weights);
+  ASSERT_EQ(streamed.size(), mem.edges.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].src, mem.edges[i].src) << i;
+    EXPECT_EQ(streamed[i].dst, mem.edges[i].dst) << i;
+    EXPECT_EQ(streamed[i].t, mem.edges[i].t) << i;
+    EXPECT_EQ(streamed[i].w, mem.edges[i].w) << i;
+  }
+}
+
+TEST(Stream, NoTrailingNewlineStillLoads) {
+  const auto dir = temp_dir();
+  const auto a = write_file_at(dir / "a.el", "0 1 0\n1 2 1\n");
+  const auto b = write_file_at(dir / "b.el", "0 1 0\n1 2 1");
+  expect_same_dtdg(load_dataset(a), load_dataset(b));
+}
+
+// ---- gzip inputs ----
+
+TEST(Gzip, EdgeListLoadsBitIdenticalToPlain) {
+  const auto dir = temp_dir();
+  const DTDG g0 = generate(small_cfg());
+  const auto plain = (dir / "g.el").string();
+  export_edge_list(g0, plain);
+  const auto gz = gzip_file_at(dir / "g.el.gz", read_file(plain));
+
+  LoadStats stp, stz;
+  const DTDG gp = load_dataset(plain, {}, nullptr, &stp);
+  const DTDG gg = load_dataset(gz, {}, nullptr, &stz);
+  expect_same_dtdg(gp, gg);
+  EXPECT_EQ(gg.name, "g");  // ".el.gz" strips down to the same stem.
+  EXPECT_EQ(stp.inflate_us, 0.0);
+  EXPECT_GE(stz.inflate_us, 0.0);
+}
+
+TEST(Gzip, CsvDispatchesOnInnerExtension) {
+  const auto dir = temp_dir();
+  const std::string content = read_file(fixture("sample_edges.csv"));
+  const auto gz = gzip_file_at(dir / "s.csv.gz", content);
+  expect_same_dtdg(load_dataset(fixture("sample_edges.csv")),
+                   load_dataset(gz));
+}
+
+TEST(Gzip, ConcatenatedMembersAndEmptyMemberParse) {
+  const auto dir = temp_dir();
+  const std::string part1 = "0 1 0\n1 2 0\n";
+  const std::string part2 = "2 3 1\n3 4 2\n";
+  gzip_file_at(dir / "m0.gz", "");  // A zero-byte member is legal glue.
+  gzip_file_at(dir / "m1.gz", part1);
+  gzip_file_at(dir / "m2.gz", part2);
+  std::string cat = read_file((dir / "m0.gz").string()) +
+                    read_file((dir / "m1.gz").string()) +
+                    read_file((dir / "m2.gz").string());
+  const auto gz = write_file_at(dir / "cat.el.gz", cat);
+  const auto plain = write_file_at(dir / "cat.el", part1 + part2);
+  expect_same_dtdg(load_dataset(plain), load_dataset(gz));
+}
+
+TEST(Gzip, TruncatedStreamRejected) {
+  const auto dir = temp_dir();
+  std::string content;
+  for (int i = 0; i < 2000; ++i) {
+    content += std::to_string(i % 50) + " " + std::to_string((i * 7) % 50) +
+               " " + std::to_string(i / 200) + "\n";
+  }
+  gzip_file_at(dir / "full.gz", content);
+  const std::string bytes = read_file((dir / "full.gz").string());
+  ASSERT_GT(bytes.size(), 40u);
+  const auto trunc =
+      write_file_at(dir / "t.el.gz", bytes.substr(0, bytes.size() / 2));
+  try {
+    load_dataset(trunc);
+    FAIL() << "truncated gzip accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("gzip"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Gzip, EmptyMemberAloneHasNoEdges) {
+  const auto dir = temp_dir();
+  const auto gz = gzip_file_at(dir / "e.el.gz", "");
+  try {
+    load_dataset(gz);
+    FAIL() << "empty gzip accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no edges"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Gzip, CompressedDtdgRejected) {
+  const auto dir = temp_dir();
+  const auto gz = gzip_file_at(dir / "g.dtdg.gz", "anything");
+  try {
+    load_dataset(gz);
+    FAIL() << ".dtdg.gz accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("not supported"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- adversarial inputs: every corpus entry throws Error, never crashes ----
+
+TEST(AdversarialInput, TruncatedMidRecordRejected) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(dir / "t.el", "0 1 0\n1 2");
+  EXPECT_THROW(load_dataset(p), Error);
+}
+
+TEST(AdversarialInput, NulByteRejected) {
+  const auto dir = temp_dir();
+  std::string content = "0 1 0\n0 ";
+  content.push_back('\0');
+  content += "1 1\n";
+  const auto p = write_file_at(dir / "n.el", content);
+  try {
+    load_dataset(p);
+    FAIL() << "NUL byte accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("NUL"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AdversarialInput, BinaryMagicsNamedInError) {
+  const auto dir = temp_dir();
+  const auto expect_detected = [&](const char* file, std::string bytes,
+                                   const char* needle) {
+    const auto p = write_file_at(dir / file, bytes);
+    try {
+      load_dataset(p);
+      FAIL() << file << " accepted";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << file << ": " << e.what();
+      EXPECT_NE(std::string(e.what()).find("not a text dataset"),
+                std::string::npos)
+          << file << ": " << e.what();
+    }
+  };
+  expect_detected("z.el", std::string("\x28\xb5\x2f\xfd", 4) + "payload",
+                  "zstd");
+  expect_detected("x.el", std::string("\xfd", 1) + "7zXZ" +
+                              std::string(1, '\0') + "payload",
+                  "xz");
+  expect_detected("b.el",
+                  std::string("BZh9") +
+                      std::string("\x31\x41\x59\x26\x53\x59", 6) + "payload",
+                  "bzip2");
+  expect_detected("d.el", std::string("PIPADTDG") + "payload", ".dtdg");
+}
+
+TEST(AdversarialInput, GarbageTokensAreEscapedInErrors) {
+  const auto dir = temp_dir();
+  std::string content = "a b ";
+  content.push_back('\x01');
+  content.push_back('\x02');
+  content += "\n";
+  const auto p = write_file_at(dir / "g.el", content);
+  try {
+    load_dataset(p);
+    FAIL() << "garbage timestamp accepted";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("\\x01\\x02"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find('\x01'), std::string::npos) << "raw byte in message";
+  }
+}
+
+TEST(AdversarialInput, ImplausiblyLargeNodesDirectiveRejected) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(dir / "h.el", "# nodes=100000000\n0 1 0\n");
+  try {
+    load_dataset(p);
+    FAIL() << "huge nodes directive accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausibly large"),
+              std::string::npos)
+        << e.what();
+  }
+  // The guard floor: 65536 declared nodes on one edge row is still honored
+  // (small fixtures routinely over-declare).
+  const auto ok = write_file_at(dir / "ok.el", "# nodes=65536\n0 1 0\n");
+  EXPECT_EQ(load_dataset(ok).num_nodes, 65536);
+}
+
+TEST(AdversarialInput, OverflowingTimestampRejected) {
+  const auto dir = temp_dir();
+  const auto p =
+      write_file_at(dir / "o.el", "0 1 99999999999999999999999\n");
+  try {
+    load_dataset(p);
+    FAIL() << "overflowing timestamp accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("timestamp"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AdversarialInput, SnapshotCountBombRejected) {
+  const auto dir = temp_dir();
+  const auto p =
+      write_file_at(dir / "s.el", "# snapshots=16777217\n0 1 0\n");
+  try {
+    load_dataset(p);
+    FAIL() << "snapshot bomb accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cap"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AdversarialInput, NewlineFreeBlobRejected) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(
+      dir / "l.el", std::string(StreamReader::kMaxLineBytes + 4096, '7'));
+  try {
+    load_dataset(p);
+    FAIL() << "newline-free blob accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- string vertex ids ----
+
+TEST(StringIds, NamesRemapInSortedOrder) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(
+      dir / "s.el", "\"gamma\" \"alpha\" 0\nbeta gamma 0\nalpha beta 1\n");
+  const DTDG g = load_dataset(p);
+  EXPECT_EQ(g.num_nodes, 3);
+  ASSERT_EQ(g.vertex_names,
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  // In-adjacency rows: gamma->alpha lands in row 0 (alpha), col 2 (gamma).
+  const CSR& adj = g.snapshots[0].adj;
+  ASSERT_EQ(adj.degree(0), 1);
+  EXPECT_EQ(adj.col_idx[adj.row_ptr[0]], 2);
+  ASSERT_EQ(adj.degree(2), 1);
+  EXPECT_EQ(adj.col_idx[adj.row_ptr[2]], 1);  // beta->gamma.
+}
+
+TEST(StringIds, NumericTokensAfterAStringFirstRowAreNames) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(dir / "m.el", "x y 0\n7 x 1\n");
+  const DTDG g = load_dataset(p);
+  EXPECT_EQ(g.num_nodes, 3);
+  EXPECT_EQ(g.vertex_names, (std::vector<std::string>{"7", "x", "y"}));
+}
+
+TEST(StringIds, NodesDirectiveRejected) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(dir / "d.el", "# nodes=3\na b 0\n");
+  try {
+    load_dataset(p);
+    FAIL() << "nodes directive with string ids accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("integer vertex ids"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(StringIds, WindowSizeAndPoolWidthInvariant) {
+  const auto dir = temp_dir();
+  std::string content;
+  char buf[64];
+  for (int t = 0; t < 8; ++t) {
+    for (int i = 0; i < 40; ++i) {
+      std::snprintf(buf, sizeof(buf), "v%d v%d %d\n", (i * 7) % 23,
+                    (i * 13 + t) % 23, t);
+      content += buf;
+    }
+  }
+  const auto p = write_file_at(dir / "w.el", content);
+  const DTDG base = load_dataset(p);
+  ThreadPool p8(8);
+  LoadOptions ow;
+  ow.window_bytes = 64;
+  const DTDG g = load_dataset(p, ow, &p8);
+  expect_same_dtdg(base, g);  // Includes vertex_names.
+}
+
+TEST(StringIds, SidecarFilesJoinOnNames) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(
+      dir / "s.el", "alpha beta 0\nbeta gamma 0\ngamma alpha 1\n");
+  const auto feats = write_file_at(dir / "s_features.tsv",
+                                   "# pipad-features v1 dim=1 static\n"
+                                   "alpha 2.5\n"
+                                   "\"gamma\" -1.5\n");
+  LoadOptions o;
+  o.features_path = feats;
+  const DTDG g = load_dataset(p, o);
+  ASSERT_EQ(g.feat_dim, 1);
+  for (int t = 0; t < g.num_snapshots(); ++t) {
+    EXPECT_FLOAT_EQ(g.snapshots[t].features.at(0, 0), 2.5f);   // alpha.
+    EXPECT_FLOAT_EQ(g.snapshots[t].features.at(1, 0), 0.0f);   // beta.
+    EXPECT_FLOAT_EQ(g.snapshots[t].features.at(2, 0), -1.5f);  // gamma.
+  }
+
+  const auto bad = write_file_at(dir / "bad_features.tsv",
+                                 "# pipad-features v1 dim=1 static\n"
+                                 "delta 1.0\n");
+  LoadOptions ob;
+  ob.features_path = bad;
+  try {
+    load_dataset(p, ob);
+    FAIL() << "unknown name accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("does not appear"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(StringIds, DtdgV3RoundTripPersistsNames) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(
+      dir / "s.el", "alpha beta 0 0.5\nbeta gamma 0 2.0\ngamma alpha 1\n");
+  const DTDG g1 = load_dataset(p);
+  ASSERT_FALSE(g1.vertex_names.empty());
+  const auto dtdg = (dir / "s.dtdg").string();
+  write_dtdg(g1, dtdg, 1);
+  const DTDG g2 = read_dtdg(dtdg);
+  expect_same_dtdg(g1, g2);
+  EXPECT_EQ(g2.vertex_names, g1.vertex_names);
+}
+
+TEST(StringIds, ExporterRoundTripsNamedGraphs) {
+  const auto dir = temp_dir();
+  const auto p = write_file_at(
+      dir / "s.el", "alpha beta 0 0.5\nbeta gamma 0 2.0\ngamma alpha 1\n");
+  const DTDG g1 = load_dataset(p);
+
+  const auto el = (dir / "rt.el").string();
+  export_edge_list(g1, el);
+  expect_same_dtdg(g1, load_dataset(el));
+
+  const auto csv = (dir / "rt.csv").string();
+  export_csv(g1, csv);
+  expect_same_dtdg(g1, load_dataset(csv));
+}
+
+TEST(StringIds, CacheRoundTripPersistsNames) {
+  const auto dir = temp_dir();
+  const auto p =
+      write_file_at(dir / "s.el", "alpha beta 0\nbeta gamma 0\n");
+  LoadOptions o;
+  o.cache_dir = (dir / "cache").string();
+  LoadStats st1, st2;
+  const DTDG g1 = load_dataset(p, o, nullptr, &st1);
+  const DTDG g2 = load_dataset(p, o, nullptr, &st2);
+  EXPECT_FALSE(st1.cache_hit);
+  EXPECT_TRUE(st2.cache_hit);
+  expect_same_dtdg(g1, g2);
+  EXPECT_EQ(g2.vertex_names, g1.vertex_names);
+}
+
+TEST(StringIds, GzipNamedGraphMatchesPlain) {
+  const auto dir = temp_dir();
+  const std::string content = "alpha beta 0\nbeta gamma 0\ngamma alpha 1\n";
+  const auto plain = write_file_at(dir / "s.el", content);
+  const auto gz = gzip_file_at(dir / "s.el.gz", content);
+  expect_same_dtdg(load_dataset(plain), load_dataset(gz));
+}
+
+TEST(LoadCharge, GzipInflateOccupiesALane) {
+  graph::io::LoadStats st;
+  st.read_us = 10.0;
+  st.inflate_us = 30.0;
+  st.parse_us = 40.0;
+  st.parse_chunks = 1;
+  st.build_us = 5.0;
+  st.build_tasks = 1;
+  gpusim::Gpu gpu;
+  host::charge_load(gpu, st, 2);
+  int inflate = 0;
+  for (const auto& r : gpu.timeline().records()) {
+    if (r.name == "prep:load:inflate") ++inflate;
+  }
+  EXPECT_EQ(inflate, 1);
 }
 
 }  // namespace

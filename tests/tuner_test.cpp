@@ -230,6 +230,46 @@ TEST(HostStream, WindowBoundsInFlightJobs) {
   EXPECT_EQ(stream->retired(), 12u);
 }
 
+TEST(HostStream, AdaptiveWindowGrowsWhenExtractionBound) {
+  gpusim::Gpu gpu;
+  host::HostLane lane(gpu, 2);
+  const std::size_t base = lane.threads();  // The process-wide pool width.
+  auto stream = lane.stream(
+      "job", 64,
+      [&](std::size_t) {
+        // Well above any sanitizer-inflated wait overhead, so production
+        // cost dominates the consumption budget even under TSan/ASan.
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      },
+      /*window=*/0, /*adaptive=*/true);
+  EXPECT_EQ(stream->window(), 2 * base);  // 0 = the 2x-pool default.
+  for (std::size_t j = 0; j < 64; ++j) {
+    // Re-waiting a retired job is free, so these tight calls collapse the
+    // measured inter-wait gap to microseconds: production (2 ms) dwarfs
+    // the consumption budget and the stream is extraction-bound.
+    for (int k = 0; k < 8; ++k) stream->wait(j > 0 ? j - 1 : 0);
+    stream->wait(j);
+  }
+  EXPECT_EQ(stream->window(), 4 * base);
+}
+
+TEST(HostStream, AdaptiveWindowShrinksWhenConsumerBound) {
+  gpusim::Gpu gpu;
+  host::HostLane lane(gpu, 2);
+  const std::size_t base = lane.threads();
+  auto stream = lane.stream(
+      "job", 64, [&](std::size_t) {},
+      /*window=*/1000000, /*adaptive=*/true);
+  EXPECT_EQ(stream->window(), 4 * base);  // Clamps down to 4x pool width.
+  for (std::size_t j = 0; j < 64; ++j) {
+    // Instant jobs, a 2 ms consumer: results would only pile up, so the
+    // window walks back down to the pool width.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    stream->wait(j);
+  }
+  EXPECT_EQ(stream->window(), base);
+}
+
 TEST(HostStream, OutOfOrderWaitStillDrains) {
   gpusim::Gpu gpu;
   host::HostLane lane(gpu, 2);
