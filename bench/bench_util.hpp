@@ -12,6 +12,10 @@
 //                     0 = auto                             (default 0)
 //   --tuner=MODE      PiPAD S_per tuner cost source: analytic | measured
 //                                                          (default analytic)
+//   --replicas=K      replicated data-parallel PiPAD across K simulated
+//                     devices, 0 = classic single device    (default 0)
+//   --allreduce=ALGO  interconnect timing model for --replicas: ring | tree
+//                     (numerics identical either way)       (default ring)
 //   --datasets=a,b    comma-separated subset of the Table-1 names and/or
 //                     file:PATH specs for on-disk datasets (edge list /
 //                     temporal CSV / .dtdg; docs/DATASET_FORMATS.md)
@@ -54,6 +58,8 @@
 #include "host/host_lane.hpp"
 #include "models/bench_record.hpp"
 #include "pipad/pipad_trainer.hpp"
+#include "replica/allreduce.hpp"
+#include "replica/replica_trainer.hpp"
 
 namespace pipad::bench {
 
@@ -66,6 +72,9 @@ struct Flags {
   int threads = 0;  ///< ComputePool workers (0 = library default).
   /// S_per tuner cost source (--tuner=analytic|measured).
   runtime::TunerMode tuner = runtime::TunerMode::Analytic;
+  int replicas = 0;  ///< >=1: replicated data-parallel PiPAD across K
+                     ///< simulated devices (--replicas=K; 0 = classic).
+  std::string allreduce = "ring";  ///< --allreduce=ring|tree (timing only).
   std::vector<std::string> datasets;
   std::string json;  ///< Non-empty: write run records to this file.
   std::string trace_dir;  ///< Non-empty: write one trace CSV per run here.
@@ -81,7 +90,8 @@ struct Flags {
            " [--frame-size=N]\n        [--threads=N]"
            " [--tuner=analytic|measured] [--datasets=a,b,...]"
            " [--json=FILE]\n        [--trace-dir=DIR] [--snapshot-window=N]"
-           " [--window-bytes=N] [--cache-dir=DIR]\n"
+           " [--window-bytes=N] [--cache-dir=DIR]\n        [--replicas=K]"
+           " [--allreduce=ring|tree]\n"
            "  --scale-large / --scale-small / --epochs / --frame-size /"
            " --snapshot-window\n  must be >= 1,"
            " --frames / --threads must be >= 0,\n"
@@ -134,6 +144,15 @@ struct Flags {
         if (!runtime::parse_tuner_mode(value, f.tuner)) {
           die("--tuner expects analytic or measured, got '" + value + "'");
         }
+      } else if (key == "--replicas") {
+        f.replicas = parse_int("--replicas", value.c_str(), 0);
+        if (f.replicas > 64) die("--replicas must be <= 64");
+      } else if (key == "--allreduce") {
+        replica::AllReduceAlgo algo;
+        if (!replica::parse_allreduce(value, algo)) {
+          die("--allreduce expects ring or tree, got '" + value + "'");
+        }
+        f.allreduce = value;
       } else if (key == "--json") {
         if (value.empty()) die("--json expects a file path");
         f.json = value;
@@ -204,6 +223,8 @@ inline runtime::PipadOptions pipad_options(const Flags& f) {
   runtime::PipadOptions o;
   o.host_threads = f.threads;
   o.tuner = f.tuner;
+  o.replicas = f.replicas;
+  o.allreduce = f.allreduce;
   return o;
 }
 
@@ -305,6 +326,9 @@ inline models::TrainResult run_method(gpusim::Gpu& gpu,
                                         baselines::Variant::PyGTG)
           .train();
     case Method::PiPAD:
+      if (popts.replicas > 0) {
+        return replica::ReplicaTrainer(gpu, data, cfg, popts).train();
+      }
       return runtime::PipadTrainer(gpu, data, cfg, popts).train();
   }
   throw Error("bad method");

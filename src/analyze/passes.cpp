@@ -472,6 +472,67 @@ class SerializationPass final : public Pass {
   }
 };
 
+// ---------------------------------------------------------------------------
+// allreduce_bound: replicated-run interconnect exposure. The replica
+// trainer charges each gradient synchronization as comm:allreduce:* steps
+// on the link lane; exposed link time — link busy with no training compute
+// (device kernels or worker compute:* math) in flight anywhere — is pure
+// synchronization stall. A schedule that overlaps the reduce with the next
+// round's prep/compute (or a faster interconnect) wins exactly this back.
+// Single-device traces have no link ops and never trip the pass.
+class AllreduceBoundPass final : public Pass {
+ public:
+  const char* name() const override { return "allreduce_bound"; }
+  const char* description() const override {
+    return "gradient all-reduce steps run with no compute in flight to "
+           "hide them";
+  }
+
+  std::vector<Finding> run(const PassContext& ctx) const override {
+    const TraceData& td = ctx.trace;
+    if (td.makespan_us <= 0.0) return {};
+    Intervals link, train;
+    for (const auto& r : td.records) {
+      if (r.resource == Resource::Link) {
+        link.emplace_back(r.start_us, r.end_us);
+      } else if (r.resource == Resource::Compute ||
+                 (r.resource == Resource::CpuWorker &&
+                  r.name.rfind("compute:", 0) == 0)) {
+        train.emplace_back(r.start_us, r.end_us);
+      }
+    }
+    if (link.empty()) return {};
+    const Intervals exposed =
+        subtract_intervals(merge_intervals(std::move(link)),
+                           merge_intervals(std::move(train)));
+    const double exposed_us = intervals_total(exposed);
+    const double share = exposed_us / td.makespan_us;
+    if (exposed.empty() || share < ctx.opts.allreduce_bound_frac) return {};
+
+    std::map<std::string, double> blame;
+    for (const auto& r : td.records) {
+      if (r.resource != Resource::Link) continue;
+      double ov = 0.0;
+      for (const auto& [lo, hi] : exposed) {
+        ov += std::max(0.0, std::min(r.end_us, hi) -
+                                std::max(r.start_us, lo));
+      }
+      if (ov > 0.0) blame[blame_key(r.name)] += ov;
+    }
+    Finding f;
+    f.pass = name();
+    f.from_us = exposed.front().first;
+    f.to_us = exposed.back().second;
+    f.recoverable_us = exposed_us;
+    f.severity = severity_for(exposed_us, td.makespan_us);
+    f.blamed = top_blamed(blame);
+    f.detail = "all-reduce runs with no compute in flight for " +
+               format_us(exposed_us) + " us (" + format_pct(share) +
+               " of the run)";
+    return {f};
+  }
+};
+
 }  // namespace
 
 PassRegistry PassRegistry::with_builtins() {
@@ -481,6 +542,7 @@ PassRegistry PassRegistry::with_builtins() {
   reg.add(std::make_unique<ComputeImbalancePass>());
   reg.add(std::make_unique<StreamBackpressurePass>());
   reg.add(std::make_unique<SerializationPass>());
+  reg.add(std::make_unique<AllreduceBoundPass>());
   return reg;
 }
 

@@ -18,6 +18,10 @@
 //   serialization       windows where copies and compute are both active
 //                       but barely overlap — the pipeline degenerated to
 //                       ping-pong execution.
+//   allreduce_bound     replicated runs only: the modeled interconnect
+//                       (comm:allreduce:* ops on the link lane) is exposed
+//                       — gradient synchronization runs with no compute in
+//                       flight to hide it.
 #pragma once
 
 #include <cstdint>
@@ -75,6 +79,7 @@ struct PassOptions {
   int serialization_windows = 16;      ///< Equal windows over the makespan.
   double serialization_busy_frac = 0.20;    ///< Per-window activity floor.
   double serialization_overlap_frac = 0.05; ///< Overlap ceiling to flag.
+  double allreduce_bound_frac = 0.02;  ///< Exposed-link share of makespan.
 };
 
 struct PassContext {

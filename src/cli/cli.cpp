@@ -20,6 +20,8 @@
 #include "models/bench_record.hpp"
 #include "models/training.hpp"
 #include "pipad/pipad_trainer.hpp"
+#include "replica/allreduce.hpp"
+#include "replica/replica_trainer.hpp"
 
 namespace pipad::cli {
 
@@ -141,6 +143,8 @@ runtime::PipadOptions pipad_options(const Options& o) {
   popts.stream_prep = o.prep != "batch";
   // Parse cannot fail here: parse_args validated with the same helper.
   runtime::parse_tuner_mode(o.tuner, popts.tuner);
+  popts.replicas = o.replicas;
+  popts.allreduce = o.allreduce;
   return popts;
 }
 
@@ -156,6 +160,12 @@ models::TrainResult run_method(const Options& o, const std::string& runtime,
   }
   const models::TrainConfig tcfg = train_config(o);
   if (runtime == "pipad") {
+    if (o.replicas > 0) {
+      // K simulated devices; replica 0 runs on `gpu`, so trace/analyze
+      // render the primary replica's timeline (Link lane included).
+      replica::ReplicaTrainer trainer(gpu, b.data, tcfg, pipad_options(o));
+      return trainer.train();
+    }
     runtime::PipadTrainer trainer(gpu, b.data, tcfg, pipad_options(o));
     return trainer.train();
   }
@@ -423,6 +433,12 @@ std::string usage() {
       "                     model only) | measured (folds the preparing\n"
       "                     epoch's charged prep/compute lane occupancy\n"
       "                     into the pipeline-stall rejection)  [analytic]\n"
+      "  --replicas K       replicated data-parallel training across K\n"
+      "                     simulated devices (pipad runtime only; losses\n"
+      "                     and params are bit-identical for every K and\n"
+      "                     --threads), 0 = classic single device  [0]\n"
+      "  --allreduce ALGO   interconnect timing model for --replicas:\n"
+      "                     ring | tree (numerics are identical)  [ring]\n"
       "  --seed N           dataset + model RNG seed  [2023]\n"
       "  --out FILE         trace: write the PiPAD timeline as CSV\n"
       "  --json FILE        bench/analyze: write records as JSON\n"
@@ -554,6 +570,21 @@ ParseResult parse_args(const std::vector<std::string>& args) {
         return res;
       }
       o.tuner = value;
+    } else if (flag == "--replicas") {
+      if (!parse_ll(value, n) || n < 0 || n > 64) {
+        res.error = "--replicas expects an integer in [0, 64], got '" +
+                    value + "'";
+        return res;
+      }
+      o.replicas = static_cast<int>(n);
+    } else if (flag == "--allreduce") {
+      replica::AllReduceAlgo algo;
+      if (!replica::parse_allreduce(value, algo)) {
+        res.error =
+            "unknown allreduce '" + value + "' (expected ring | tree)";
+        return res;
+      }
+      o.allreduce = value;
     } else if (flag == "--log-level") {
       if (value != "debug" && value != "info" && value != "warn" &&
           value != "error" && value != "off") {
@@ -657,6 +688,16 @@ ParseResult parse_args(const std::vector<std::string>& args) {
   }
   if (!o.traces.empty() && o.prep != "stream") {
     res.error = "--prep only applies to live analyze runs (no --trace)";
+    return res;
+  }
+  if (o.replicas > 0 && o.runtime != "pipad") {
+    res.error = "--replicas requires --runtime pipad";
+    return res;
+  }
+  if (o.replicas > 0 && o.tuner == "measured") {
+    res.error =
+        "--tuner=measured samples per-replica occupancy and is not "
+        "replica-invariant; use the analytic tuner with --replicas";
     return res;
   }
 

@@ -55,6 +55,11 @@ struct Options {
                             ///< (0 = library default).
   std::string tuner = "analytic";  ///< S_per tuner cost source for the PiPAD
                                    ///< runtime: analytic | measured.
+  int replicas = 0;         ///< >=1: replicated data-parallel training across
+                            ///< K simulated devices (pipad runtime only;
+                            ///< 0 = the classic single-device path).
+  std::string allreduce = "ring";  ///< Interconnect timing model for
+                                   ///< --replicas: ring | tree.
   std::uint64_t seed = 2023;
 
   std::string out;          ///< `trace`: CSV output path (empty = stdout only).

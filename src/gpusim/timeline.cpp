@@ -16,6 +16,8 @@ const char* resource_name(Resource r) {
       return "d2h";
     case Resource::Compute:
       return "compute";
+    case Resource::Link:
+      return "link";
   }
   return "?";
 }

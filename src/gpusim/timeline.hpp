@@ -31,8 +31,9 @@ enum class Resource : int {
   H2D = 2,
   D2H = 3,
   Compute = 4,
+  Link = 5,       ///< Inter-replica interconnect (all-reduce steps).
 };
-inline constexpr int kNumResources = 5;
+inline constexpr int kNumResources = 6;
 
 const char* resource_name(Resource r);
 

@@ -83,7 +83,8 @@ struct GanttRow {
   }
 };
 
-std::vector<GanttRow> gantt_rows(std::size_t worker_lanes) {
+std::vector<GanttRow> gantt_rows(const std::vector<OpRecord>& records,
+                                 std::size_t worker_lanes) {
   std::vector<GanttRow> rows;
   rows.push_back({Resource::Cpu, 0, "cpu"});
   if (worker_lanes == 1) {
@@ -96,6 +97,14 @@ std::vector<GanttRow> gantt_rows(std::size_t worker_lanes) {
   rows.push_back({Resource::H2D, 0, "h2d"});
   rows.push_back({Resource::D2H, 0, "d2h"});
   rows.push_back({Resource::Compute, 0, "compute"});
+  // Single-device traces never touch the interconnect; only replicated runs
+  // grow the extra row, so existing gantt output stays byte-identical.
+  for (const auto& rec : records) {
+    if (rec.resource == Resource::Link) {
+      rows.push_back({Resource::Link, 0, "link"});
+      break;
+    }
+  }
   return rows;
 }
 
@@ -134,7 +143,7 @@ std::string render_gantt(const std::vector<OpRecord>& records,
   std::ostringstream os;
   os << "time window [" << opts.from_us << ", " << to << ") us, '"
      << '#' << "' = busy\n";
-  const auto rows = gantt_rows(worker_lanes);
+  const auto rows = gantt_rows(records, worker_lanes);
   for (const auto& row : rows) {
     const auto cells = lane_cells(records, row, opts.from_us, to, opts.width);
     os.width(11);

@@ -67,6 +67,15 @@ inline std::string bench_record_json(const std::string& dataset_raw,
                   r.transfer_us, r.compute_us, r.prep_us, r.first_steady_us,
                   steals, r.sm_utilization, r.final_loss());
   }
+  // Replica fields ride along only on replicated runs so every existing
+  // single-device baseline stays byte-identical.
+  if (r.replicas > 0) {
+    char extra[96];
+    std::snprintf(extra, sizeof(extra),
+                  ", \"replicas\": %d, \"allreduce_us\": %.1f}", r.replicas,
+                  r.allreduce_us);
+    out.replace(out.size() - 1, 1, extra);
+  }
   return out;
 }
 

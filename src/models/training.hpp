@@ -44,6 +44,12 @@ struct TrainResult {
   /// a single lane). Not a timing: a load-balance observability counter.
   std::uint64_t steals = 0;
 
+  // Replicated data-parallel runs (src/replica) only; 0/empty otherwise.
+  int replicas = 0;             ///< Replica count (0 = classic single run).
+  double allreduce_us = 0.0;    ///< Modeled interconnect busy time charged
+                                ///< to replica 0's Link lane.
+  std::vector<double> replica_total_us;  ///< Per-replica makespan.
+
   // Compute-time breakdown by kernel tag (Fig. 4).
   double gnn_us = 0.0;   ///< Aggregation + normalize + GCN update kernels.
   double rnn_us = 0.0;   ///< LSTM/GRU/weight-evolution kernels.

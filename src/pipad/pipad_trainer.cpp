@@ -399,6 +399,13 @@ struct PipadTrainer::Impl {
   bool steady_prepared = false;
   bool final_epoch = false;  ///< Partitions behind the window get retired.
 
+  // Step-wise driving state (replica mode; unused on the classic path).
+  std::vector<graph::Frame> step_frames;
+  std::vector<nn::Parameter*> step_params;
+  bool step_prep = false;
+  bool step_first_steady = false;
+  double step_first_steady_us = 0.0;
+
   // Streaming steady-state extraction (stream_prep): jobs write disjoint
   // stream_parts slots; partition() retires them in first-use order. The
   // stream is declared last so it is destroyed (and drained) before the
@@ -671,13 +678,32 @@ struct PipadTrainer::Impl {
     return best_s;
   }
 
-  TrainResult train() {
-    TrainResult result;
+  std::vector<graph::Frame> epoch_frames() const {
     auto frames = graph::frames_of(data, cfg.frame_size);
     if (cfg.max_frames_per_epoch > 0 &&
         static_cast<int>(frames.size()) > cfg.max_frames_per_epoch) {
       frames.resize(cfg.max_frames_per_epoch);
     }
+    return frames;
+  }
+
+  /// GPU reuse-buffer budget: what is left after the working set, capped.
+  void set_reuse_budget() {
+    if (!opts.enable_reuse) return;
+    std::size_t budget = opts.gpu_reuse_budget;
+    if (budget == 0) {
+      const std::size_t working =
+          16 * per_snapshot_mem + (per_snapshot_mem * 8);
+      budget = gpu.device().available() > working
+                   ? (gpu.device().available() - working) / 2
+                   : 0;
+    }
+    gpu_buffer.set_budget(budget);
+  }
+
+  TrainResult train() {
+    TrainResult result;
+    auto frames = epoch_frames();
     auto params = model->params();
 
     // Kernel regions measured before training (dataset generation, other
@@ -685,19 +711,7 @@ struct PipadTrainer::Impl {
     ComputePool::instance().discard_regions();
     run_analyzer();
     run_profiling(frames);
-
-    // GPU reuse-buffer budget: what is left after the working set, capped.
-    if (opts.enable_reuse) {
-      std::size_t budget = opts.gpu_reuse_budget;
-      if (budget == 0) {
-        const std::size_t working =
-            16 * per_snapshot_mem + (per_snapshot_mem * 8);
-        budget = gpu.device().available() > working
-                     ? (gpu.device().available() - working) / 2
-                     : 0;
-      }
-      gpu_buffer.set_budget(budget);
-    }
+    set_reuse_budget();
 
     bool first_steady_recorded = false;
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
@@ -707,9 +721,11 @@ struct PipadTrainer::Impl {
       for (const auto& frame : frames) {
         if (prep) {
           prep_snapshots += frame.size;
-          train_prep_frame(frame, params, result);
+          result.frame_loss.push_back(
+              train_prep_frame(frame, params, /*step=*/true));
         } else {
-          train_steady_frame(frame, params, result);
+          result.frame_loss.push_back(
+              train_steady_frame(frame, params, /*step=*/true));
           if (!first_steady_recorded) {
             first_steady_recorded = true;
             // Sim time at which the first steady frame fully finished: its
@@ -729,9 +745,9 @@ struct PipadTrainer::Impl {
     return result;
   }
 
-  void train_prep_frame(const graph::Frame& frame,
-                        const std::vector<nn::Parameter*>& params,
-                        TrainResult& result) {
+  float train_prep_frame(const graph::Frame& frame,
+                         const std::vector<nn::Parameter*>& params,
+                         bool step) {
     // One-snapshot fashion with asynchronous pinned transfers (§4.3).
     std::vector<std::optional<EventId>> evs(frame.size);
     std::size_t frame_bytes = 0;
@@ -751,12 +767,12 @@ struct PipadTrainer::Impl {
                                   frame_bytes + activation_bytes(frame),
                                   "prep frame");
     exec.begin_prep_frame(frame, std::move(evs));
-    run_model(frame, params, result);
+    return run_model(frame, params, step);
   }
 
-  void train_steady_frame(const graph::Frame& frame,
-                          const std::vector<nn::Parameter*>& params,
-                          TrainResult& result) {
+  float train_steady_frame(const graph::Frame& frame,
+                           const std::vector<nn::Parameter*>& params,
+                           bool step) {
     const int s = decide_sper(frame);
     std::vector<const sliced::FramePartition*> parts;
     std::vector<std::pair<int, int>> part_keys;
@@ -819,7 +835,7 @@ struct PipadTrainer::Impl {
                                   frame_bytes + activation_bytes(frame),
                                   "steady frame");
     exec.begin_steady_frame(frame, std::move(parts), std::move(evs));
-    run_model(frame, params, result);
+    const float loss = run_model(frame, params, step);
     // Frames slide forward by one: results before the next frame's start
     // will never be used again.
     gpu_buffer.evict_before(frame.start + 1);
@@ -830,6 +846,7 @@ struct PipadTrainer::Impl {
     // and any worker still draining a region that touched the buffers is
     // provably done first.
     if (final_epoch) retire_partitions_before(frame.start + 1);
+    return loss;
   }
 
   /// Move every cached partition that ends at or before `bound` out of the
@@ -853,9 +870,11 @@ struct PipadTrainer::Impl {
            sizeof(float) * frame.size * (model->num_agg_layers() + 2);
   }
 
-  void run_model(const graph::Frame& frame,
-                 const std::vector<nn::Parameter*>& params,
-                 TrainResult& result) {
+  /// `step` = classic per-frame optimizer step. The replica driver passes
+  /// false: the frame's gradients stay in the params for the round's
+  /// canonical reduction, and apply_step() advances the optimizer later.
+  float run_model(const graph::Frame& frame,
+                  const std::vector<nn::Parameter*>& params, bool step) {
     std::vector<const Tensor*> xs, ys;
     for (int i = 0; i < frame.size; ++i) {
       xs.push_back(&data.snapshots[frame.start + i].features);
@@ -863,11 +882,12 @@ struct PipadTrainer::Impl {
     }
     nn::zero_grads(params);
     const float loss = model->train_frame(exec, xs, ys);
-    result.frame_loss.push_back(loss);
-    optim.step(params);
-    for (const auto* p : params) {
-      exec.record("ew:optim",
-                  kernels::elementwise_stats(p->value.size(), 3, 8));
+    if (step) {
+      optim.step(params);
+      for (const auto* p : params) {
+        exec.record("ew:optim",
+                    kernels::elementwise_stats(p->value.size(), 3, 8));
+      }
     }
     exec.flush();
     // The frame's numeric kernels ran for real on the ComputePool; charge
@@ -875,6 +895,76 @@ struct PipadTrainer::Impl {
     // parallel GNN, executed rather than assumed).
     host::charge_compute(gpu);
     gpu.memcpy_d2h(copy_stream, "loss", sizeof(float), true);
+    return loss;
+  }
+
+  // ---- Step-wise driving (replica mode) ----
+
+  const std::vector<graph::Frame>& begin_steps() {
+    step_frames = epoch_frames();
+    step_params = model->params();
+    run_analyzer();
+    // Profiling always covers the FULL epoch frame list, even though this
+    // replica will train only a subset: the tuner statistics (and so every
+    // S_per decision, which changes float summation order) must be a pure
+    // function of the dataset, never of the replica count.
+    run_profiling(step_frames);
+    set_reuse_budget();
+    return step_frames;
+  }
+
+  void begin_epoch(int epoch, const std::vector<graph::Frame>& prep_frames) {
+    step_prep = epoch < opts.preparing_epochs;
+    final_epoch = epoch == cfg.epochs - 1;
+    if (!step_prep) prepare_steady(prep_frames);
+  }
+
+  float grad_frame(const graph::Frame& frame) {
+    if (step_prep) {
+      prep_snapshots += frame.size;
+      return train_prep_frame(frame, step_params, /*step=*/false);
+    }
+    const float loss = train_steady_frame(frame, step_params, /*step=*/false);
+    if (!step_first_steady) {
+      step_first_steady = true;
+      const auto& tl = gpu.timeline();
+      step_first_steady_us =
+          std::max({tl.stream_ready(exec.compute_stream()),
+                    tl.stream_ready(copy_stream),
+                    tl.resource_ready(gpusim::Resource::Cpu)});
+    }
+    return loss;
+  }
+
+  void apply_step() {
+    optim.step(step_params);
+    for (const auto* p : step_params) {
+      exec.record("ew:optim",
+                  kernels::elementwise_stats(p->value.size(), 3, 8));
+    }
+    exec.flush();
+  }
+
+  void set_stage_ready(double ready_us) {
+    // The real host thread blocked on the infeed wait; the staged shard's
+    // transfers may not ship before it landed. cpu_wait_until alone cannot
+    // gate H2D (submit only consults stream/resource fronts), hence the
+    // explicit copy-stream event.
+    gpu.cpu_wait_until("infeed", ready_us);
+    gpu.wait_event(copy_stream, gpu.timeline().record_event_at(ready_us));
+  }
+
+  void barrier_at(double ready_us) {
+    const gpusim::EventId ev = gpu.timeline().record_event_at(ready_us);
+    gpu.wait_event(exec.compute_stream(), ev);
+    gpu.wait_event(copy_stream, ev);
+  }
+
+  TrainResult finish_steps() {
+    TrainResult result;
+    result.first_steady_us = step_first_steady_us;
+    models::summarize_timeline(gpu.timeline(), result);
+    return result;
   }
 };
 
@@ -890,6 +980,37 @@ models::DgnnModel& PipadTrainer::model() { return *impl_->model; }
 
 const std::map<int, int>& PipadTrainer::sper_decisions() const {
   return impl_->decisions;
+}
+
+const std::vector<graph::Frame>& PipadTrainer::begin_steps() {
+  return impl_->begin_steps();
+}
+
+void PipadTrainer::begin_epoch(int epoch,
+                               const std::vector<graph::Frame>& prep_frames) {
+  impl_->begin_epoch(epoch, prep_frames);
+}
+
+float PipadTrainer::grad_frame(const graph::Frame& frame) {
+  return impl_->grad_frame(frame);
+}
+
+void PipadTrainer::apply_step() { impl_->apply_step(); }
+
+const std::vector<nn::Parameter*>& PipadTrainer::params() const {
+  return impl_->step_params;
+}
+
+void PipadTrainer::set_stage_ready(double ready_us) {
+  impl_->set_stage_ready(ready_us);
+}
+
+void PipadTrainer::barrier_at(double ready_us) {
+  impl_->barrier_at(ready_us);
+}
+
+models::TrainResult PipadTrainer::finish_steps() {
+  return impl_->finish_steps();
 }
 
 }  // namespace pipad::runtime

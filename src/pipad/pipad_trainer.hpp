@@ -66,6 +66,30 @@ struct PipadOptions {
   /// positive value pins the window (the ablation/tuner sweeps rely on
   /// that).
   int prep_stream_window = 0;
+
+  // ---- Replicated data-parallel training (src/replica, ReplicaTrainer) ----
+  /// Number of simulated devices. 0 keeps the classic single-trainer path
+  /// (per-frame optimizer steps); >= 1 routes through ReplicaTrainer's
+  /// round-based synchronous data parallelism, where even --replicas 1 uses
+  /// the round/all-reduce schedule so results are bit-identical across
+  /// replica counts.
+  int replicas = 0;
+  /// All-reduce schedule charged to the modeled interconnect: "ring"
+  /// (bandwidth-optimal, 2(K-1) chunked steps) or "tree" (latency-optimal,
+  /// 2*ceil(log2 K) full-size steps). Timing model only — the numeric
+  /// reduction is always the canonical fixed-order sum, so the choice can
+  /// never change a single bit of the result.
+  std::string allreduce = "ring";
+  double link_latency_us = 5.0;    ///< Per all-reduce step latency.
+  double link_gb_per_s = 50.0;     ///< Interconnect bandwidth (NVLink-ish).
+  /// Frames per synchronization round. Gradients of all frames in a round
+  /// are computed at the round-start parameters, reduced in global frame
+  /// order and applied as one optimizer step — a pure function of the frame
+  /// index, so the grouping (and therefore every bit of the result) is
+  /// independent of the replica count. 0 picks 4.
+  int replica_round = 0;
+  /// Max in-flight staged shards per replica infeed queue (0 picks 2).
+  int infeed_window = 0;
 };
 
 class PipadTrainer {
@@ -80,6 +104,36 @@ class PipadTrainer {
 
   /// S_per decisions made by the tuner, keyed by frame start (after train()).
   const std::map<int, int>& sper_decisions() const;
+
+  // ---- Step-wise driving API (src/replica's ReplicaTrainer) ----
+  // The replica driver interleaves frames from K trainers and owns the
+  // optimizer schedule: grad_frame() trains one frame at the current
+  // parameters WITHOUT stepping, the driver reduces the gradients across
+  // the round in canonical order, then apply_step() advances this
+  // trainer's Adam. train() is exactly the old per-frame-step path and
+  // never goes through these.
+
+  /// Analyzer + profiling over the full epoch frame list (so tuner inputs
+  /// are replica-invariant) + reuse budget. Returns the frame list. Does
+  /// NOT discard ComputePool regions — the driver does that once.
+  const std::vector<graph::Frame>& begin_steps();
+  /// Enter an epoch; `prep_frames` is the subset this trainer will actually
+  /// train (steady-state partition extraction covers only those).
+  void begin_epoch(int epoch, const std::vector<graph::Frame>& prep_frames);
+  /// Train one frame at the current params, leaving the gradients in
+  /// params(); returns the frame loss.
+  float grad_frame(const graph::Frame& frame);
+  /// Optimizer step on whatever is in params()' grads now.
+  void apply_step();
+  /// The model parameters in canonical (model-defined) order.
+  const std::vector<nn::Parameter*>& params() const;
+  /// Gate this trainer's transfer stream on a staged infeed shard: the next
+  /// frame's H2D copies may not ship before sim time `ready_us`.
+  void set_stage_ready(double ready_us);
+  /// Gate both device streams at `ready_us` (the round's all-reduce end).
+  void barrier_at(double ready_us);
+  /// Summarize this trainer's timeline (frame_loss left to the driver).
+  models::TrainResult finish_steps();
 
  private:
   struct Impl;

@@ -1,0 +1,15 @@
+#include "replica/infeed.hpp"
+
+#include <utility>
+
+namespace pipad::replica {
+
+InfeedQueue::InfeedQueue(host::HostLane& lane, std::string name,
+                         std::size_t shards,
+                         std::function<void(std::size_t)> job,
+                         std::size_t window)
+    : stream_(lane.stream("infeed:" + std::move(name), shards,
+                          std::move(job), window == 0 ? 2 : window,
+                          /*adaptive=*/false)) {}
+
+}  // namespace pipad::replica

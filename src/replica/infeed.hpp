@@ -1,0 +1,52 @@
+// Per-replica bounded infeed queue: snapshot shards staged ahead of the
+// frames that consume them.
+//
+// A thin seam over HostLane::stream — the Graphcore-style infeed is exactly
+// the HostStream window machinery pointed at shard staging instead of
+// partition extraction. Each shard job runs on the shared ComputePool, its
+// measured wall-clock is charged to the worker lane that executed it as a
+// "prep:infeed:<name>" op, and at most `window` shards are in flight (staged but
+// not yet consumed) per replica, so a long timeline cannot pile up staged
+// feature copies. The consumer's wait(j) blocks until shard j really
+// landed and returns its simulated completion time; job failures are
+// sticky, exactly like the prep stream — failed shards can never be
+// consumed as if they succeeded.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "host/host_lane.hpp"
+
+namespace pipad::replica {
+
+class InfeedQueue {
+ public:
+  /// Stage `shards` shards through `lane` with at most `window` in flight
+  /// (0 picks 2 — one being consumed, one being staged). `job(j)` performs
+  /// the actual staging of shard j into caller-owned storage.
+  InfeedQueue(host::HostLane& lane, std::string name, std::size_t shards,
+              std::function<void(std::size_t)> job, std::size_t window = 0);
+
+  std::size_t size() const { return stream_->size(); }
+
+  /// Shards consumed (retired) so far.
+  std::size_t retired() const { return stream_->retired(); }
+
+  /// Current in-flight bound.
+  std::size_t window() const { return stream_->window(); }
+
+  /// Block until shard j is staged; returns its simulated completion time.
+  /// Rethrows the first staging failure (sticky across later waits).
+  double wait(std::size_t shard) { return stream_->wait(shard); }
+
+  /// Drain every remaining shard (the destructor does this too).
+  void finish() { stream_->finish(); }
+
+ private:
+  std::unique_ptr<host::HostStream> stream_;
+};
+
+}  // namespace pipad::replica

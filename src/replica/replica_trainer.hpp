@@ -1,0 +1,67 @@
+// Replicated data-parallel training across K simulated devices.
+//
+// K PipadTrainers — each with its own simulated Gpu/Timeline (replica 0
+// runs on the caller's Gpu so `pipad trace`/`analyze` keep working
+// unchanged) — run the existing pipelined epoch over disjoint frame
+// subsets, fed by per-replica bounded infeed queues, and synchronize
+// through a gradient all-reduce charged to each replica's Resource::Link
+// lane.
+//
+// Determinism argument (the repo's wall — bit-identical losses and params
+// for ANY --replicas x --threads combination):
+//   - Frames are grouped into rounds of a fixed size G (PipadOptions::
+//     replica_round) that never depends on K. Every frame's gradient is
+//     computed at the round-start parameters — no replica steps its
+//     optimizer mid-round — so the per-frame gradients are pure functions
+//     of (dataset, round-start params, frame).
+//   - Frame -> replica assignment is the pure function (j % G) % K of the
+//     within-epoch frame index j: scheduling moves WHERE a gradient is
+//     computed, never WHAT is computed.
+//   - The reduction sums the round's per-frame gradients in global frame
+//     order with one float accumulator per element and divides by the
+//     round size (allreduce.hpp) — canonical arithmetic whichever
+//     algorithm (ring/tree) models the interconnect time.
+//   - Every replica applies the identical averaged gradient to identical
+//     parameters with its own (position-keyed, therefore lockstep) Adam,
+//     so replicas never diverge and replica 0's model IS the result.
+//   - Tuner inputs (profiling statistics) are computed over the FULL epoch
+//     frame list per replica, and the measured-occupancy tuner — whose
+//     inputs are genuinely replica-dependent — is rejected up front.
+#pragma once
+
+#include <memory>
+
+#include "gpusim/gpu.hpp"
+#include "graph/dtdg.hpp"
+#include "models/training.hpp"
+#include "pipad/pipad_trainer.hpp"
+
+namespace pipad::replica {
+
+class ReplicaTrainer {
+ public:
+  /// opts.replicas >= 1 selects K; the other replica knobs (allreduce,
+  /// link_latency_us, link_gb_per_s, replica_round, infeed_window) shape
+  /// the schedule. Throws Error on opts.tuner == Measured (not
+  /// replica-invariant) or an unknown allreduce name.
+  ReplicaTrainer(gpusim::Gpu& gpu, const graph::DTDG& data,
+                 models::TrainConfig cfg, runtime::PipadOptions opts = {});
+  ~ReplicaTrainer();
+
+  models::TrainResult train();
+
+  /// Replica 0's model — identical to every other replica's (see the
+  /// determinism argument above).
+  models::DgnnModel& model();
+
+  int replicas() const;
+
+  /// Replica k's timeline (k = 0 is the caller's Gpu). Valid after train().
+  const gpusim::Timeline& replica_timeline(int k) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pipad::replica

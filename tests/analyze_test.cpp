@@ -17,31 +17,18 @@
 #include "gpusim/trace.hpp"
 #include "graph/generator.hpp"
 #include "pipad/pipad_trainer.hpp"
+#include "test_util.hpp"
 
 namespace pipad {
 namespace {
 
 using gpusim::Resource;
 using gpusim::Timeline;
-
-analyze::Analysis analyze_timeline(const Timeline& tl) {
-  return analyze::analyze_trace(analyze::from_timeline(tl));
-}
-
-const analyze::Finding* find_pass(const analyze::Analysis& a,
-                                  const std::string& pass) {
-  for (const auto& f : a.findings) {
-    if (f.pass == pass) return &f;
-  }
-  return nullptr;
-}
+using testutil::analyze_timeline;
+using testutil::find_pass;
 
 std::string json_of(const analyze::Analysis& a, int threads = 1) {
-  std::vector<analyze::Analysis> as;
-  as.push_back(a);
-  std::ostringstream os;
-  analyze::write_json_report(os, as, threads);
-  return os.str();
+  return testutil::analysis_json(a, threads);
 }
 
 // ---- DAG edges -----------------------------------------------------------
@@ -159,7 +146,7 @@ TEST(AnalyzePasses, RegistryExposesBuiltinCatalogInOrder) {
   const auto reg = analyze::PassRegistry::with_builtins();
   const std::vector<std::string> expected = {
       "transfer_bound", "prep_bound", "compute_imbalance",
-      "stream_backpressure", "serialization"};
+      "stream_backpressure", "serialization", "allreduce_bound"};
   EXPECT_EQ(reg.names(), expected);
   EXPECT_NE(reg.find("prep_bound"), nullptr);
   EXPECT_EQ(reg.find("warp_divergence"), nullptr);
@@ -304,6 +291,36 @@ TEST(AnalyzePasses, SerializationSilentWhenPipelined) {
     tl.submit(0, Resource::Compute, "kernel:chunk", 10.0);
   }
   EXPECT_EQ(find_pass(analyze_timeline(tl), "serialization"), nullptr);
+}
+
+TEST(AnalyzePasses, AllreduceBoundFiresOnExposedLinkSteps) {
+  Timeline tl;
+  tl.submit(0, Resource::Compute, "kernel:k", 50.0);  // [0, 50)
+  // The reduce runs after compute drained: fully exposed.
+  tl.submit(0, Resource::Link, "comm:allreduce:ring", 25.0, 50.0);
+  tl.submit(0, Resource::Link, "comm:allreduce:ring", 25.0);  // [75, 100)
+  const auto a = analyze_timeline(tl);
+  const auto* f = find_pass(a, "allreduce_bound");
+  ASSERT_NE(f, nullptr);
+  EXPECT_DOUBLE_EQ(f->recoverable_us, 50.0);
+  EXPECT_EQ(f->severity, analyze::Severity::High);
+  ASSERT_FALSE(f->blamed.empty());
+  EXPECT_EQ(f->blamed[0].first, "comm:allreduce");
+}
+
+TEST(AnalyzePasses, AllreduceBoundSilentWhenLinkHidesUnderCompute) {
+  Timeline tl;
+  const auto s = tl.create_stream("link");
+  tl.submit(0, Resource::Compute, "kernel:k", 100.0);       // [0, 100)
+  tl.submit(s, Resource::Link, "comm:allreduce:tree", 30.0);  // hidden
+  EXPECT_EQ(find_pass(analyze_timeline(tl), "allreduce_bound"), nullptr);
+}
+
+TEST(AnalyzePasses, AllreduceBoundSilentOnSingleDeviceTraces) {
+  // No link ops at all — the single-device invariant.
+  Timeline tl;
+  tl.submit(0, Resource::Compute, "kernel:k", 100.0);
+  EXPECT_EQ(find_pass(analyze_timeline(tl), "allreduce_bound"), nullptr);
 }
 
 // ---- CSV round trip ------------------------------------------------------
@@ -468,6 +485,11 @@ TEST(AnalyzeTrainer, BatchExtractionExposesMorePrepThanStreaming) {
   // loaded single-core host the fake lane overlap leaves some measured
   // exposure, but the batch barrier always exposes strictly more.
   EXPECT_LT(stream_exposed, fb->recoverable_us);
+
+  // The JSON report must carry the classification — what CI's shell step
+  // used to grep out of `pipad analyze --json` now asserted in-process.
+  EXPECT_NE(json_of(batch).find("\"pass\": \"prep_bound\""),
+            std::string::npos);
 }
 
 }  // namespace

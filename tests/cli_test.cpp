@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "cli/cli.hpp"
+#include "gpusim/timeline.hpp"
+#include "gpusim/trace.hpp"
 #include "graph/generator.hpp"
 #include "models/bench_record.hpp"
 
@@ -97,6 +99,44 @@ TEST(CliParse, TunerModesAcceptedAndValidated) {
   const auto bad = parse({"train", "--tuner", "oracle"});
   EXPECT_FALSE(bad.ok);
   EXPECT_NE(bad.error.find("oracle"), std::string::npos);
+}
+
+TEST(CliParse, ReplicaFlagsLandAndValidate) {
+  const auto r = parse({"train", "--replicas", "4", "--allreduce", "tree"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.replicas, 4);
+  EXPECT_EQ(r.options.allreduce, "tree");
+  // Defaults: 0 replicas selects the classic single-trainer path.
+  EXPECT_EQ(parse({"train"}).options.replicas, 0);
+  EXPECT_EQ(parse({"train"}).options.allreduce, "ring");
+  EXPECT_FALSE(parse({"train", "--replicas", "-1"}).ok);
+  EXPECT_FALSE(parse({"train", "--replicas", "65"}).ok);
+  EXPECT_FALSE(parse({"train", "--replicas", "two"}).ok);
+  const auto bad = parse({"train", "--allreduce", "butterfly"});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("butterfly"), std::string::npos);
+}
+
+TEST(CliParse, ReplicasRequirePipadRuntimeAndAnalyticTuner) {
+  EXPECT_TRUE(parse({"train", "--replicas", "2"}).ok);
+  EXPECT_TRUE(parse({"bench", "--replicas", "2"}).ok);
+  const auto pygt = parse({"train", "--runtime", "pygt", "--replicas", "2"});
+  EXPECT_FALSE(pygt.ok);
+  EXPECT_NE(pygt.error.find("--runtime pipad"), std::string::npos);
+  // The measured-occupancy tuner's inputs are replica-dependent, so the
+  // combination is rejected up front rather than silently non-reproducible.
+  const auto measured =
+      parse({"train", "--replicas", "2", "--tuner", "measured"});
+  EXPECT_FALSE(measured.ok);
+  EXPECT_NE(measured.error.find("replica"), std::string::npos);
+  EXPECT_TRUE(parse({"train", "--tuner", "measured"}).ok);
+}
+
+TEST(CliUsage, MentionsReplicaFlags) {
+  const std::string u = usage();
+  for (const char* s : {"--replicas", "--allreduce", "ring", "tree"}) {
+    EXPECT_NE(u.find(s), std::string::npos) << s;
+  }
 }
 
 TEST(CliParse, UnknownFlagIsAnError) {
@@ -385,6 +425,42 @@ TEST(CliRun, AnalyzeLiveRunAndTraceFileRoundTrip) {
   Options a = tiny(Command::Analyze);
   a.traces = {csv};
   EXPECT_EQ(run(a), 0);
+  std::remove(csv.c_str());
+}
+
+TEST(CliRun, TrainReplicatedUnderPipad) {
+  Options o = tiny(Command::Train);
+  o.replicas = 2;
+  EXPECT_EQ(run(o), 0);
+  o.replicas = 4;
+  o.threads = 4;
+  o.allreduce = "tree";
+  EXPECT_EQ(run(o), 0);
+}
+
+TEST(CliRun, FailAboveGateExitsWithCode3) {
+  // A trace whose all-reduce steps are fully exposed: allreduce_bound
+  // fires at High severity, so any gate level trips.
+  gpusim::Timeline tl;
+  tl.submit(0, gpusim::Resource::Compute, "kernel:k", 50.0);
+  tl.submit(0, gpusim::Resource::Link, "comm:allreduce:ring", 25.0, 50.0);
+  tl.submit(0, gpusim::Resource::Link, "comm:allreduce:ring", 25.0);
+  const std::string csv = ::testing::TempDir() + "cli_gate_trace.csv";
+  {
+    std::ofstream os(csv);
+    ASSERT_TRUE(os.good());
+    gpusim::write_trace_csv(tl, os);
+  }
+  Options o;
+  o.command = Command::Analyze;
+  o.traces = {csv};
+  o.fail_above = "info";
+  EXPECT_EQ(run(o), 3);
+  o.fail_above = "high";
+  EXPECT_EQ(run(o), 3);
+  // Reporting without a gate never turns findings into a failure.
+  o.fail_above = "none";
+  EXPECT_EQ(run(o), 0);
   std::remove(csv.c_str());
 }
 

@@ -18,15 +18,9 @@ using models::TrainResult;
 using runtime::PipadOptions;
 using runtime::PipadTrainer;
 
-TrainConfig small_cfg(ModelType m = ModelType::MpnnLstm) {
-  TrainConfig cfg;
-  cfg.model = m;
-  cfg.frame_size = 4;
-  cfg.epochs = 2;  // 1 preparing + 1 steady.
-  cfg.max_frames_per_epoch = 3;
-  cfg.hidden_dim = 6;
-  return cfg;
-}
+using testutil::small_cfg;
+using testutil::train_snapshot;
+using testutil::weighted_tiny;
 
 TEST(Pipad, LossesMatchPygtBaseline) {
   const auto g = graph::generate(testutil::tiny_config(32, 10, 2));
@@ -76,28 +70,6 @@ INSTANTIATE_TEST_SUITE_P(Models, PipadAllModels,
 
 // ---------- Determinism across thread counts (ComputePool hot path) ----------
 
-/// Train PiPAD with the given pool width; return per-frame losses and a
-/// flat copy of every parameter tensor after training.
-std::pair<std::vector<float>, std::vector<float>> train_snapshot(
-    const graph::DTDG& g, const TrainConfig& cfg, int threads,
-    ModelType model) {
-  gpusim::Gpu gpu;
-  PipadOptions opts;
-  opts.host_threads = threads;
-  TrainConfig c = cfg;
-  c.model = model;
-  PipadTrainer pip(gpu, g, c, opts);
-  const auto r = pip.train();
-  std::vector<float> params;
-  for (const auto* p : pip.model().params()) {
-    params.insert(params.end(), p->value.storage().begin(),
-                  p->value.storage().end());
-    params.insert(params.end(), p->grad.storage().begin(),
-                  p->grad.storage().end());
-  }
-  return {r.frame_loss, params};
-}
-
 class PipadThreadDeterminism : public ::testing::TestWithParam<ModelType> {};
 
 TEST_P(PipadThreadDeterminism, LossesAndGradientsBitIdentical) {
@@ -132,27 +104,6 @@ INSTANTIATE_TEST_SUITE_P(Models, PipadThreadDeterminism,
                          });
 
 // ---------- Edge-weighted datasets ----------
-
-/// Generated DTDG with deterministic per-snapshot edge weights: a pure
-/// function of (src, dst, t), so overlapping topology carries genuinely
-/// different values per member.
-graph::DTDG weighted_tiny(int nodes, int snaps, int feat) {
-  auto g = graph::generate(testutil::tiny_config(nodes, snaps, feat));
-  for (std::size_t t = 0; t < g.snapshots.size(); ++t) {
-    auto& snap = g.snapshots[t];
-    snap.edge_w.resize(snap.adj.nnz());
-    for (int r = 0; r < snap.adj.rows; ++r) {
-      for (int i = snap.adj.row_ptr[r]; i < snap.adj.row_ptr[r + 1]; ++i) {
-        snap.edge_w[i] =
-            0.25f + 0.125f * static_cast<float>((snap.adj.col_idx[i] * 31 +
-                                                 r * 7 +
-                                                 static_cast<int>(t) * 13) %
-                                                16);
-      }
-    }
-  }
-  return g;
-}
 
 TEST(Pipad, WeightedLossesMatchBaselinesAndDifferFromUnweighted) {
   const auto gw = weighted_tiny(32, 10, 2);

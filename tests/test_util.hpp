@@ -1,11 +1,22 @@
-// Shared helpers for model/trainer tests: tiny deterministic datasets and a
+// Shared helpers for model/trainer tests: tiny deterministic datasets, a
 // plain sequential executor that computes ground-truth math with no
-// simulation, for comparing every runtime against.
+// simulation (for comparing every runtime against), trainer-setup fixtures
+// shared by the pipad/tuner/analyze/replica/property suites, and analyzer
+// shorthands.
 #pragma once
 
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/report.hpp"
+#include "gpusim/gpu.hpp"
 #include "graph/generator.hpp"
 #include "kernels/aggregate.hpp"
 #include "models/executor.hpp"
+#include "pipad/pipad_trainer.hpp"
 #include "tensor/ops.hpp"
 
 namespace pipad::testutil {
@@ -114,6 +125,120 @@ inline std::vector<const Tensor*> frame_targets(const graph::DTDG& g,
   std::vector<const Tensor*> out;
   for (int i = 0; i < f.size; ++i) out.push_back(&g.targets[f.start + i]);
   return out;
+}
+
+// ---------- Trainer-setup fixtures ----------
+
+/// Two-epoch (1 preparing + 1 steady) config on a tiny frame — the shape
+/// most runtime tests train at.
+inline models::TrainConfig small_cfg(
+    models::ModelType m = models::ModelType::MpnnLstm) {
+  models::TrainConfig cfg;
+  cfg.model = m;
+  cfg.frame_size = 4;
+  cfg.epochs = 2;
+  cfg.max_frames_per_epoch = 3;
+  cfg.hidden_dim = 6;
+  return cfg;
+}
+
+/// Long-timeline config: every sliding frame of a 2-epoch T-GCN run, for
+/// tests that need real streaming/backpressure behaviour.
+inline models::TrainConfig long_cfg() {
+  models::TrainConfig cfg;
+  cfg.model = models::ModelType::TGcn;
+  cfg.frame_size = 8;
+  cfg.epochs = 2;  // 1 preparing + 1 steady.
+  cfg.max_frames_per_epoch = 0;  // Every frame of the long timeline.
+  cfg.hidden_dim = 6;
+  return cfg;
+}
+
+/// Flat copy of every parameter tensor (value then grad, in param order) —
+/// the bitwise-comparison payload of the determinism walls.
+inline std::vector<float> flat_params(models::DgnnModel& model) {
+  std::vector<float> out;
+  for (const auto* p : model.params()) {
+    out.insert(out.end(), p->value.storage().begin(),
+               p->value.storage().end());
+    out.insert(out.end(), p->grad.storage().begin(),
+               p->grad.storage().end());
+  }
+  return out;
+}
+
+/// Train PiPAD with the given pool width; return per-frame losses and the
+/// flat params+grads after training.
+inline std::pair<std::vector<float>, std::vector<float>> train_snapshot(
+    const graph::DTDG& g, const models::TrainConfig& cfg, int threads,
+    models::ModelType model) {
+  gpusim::Gpu gpu;
+  runtime::PipadOptions opts;
+  opts.host_threads = threads;
+  models::TrainConfig c = cfg;
+  c.model = model;
+  runtime::PipadTrainer pip(gpu, g, c, opts);
+  const auto r = pip.train();
+  return {r.frame_loss, flat_params(pip.model())};
+}
+
+/// Train the long config with streaming or batch prep under a tuner mode.
+inline models::TrainResult train_long(const graph::DTDG& g, bool stream_prep,
+                                      runtime::TunerMode mode, int threads,
+                                      std::map<int, int>* decisions = nullptr) {
+  gpusim::Gpu gpu;
+  runtime::PipadOptions opts;
+  opts.stream_prep = stream_prep;
+  opts.tuner = mode;
+  opts.host_threads = threads;
+  runtime::PipadTrainer pip(gpu, g, long_cfg(), opts);
+  const auto r = pip.train();
+  if (decisions != nullptr) *decisions = pip.sper_decisions();
+  return r;
+}
+
+/// Generated DTDG with deterministic per-snapshot edge weights: a pure
+/// function of (src, dst, t), so overlapping topology carries genuinely
+/// different values per member.
+inline graph::DTDG weighted_tiny(int nodes, int snaps, int feat) {
+  auto g = graph::generate(tiny_config(nodes, snaps, feat));
+  for (std::size_t t = 0; t < g.snapshots.size(); ++t) {
+    auto& snap = g.snapshots[t];
+    snap.edge_w.resize(snap.adj.nnz());
+    for (int r = 0; r < snap.adj.rows; ++r) {
+      for (int i = snap.adj.row_ptr[r]; i < snap.adj.row_ptr[r + 1]; ++i) {
+        snap.edge_w[i] =
+            0.25f + 0.125f * static_cast<float>((snap.adj.col_idx[i] * 31 +
+                                                 r * 7 +
+                                                 static_cast<int>(t) * 13) %
+                                                16);
+      }
+    }
+  }
+  return g;
+}
+
+// ---------- Analyzer shorthands ----------
+
+inline analyze::Analysis analyze_timeline(const gpusim::Timeline& tl) {
+  return analyze::analyze_trace(analyze::from_timeline(tl));
+}
+
+inline const analyze::Finding* find_pass(const analyze::Analysis& a,
+                                         const std::string& pass) {
+  for (const auto& f : a.findings) {
+    if (f.pass == pass) return &f;
+  }
+  return nullptr;
+}
+
+inline std::string analysis_json(const analyze::Analysis& a,
+                                 int threads = 1) {
+  std::vector<analyze::Analysis> as;
+  as.push_back(a);
+  std::ostringstream os;
+  analyze::write_json_report(os, as, threads);
+  return os.str();
 }
 
 }  // namespace pipad::testutil

@@ -320,29 +320,7 @@ TEST(HostStream, RethrowsTheFirstJobFailureFromWait) {
 
 // ---------- First-steady-frame latency: streaming vs batch ----------
 
-models::TrainConfig long_cfg() {
-  models::TrainConfig cfg;
-  cfg.model = models::ModelType::TGcn;
-  cfg.frame_size = 8;
-  cfg.epochs = 2;  // 1 preparing + 1 steady.
-  cfg.max_frames_per_epoch = 0;  // Every frame of the long timeline.
-  cfg.hidden_dim = 6;
-  return cfg;
-}
-
-models::TrainResult train_long(const graph::DTDG& g, bool stream_prep,
-                               TunerMode mode, int threads,
-                               std::map<int, int>* decisions = nullptr) {
-  gpusim::Gpu gpu;
-  runtime::PipadOptions opts;
-  opts.stream_prep = stream_prep;
-  opts.tuner = mode;
-  opts.host_threads = threads;
-  runtime::PipadTrainer pip(gpu, g, long_cfg(), opts);
-  const auto r = pip.train();
-  if (decisions != nullptr) *decisions = pip.sper_decisions();
-  return r;
-}
+using testutil::train_long;
 
 TEST(StreamingPrep, FirstSteadyFrameBeatsTheBatchExtractor) {
   // Long timeline (48 snapshots, ~41 sliding frames), sized so partition
