@@ -11,8 +11,8 @@ int main(int argc, char** argv) {
   const auto flags = bench::Flags::parse(argc, argv);
   gpusim::CostModel cm((gpusim::SimConfig()));
 
-  auto cfg = graph::dataset_by_name("epinions", flags.scale_large,
-                                    flags.scale_small);
+  auto cfg = graph::dataset_by_name("epinions", flags.job.scale_large,
+                                    flags.job.scale_small);
   cfg.num_snapshots = 1;
   const auto g = graph::generate(cfg);
   const auto s = sliced::slice(g.snapshots[0].adj, 32);

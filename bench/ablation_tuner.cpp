@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
   std::printf(
       "Ablation: streaming steady prep + charge-aware tuner "
       "(%d snapshots, frame size %d, epochs %d, T-GCN)\n\n",
-      snapshots, flags.frame_size, flags.epochs);
+      snapshots, flags.job.frame_size, flags.job.epochs);
 
   struct Variant {
     const char* method;
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   variants[1].method = "PiPAD[stream]";
   variants[2].method = "PiPAD[measured]";
   variants[2].opts.tuner = runtime::TunerMode::Measured;
-  for (auto& v : variants) v.opts.host_threads = flags.threads;
+  for (auto& v : variants) v.opts.host_threads = flags.job.threads;
 
   std::printf("%-18s %12s %12s %14s  %s\n", "variant", "total us",
               "epoch us", "first-steady", "S_per decisions");
@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
     bench::write_trace(flags, "ablation_tuner", gpu, g.name, "tgcn",
                        v.method);
     std::printf("%-18s %12.0f %12.0f %14.0f  %s\n", v.method, r.total_us,
-                r.total_us / flags.epochs, r.first_steady_us,
+                r.total_us / flags.job.epochs, r.first_steady_us,
                 decisions_summary(dec).c_str());
     results.push_back(r);
     variant_decisions.push_back(std::move(dec));
@@ -158,7 +158,7 @@ int main(int argc, char** argv) {
     // trained this exact configuration; reuse it instead of training
     // twice. (CI pins --threads=2, where all four sweeps run fresh.)
     models::TrainResult r1;
-    if (flags.threads == 1) {
+    if (flags.job.threads == 1) {
       r1 = analytic ? results[1] : results[2];
       d1 = analytic ? variant_decisions[1] : variant_decisions[2];
     } else {
@@ -189,7 +189,7 @@ int main(int argc, char** argv) {
   }
   // Restore the flag-selected pool width after the 1/8 sweeps.
   ComputePool::instance().configure(
-      flags.threads > 0 ? static_cast<std::size_t>(flags.threads) : 0);
+      flags.job.threads > 0 ? static_cast<std::size_t>(flags.job.threads) : 0);
 
   if (failures == 0) {
     std::printf(

@@ -96,6 +96,23 @@ Record parse_record(const std::string& s, std::size_t& i) {
   }
 }
 
+/// Highest record schema_version this tool understands. Records without
+/// the field (pre-versioning baselines) and records at or below this
+/// version are accepted; newer records fail loudly instead of being
+/// compared under stale semantics.
+constexpr int kMaxRecordSchemaVersion = 1;
+
+void check_schema(const std::string& path, const Record& r) {
+  const auto it = r.numbers.find("schema_version");
+  if (it == r.numbers.end()) return;  // Legacy record: fine.
+  if (it->second > kMaxRecordSchemaVersion) {
+    die(path + ": record schema_version " +
+        std::to_string(it->second) +
+        " is newer than this bench_diff supports (" +
+        std::to_string(kMaxRecordSchemaVersion) + ")");
+  }
+}
+
 Document parse_document(const std::string& path) {
   std::ifstream is(path);
   if (!is) die("cannot open " + path);
@@ -115,6 +132,7 @@ Document parse_document(const std::string& path) {
     if (s[i] == ']') break;
     if (s[i] != '{') die(path + ": expected record object");
     doc.records.push_back(parse_record(s, i));
+    check_schema(path, doc.records.back());
     skip_ws(s, i);
     if (i < s.size() && s[i] == ',') ++i;
   }

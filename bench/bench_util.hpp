@@ -1,29 +1,15 @@
 // Shared benchmark scaffolding: flag parsing, dataset caching, method
 // runners, table printing and the bench-to-JSON harness.
 //
-// Every bench binary accepts:
-//   --scale-large=N   divisor for the four large graphs   (default 256)
-//   --scale-small=N   divisor for HepTh                    (default 8)
-//   --epochs=N        training epochs                      (default 2)
-//   --frames=N        max frames per epoch                 (default 4)
-//   --frame-size=N    sliding-window size                  (default 8;
-//                     paper uses 16 — raise for fidelity, costs runtime)
-//   --threads=N       ComputePool workers (prep + numeric kernels),
-//                     0 = auto                             (default 0)
-//   --tuner=MODE      PiPAD S_per tuner cost source: analytic | measured
-//                                                          (default analytic)
-//   --replicas=K      replicated data-parallel PiPAD across K simulated
-//                     devices, 0 = classic single device    (default 0)
-//   --allreduce=ALGO  interconnect timing model for --replicas: ring | tree
-//                     (numerics identical either way)       (default ring)
+// The job description lives in an api::JobSpec (Flags::job): every bench
+// binary accepts the same --name=value vocabulary as the `pipad` CLI and
+// the serve daemon (api::apply_flag — one set of flags, one validator, one
+// set of error messages; see api/job_spec.hpp). On top of that, benches
+// add three flags of their own:
 //   --datasets=a,b    comma-separated subset of the Table-1 names and/or
 //                     file:PATH specs for on-disk datasets (edge list /
 //                     temporal CSV / .dtdg; docs/DATASET_FORMATS.md)
 //                                                          (default all 7)
-//   --snapshot-window=N  file: datasets — fixed time-window width
-//   --window-bytes=N  file: datasets — streaming read window in bytes
-//                     (bounds parse memory; 0 = the 8 MiB loader default)
-//   --cache-dir=DIR   file: datasets — .dtdg snapshot cache
 //   --json=FILE       write per-run records to FILE as JSON (wired into
 //                     fig10_end2end and ablation_sper; other binaries
 //                     accept but ignore it until they adopt JsonReport)
@@ -32,16 +18,14 @@
 //                     and labeled for `pipad analyze` (wired into
 //                     fig10_end2end and ablation_tuner; other binaries
 //                     accept but ignore it)
-// Unknown flags and non-positive scales are rejected with a usage message
+// Unknown flags and invalid values are rejected with a usage message
 // (exit code 2), mirroring the CLI driver. Defaults are sized for a
 // single-core CI run; the *shape* of each figure is stable across scales
 // because it derives from the analytic cost model.
 #pragma once
 
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -49,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "api/job_spec.hpp"
+#include "api/run_job.hpp"
 #include "baselines/baseline_trainer.hpp"
 #include "common/compute_pool.hpp"
 #include "common/util.hpp"
@@ -58,116 +44,66 @@
 #include "host/host_lane.hpp"
 #include "models/bench_record.hpp"
 #include "pipad/pipad_trainer.hpp"
-#include "replica/allreduce.hpp"
 #include "replica/replica_trainer.hpp"
 
 namespace pipad::bench {
 
 struct Flags {
-  int scale_large = 256;
-  int scale_small = 8;
-  int epochs = 2;
-  int frames = 4;
-  int frame_size = 8;
-  int threads = 0;  ///< ComputePool workers (0 = library default).
-  /// S_per tuner cost source (--tuner=analytic|measured).
-  runtime::TunerMode tuner = runtime::TunerMode::Analytic;
-  int replicas = 0;  ///< >=1: replicated data-parallel PiPAD across K
-                     ///< simulated devices (--replicas=K; 0 = classic).
-  std::string allreduce = "ring";  ///< --allreduce=ring|tree (timing only).
+  /// The shared job description (--scale-large, --epochs, --threads,
+  /// --tuner, --replicas, ... — everything api::apply_flag understands).
+  api::JobSpec job;
+
   std::vector<std::string> datasets;
   std::string json;  ///< Non-empty: write run records to this file.
   std::string trace_dir;  ///< Non-empty: write one trace CSV per run here.
-  long long snapshot_window = 0;  ///< file: datasets — time-window width.
-  long long window_bytes = 0;     ///< file: datasets — streaming read
-                                  ///< window in bytes (0 = 8 MiB default).
-  std::string cache_dir;          ///< file: datasets — .dtdg cache.
 
   static std::string usage(const char* prog) {
     std::string p = prog != nullptr ? prog : "bench";
-    return "usage: " + p +
-           " [--scale-large=N] [--scale-small=N] [--epochs=N] [--frames=N]"
-           " [--frame-size=N]\n        [--threads=N]"
-           " [--tuner=analytic|measured] [--datasets=a,b,...]"
-           " [--json=FILE]\n        [--trace-dir=DIR] [--snapshot-window=N]"
-           " [--window-bytes=N] [--cache-dir=DIR]\n        [--replicas=K]"
-           " [--allreduce=ring|tree]\n"
-           "  --scale-large / --scale-small / --epochs / --frame-size /"
-           " --snapshot-window\n  must be >= 1,"
-           " --frames / --threads must be >= 0,\n"
-           "  --datasets names must come from the Table-1 set or be"
-           " file:PATH specs.\n";
+    return "usage: " + p + " [--name=value ...]\n"
+           "\n"
+           "job flags (shared with the pipad CLI, --name=value form):\n" +
+           api::flags_help() +
+           "\n"
+           "bench flags:\n"
+           "  --datasets=a,b     comma-separated subset of the Table-1\n"
+           "                     names and/or file:PATH specs  [all 7]\n"
+           "  --json=FILE        write per-run records as JSON\n"
+           "                     (bench_diff-compatible)\n"
+           "  --trace-dir=DIR    write one labeled trace CSV per run\n";
   }
 
-  /// Strict parse: unknown flags, malformed numbers, out-of-range values
-  /// and unknown dataset names all print a usage message and exit(2), like
-  /// the `pipad` CLI. Never returns on error.
-  static Flags parse(int argc, char** argv) {
-    Flags f;
-    const auto die = [&](const std::string& msg) {
-      std::fprintf(stderr, "%s: %s\n\n%s", argv[0], msg.c_str(),
-                   usage(argv[0]).c_str());
-      std::exit(2);
-    };
-    const auto parse_int = [&](const char* flag, const char* v, int min) {
-      char* end = nullptr;
-      errno = 0;
-      const long n = std::strtol(v, &end, 10);
-      if (*v == '\0' || end == nullptr || *end != '\0' || errno == ERANGE ||
-          n < min || n > 1000000000L) {
-        die(std::string(flag) + " expects an integer >= " +
-            std::to_string(min) + ", got '" + v + "'");
-      }
-      return static_cast<int>(n);
-    };
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
+  /// Strict non-exiting parse of `--name=value` arguments (program name
+  /// excluded): bench-only flags here, everything else through
+  /// api::apply_flag, then the shared validator. Returns false with the
+  /// canonical error message — byte-identical to what `pipad train` prints
+  /// for the same bad input (cli_test pins this).
+  static bool try_parse(const std::vector<std::string>& args, Flags& f,
+                        std::string& error) {
+    for (const std::string& arg : args) {
       const auto eq = arg.find('=');
       if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
-        die("unknown argument '" + arg + "' (flags are --name=value)");
+        error = "unknown argument '" + arg + "' (flags are --name=value)";
+        return false;
       }
       const std::string key = arg.substr(0, eq);
       const std::string value = arg.substr(eq + 1);
-      if (key == "--scale-large") {
-        f.scale_large = parse_int("--scale-large", value.c_str(), 1);
-      } else if (key == "--scale-small") {
-        f.scale_small = parse_int("--scale-small", value.c_str(), 1);
-      } else if (key == "--epochs") {
-        f.epochs = parse_int("--epochs", value.c_str(), 1);
-      } else if (key == "--frames") {
-        f.frames = parse_int("--frames", value.c_str(), 0);
-      } else if (key == "--frame-size") {
-        f.frame_size = parse_int("--frame-size", value.c_str(), 1);
-      } else if (key == "--threads") {
-        f.threads = parse_int("--threads", value.c_str(), 0);
-      } else if (key == "--tuner") {
-        if (!runtime::parse_tuner_mode(value, f.tuner)) {
-          die("--tuner expects analytic or measured, got '" + value + "'");
+      if (key == "--json") {
+        if (value.empty()) {
+          error = "--json expects a file path";
+          return false;
         }
-      } else if (key == "--replicas") {
-        f.replicas = parse_int("--replicas", value.c_str(), 0);
-        if (f.replicas > 64) die("--replicas must be <= 64");
-      } else if (key == "--allreduce") {
-        replica::AllReduceAlgo algo;
-        if (!replica::parse_allreduce(value, algo)) {
-          die("--allreduce expects ring or tree, got '" + value + "'");
-        }
-        f.allreduce = value;
-      } else if (key == "--json") {
-        if (value.empty()) die("--json expects a file path");
         f.json = value;
       } else if (key == "--trace-dir") {
-        if (value.empty()) die("--trace-dir expects a directory path");
+        if (value.empty()) {
+          error = "--trace-dir expects a directory path";
+          return false;
+        }
         f.trace_dir = value;
-      } else if (key == "--snapshot-window") {
-        f.snapshot_window = parse_int("--snapshot-window", value.c_str(), 1);
-      } else if (key == "--window-bytes") {
-        f.window_bytes = parse_int("--window-bytes", value.c_str(), 1);
-      } else if (key == "--cache-dir") {
-        if (value.empty()) die("--cache-dir expects a directory path");
-        f.cache_dir = value;
       } else if (key == "--datasets") {
-        if (value.empty()) die("--datasets expects a comma-separated list");
+        if (value.empty()) {
+          error = "--datasets expects a comma-separated list";
+          return false;
+        }
         std::size_t pos = 0;
         while (pos != std::string::npos) {
           const auto next = value.find(',', pos);
@@ -177,19 +113,63 @@ struct Flags {
           for (const auto& c : graph::evaluation_datasets()) {
             if (c.name == name) known = true;
           }
-          if (!known) die("unknown dataset '" + name + "'");
+          if (!known) {
+            error = "unknown dataset '" + name + "'";
+            return false;
+          }
           f.datasets.push_back(name);
           pos = next == std::string::npos ? next : next + 1;
         }
       } else {
-        die("unknown flag '" + key + "'");
+        switch (api::apply_flag(key, value, f.job, error)) {
+          case api::FlagStatus::Applied:
+            break;
+          case api::FlagStatus::Error:
+            return false;
+          case api::FlagStatus::Unknown:
+            error = "unknown flag '" + key + "'";
+            return false;
+        }
       }
+    }
+    // The file-oriented knobs (--snapshot-window, --window-bytes,
+    // --cache-dir) apply to the file: entries of --datasets here, not to
+    // job.dataset — validate under a file: stand-in so the shared
+    // validator doesn't demand --dataset file:PATH, which benches don't
+    // take. With no file: entry the knobs are accepted-and-ignored, as
+    // they always were.
+    api::JobSpec v = f.job;
+    for (const auto& d : f.datasets) {
+      if (graph::io::is_file_dataset(d)) {
+        v.dataset = d;
+        break;
+      }
+    }
+    if (!graph::io::is_file_dataset(v.dataset) &&
+        (v.snapshot_window > 0 || v.window_bytes > 0 ||
+         !v.cache_dir.empty() || !v.features.empty())) {
+      v.dataset = "file:-";
+    }
+    error = v.validate();
+    return error.empty();
+  }
+
+  /// try_parse + usage message + exit(2) on error, like the `pipad` CLI.
+  static Flags parse(int argc, char** argv) {
+    Flags f;
+    std::string error;
+    if (!try_parse(std::vector<std::string>(argv + 1, argv + argc), f,
+                   error)) {
+      std::fprintf(stderr, "%s: %s\n\n%s", argv[0], error.c_str(),
+                   usage(argv[0]).c_str());
+      std::exit(2);
     }
     return f;
   }
 
   std::vector<graph::DatasetConfig> configs() const {
-    auto all = graph::evaluation_datasets(scale_large, scale_small);
+    auto all =
+        graph::evaluation_datasets(job.scale_large, job.scale_small);
     if (datasets.empty()) return all;
     std::vector<graph::DatasetConfig> out;
     for (const auto& want : datasets) {
@@ -211,21 +191,16 @@ struct Flags {
   /// Loader options for file: dataset specs.
   graph::io::LoadOptions file_load_options() const {
     graph::io::LoadOptions o;
-    o.snapshot_window = snapshot_window;
-    o.cache_dir = cache_dir;
-    o.window_bytes = static_cast<std::size_t>(window_bytes);
+    o.snapshot_window = job.snapshot_window;
+    o.cache_dir = job.cache_dir;
+    o.window_bytes = static_cast<std::size_t>(job.window_bytes);
     return o;
   }
 };
 
-/// PiPAD runtime options derived from the shared flags.
+/// PiPAD runtime options derived from the shared job spec.
 inline runtime::PipadOptions pipad_options(const Flags& f) {
-  runtime::PipadOptions o;
-  o.host_threads = f.threads;
-  o.tuner = f.tuner;
-  o.replicas = f.replicas;
-  o.allreduce = f.allreduce;
-  return o;
+  return api::pipad_options(f.job);
 }
 
 /// Dataset construction is the slow part; cache per process and build each
@@ -238,7 +213,8 @@ class DatasetCache {
   explicit DatasetCache(const Flags& flags)
       : file_opts_(flags.file_load_options()) {
     ComputePool::instance().configure(
-        flags.threads > 0 ? static_cast<std::size_t>(flags.threads) : 0);
+        flags.job.threads > 0 ? static_cast<std::size_t>(flags.job.threads)
+                              : 0);
   }
 
   const graph::DTDG& get(const graph::DatasetConfig& cfg) {
@@ -269,11 +245,14 @@ class DatasetCache {
 };
 
 inline models::TrainConfig train_config(const Flags& f, models::ModelType m) {
+  // Deliberately NOT api::train_config: benches keep TrainConfig's default
+  // seed (7), which every checked-in BENCH_*.json baseline was recorded
+  // under; the CLI/serve surfaces use the JobSpec seed (default 2023).
   models::TrainConfig cfg;
   cfg.model = m;
-  cfg.frame_size = f.frame_size;
-  cfg.epochs = f.epochs;
-  cfg.max_frames_per_epoch = f.frames;
+  cfg.frame_size = f.job.frame_size;
+  cfg.epochs = f.job.epochs;
+  cfg.max_frames_per_epoch = f.job.frames;
   return cfg;
 }
 
@@ -422,17 +401,17 @@ class JsonReport {
       return false;
     }
     os << "{\n  \"bench\": \"" << bench_ << "\",\n"
-       << "  \"flags\": {\"scale_large\": " << flags_.scale_large
-       << ", \"scale_small\": " << flags_.scale_small
-       << ", \"epochs\": " << flags_.epochs
-       << ", \"frames\": " << flags_.frames
-       << ", \"frame_size\": " << flags_.frame_size
-       << ", \"threads\": " << flags_.threads << "},\n"
+       << "  \"flags\": {\"scale_large\": " << flags_.job.scale_large
+       << ", \"scale_small\": " << flags_.job.scale_small
+       << ", \"epochs\": " << flags_.job.epochs
+       << ", \"frames\": " << flags_.job.frames
+       << ", \"frame_size\": " << flags_.job.frame_size
+       << ", \"threads\": " << flags_.job.threads << "},\n"
        << "  \"records\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       os << models::bench_record_json(r.dataset, r.model, r.method,
-                                      r.result.total_us / flags_.epochs,
+                                      r.result.total_us / flags_.job.epochs,
                                       r.result)
          << (i + 1 < rows_.size() ? ",\n" : "\n");
     }

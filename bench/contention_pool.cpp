@@ -111,12 +111,12 @@ int main(int argc, char** argv) {
   using namespace pipad;
   const auto flags = bench::Flags::parse(argc, argv);
   ComputePool::instance().configure(
-      flags.threads > 0 ? static_cast<std::size_t>(flags.threads) : 0);
+      flags.job.threads > 0 ? static_cast<std::size_t>(flags.job.threads) : 0);
   // Pin the work floor so the block layout (kMaxBlocks blocks) does not
   // depend on the machine's measured calibration.
   ComputePool::set_min_block_work(ComputePool::kMinBlockWorkFloor);
   const std::size_t threads = ComputePool::instance().threads();
-  const int iters = std::max(flags.epochs, 5);
+  const int iters = std::max(flags.job.epochs, 5);
 
   std::printf("contention_pool: %zu rows, %zu blocks, %zu workers, "
               "min of %d runs\n\n",

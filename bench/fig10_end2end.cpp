@@ -13,8 +13,8 @@ int main(int argc, char** argv) {
   bench::JsonReport report("fig10_end2end", flags);
 
   std::printf("Figure 10: end-to-end training speedup over PyGT\n");
-  std::printf("(epochs=%d, frames/epoch=%d, frame size=%d)\n", flags.epochs,
-              flags.frames, flags.frame_size);
+  std::printf("(epochs=%d, frames/epoch=%d, frame size=%d)\n", flags.job.epochs,
+              flags.job.frames, flags.job.frame_size);
 
   for (auto model : bench::all_models()) {
     std::printf("\n--- %s ---\n", models::model_type_name(model));

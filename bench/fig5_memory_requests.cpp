@@ -14,8 +14,8 @@ int main(int argc, char** argv) {
   const auto flags = bench::Flags::parse(argc, argv);
 
   // Synthetic graph in the GNNAdvisor experiment's regime.
-  auto cfg = graph::dataset_by_name("hepth", flags.scale_large,
-                                    flags.scale_small);
+  auto cfg = graph::dataset_by_name("hepth", flags.job.scale_large,
+                                    flags.job.scale_small);
   cfg.num_snapshots = 1;
   const auto g = graph::generate(cfg);
   const auto& adj = g.snapshots[0].adj;

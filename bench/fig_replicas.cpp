@@ -25,12 +25,12 @@ int main(int argc, char** argv) {
   // --threads on the command line names the widest pool; the sweep always
   // includes the serial pool so the determinism check crosses widths.
   std::vector<int> thread_counts = {1};
-  if (flags.threads > 1) thread_counts.push_back(flags.threads);
+  if (flags.job.threads > 1) thread_counts.push_back(flags.job.threads);
 
   std::printf("Replicated data-parallel scaling (allreduce=%s)\n",
-              flags.allreduce.c_str());
-  std::printf("(epochs=%d, frames/epoch=%d, frame size=%d)\n", flags.epochs,
-              flags.frames, flags.frame_size);
+              flags.job.allreduce.c_str());
+  std::printf("(epochs=%d, frames/epoch=%d, frame size=%d)\n", flags.job.epochs,
+              flags.job.frames, flags.job.frame_size);
 
   const auto model = models::ModelType::TGcn;
   bool diverged = false;
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
                              models::model_type_name(model), method);
         }
         std::printf("%-10s %8d %14.0f %14.0f %12.6f\n", method.c_str(),
-                    threads, r.total_us / flags.epochs, r.allreduce_us,
+                    threads, r.total_us / flags.job.epochs, r.allreduce_us,
                     static_cast<double>(r.final_loss()));
         // Bitwise invariance wall: every cell of the grid must reproduce
         // the serial single-device loss exactly.

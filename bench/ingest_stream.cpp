@@ -205,7 +205,7 @@ int main(int argc, char** argv) {
   const auto flags =
       bench::Flags::parse(static_cast<int>(rest.size()), rest.data());
   ComputePool::instance().configure(
-      flags.threads > 0 ? static_cast<std::size_t>(flags.threads) : 0);
+      flags.job.threads > 0 ? static_cast<std::size_t>(flags.job.threads) : 0);
 
   const std::string plain =
       (fs::path(gen.dir) / "ingest_edges.txt").string();
@@ -227,7 +227,7 @@ int main(int argc, char** argv) {
       // The CI large-file smoke: one bounded-memory load of a file bigger
       // than the address-space cap the harness set with ulimit -v.
       const std::size_t wb =
-          static_cast<std::size_t>(std::max<long long>(0, flags.window_bytes));
+          static_cast<std::size_t>(std::max<long long>(0, flags.job.window_bytes));
       const LoadRun r = load_once(plain, wb);
       std::printf("ingest_stream: parsed %s under the bounded window: "
                   "%zu edge instances, %.1f ms "
@@ -239,7 +239,7 @@ int main(int argc, char** argv) {
     }
 
     const std::size_t default_window =
-        flags.window_bytes > 0 ? static_cast<std::size_t>(flags.window_bytes)
+        flags.job.window_bytes > 0 ? static_cast<std::size_t>(flags.job.window_bytes)
                                : 0;
     std::printf("\n%-14s %12s %10s %10s %10s %10s\n", "method", "total_us",
                 "read_ms", "inflate_ms", "parse_ms", "build_ms");

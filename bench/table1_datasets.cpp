@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   std::printf(
       "Table 1: synthetic stand-ins for the evaluation datasets "
       "(scale-large=1/%d, scale-small=1/%d)\n\n",
-      flags.scale_large, flags.scale_small);
+      flags.job.scale_large, flags.job.scale_small);
   std::printf("%-18s %10s %14s %4s %5s %14s %10s\n", "Dataset", "#N", "#E",
               "D", "#S", "#E-S", "adj-OR");
   for (const auto& cfg : flags.configs()) {

@@ -123,6 +123,7 @@ void write_human_report(std::ostream& os, const Analysis& a, int top) {
 void write_json_report(std::ostream& os, const std::vector<Analysis>& as,
                        int threads) {
   os << "{\n  \"bench\": \"pipad-analyze\",\n"
+     << "  \"schema_version\": " << kAnalyzeReportSchemaVersion << ",\n"
      << "  \"flags\": {\"threads\": " << threads << "},\n"
      << "  \"records\": [\n";
   for (std::size_t i = 0; i < as.size(); ++i) {

@@ -41,7 +41,13 @@ Analysis analyze_trace(TraceData td, const PassOptions& opts = {},
 /// table (top N), and an annotated gantt of the top finding's window.
 void write_human_report(std::ostream& os, const Analysis& a, int top = 5);
 
+/// Version of the analyzer JSON document. Bumped when a field changes
+/// meaning or is removed; added fields are backward compatible (bench_diff
+/// tolerates unknown fields).
+inline constexpr int kAnalyzeReportSchemaVersion = 1;
+
 /// The machine-readable document described above, one record per analysis.
+/// The document carries a top-level "schema_version".
 void write_json_report(std::ostream& os, const std::vector<Analysis>& as,
                        int threads);
 

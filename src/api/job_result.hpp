@@ -1,0 +1,60 @@
+// JobResult: the one versioned result schema for a finished job — the
+// TrainResult summary (as the bench-record object every BENCH_*.json
+// baseline and bench_diff already understand), the per-frame losses, an
+// optional analyzer summary, and optionally the flat params+grads (the
+// bitwise determinism payload). Serialized over the serve wire protocol
+// and by `pipad submit`; parsed back by clients and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/json.hpp"
+
+namespace pipad::api {
+
+/// Bump when a field changes meaning or is removed; adding fields is
+/// backward compatible (bench_diff ignores unknown fields).
+inline constexpr int kResultSchemaVersion = 1;
+
+struct JobResult {
+  // Job identity (echoed from the JobSpec / assigned by the scheduler).
+  std::uint64_t id = 0;
+  std::string tenant = "default";
+  int priority = 5;
+  std::string tag;
+
+  /// done | failed | cancelled.
+  std::string state = "done";
+  std::string error;  ///< Non-empty for failed (and "job cancelled").
+
+  /// Completion sequence number within the serving session (1 = first job
+  /// to finish) — what the priority-ordering tests and the CI smoke
+  /// script assert on.
+  std::uint64_t seq = 0;
+
+  /// The bench record as a JSON object: dataset/model/method/epoch_us/
+  /// total_us/... exactly as models::bench_record_json emits them
+  /// (schema_version included). Null for failed/cancelled jobs.
+  Json record;
+
+  /// Per-frame losses in training order. Numbers round-trip the float bit
+  /// pattern exactly (see api/json.hpp).
+  std::vector<float> frame_loss;
+
+  /// Flat params+grads in canonical parameter order, when the JobSpec set
+  /// return_params.
+  std::vector<float> params;
+
+  // Analyzer summary, when the JobSpec set run_analyzer.
+  bool analyzed = false;
+  double critical_path_us = 0.0;
+  int findings = 0;
+  std::string worst_severity;  ///< "" when no findings fired.
+
+  Json to_json() const;
+  static bool from_json(const Json& j, JobResult& out, std::string& error);
+};
+
+}  // namespace pipad::api

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/error.hpp"
 #include "host/host_lane.hpp"
 #include "kernels/aggregate.hpp"
 #include "kernels/stats_builders.hpp"
@@ -300,6 +301,10 @@ struct BaselineTrainer::Impl {
     ComputePool::instance().discard_regions();
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
       for (const auto& frame : frames) {
+        if (opts.cancel != nullptr &&
+            opts.cancel->load(std::memory_order_relaxed)) {
+          throw Cancelled();
+        }
         // ---- Transfers ----
         std::vector<std::optional<EventId>> evs(frame.size);
         std::vector<bool> cached(frame.size, false);

@@ -16,6 +16,7 @@
 // exactly as the paper's evaluation does.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,6 +37,9 @@ struct BaselineOptions {
   /// driver launch cost. PyGT is a Python framework; ~10 us/op matches the
   /// profiler-visible gaps that keep small-dataset utilization low (§5.2).
   double framework_us_per_launch = 10.0;
+  /// Cooperative cancellation: when non-null and set, train() throws
+  /// pipad::Cancelled at the next frame boundary (see PipadOptions::cancel).
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 class BaselineTrainer {

@@ -2,41 +2,25 @@
 
 #include <cerrno>
 #include <climits>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "analyze/report.hpp"
-#include "baselines/baseline_trainer.hpp"
+#include "api/run_job.hpp"
 #include "common/compute_pool.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "gpusim/trace.hpp"
-#include "graph/generator.hpp"
-#include "graph/io/loader.hpp"
-#include "host/host_lane.hpp"
 #include "models/bench_record.hpp"
 #include "models/training.hpp"
-#include "pipad/pipad_trainer.hpp"
-#include "replica/allreduce.hpp"
-#include "replica/replica_trainer.hpp"
+#include "serve/session.hpp"
+#include "serve/wire.hpp"
 
 namespace pipad::cli {
 
 namespace {
-
-const char* const kModels[] = {"gcn", "tgcn", "evolvegcn", "mpnn-lstm"};
-const char* const kRuntimes[] = {"pipad", "pygt", "pygt-a", "pygt-r",
-                                 "pygt-g"};
-
-bool is_one_of(const std::string& v, const char* const* set, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    if (v == set[i]) return true;
-  }
-  return false;
-}
 
 bool parse_ll(const std::string& s, long long& out) {
   if (s.empty()) return false;
@@ -48,130 +32,12 @@ bool parse_ll(const std::string& s, long long& out) {
   return true;
 }
 
-bool parse_f(const std::string& s, double& out) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(s.c_str(), &end);
-  // ERANGE catches overflowing literals like 1e999, which strtod "parses"
-  // to HUGE_VAL; the finiteness check additionally rejects literal
-  // inf/nan, which no numeric flag accepts.
-  if (errno == ERANGE || end == nullptr || *end != '\0' ||
-      !std::isfinite(v)) {
-    return false;
-  }
-  out = v;
-  return true;
-}
-
 models::ModelType model_type(const std::string& name) {
   if (name == "gcn") return models::ModelType::Gcn;
   if (name == "tgcn") return models::ModelType::TGcn;
   if (name == "evolvegcn") return models::ModelType::EvolveGcn;
   PIPAD_CHECK_MSG(name == "mpnn-lstm", "unknown model " << name);
   return models::ModelType::MpnnLstm;
-}
-
-baselines::Variant baseline_variant(const std::string& runtime) {
-  if (runtime == "pygt-a") return baselines::Variant::PyGTA;
-  if (runtime == "pygt-r") return baselines::Variant::PyGTR;
-  if (runtime == "pygt-g") return baselines::Variant::PyGTG;
-  return baselines::Variant::PyGT;
-}
-
-/// A dataset plus, for on-disk loads, the measured ingest phases that get
-/// charged to the simulated worker lanes before training starts.
-struct BuiltDataset {
-  graph::DTDG data;
-  graph::io::LoadStats load;
-  bool from_file = false;
-};
-
-BuiltDataset build_dataset(const Options& o) {
-  // Dataset construction parallelizes on the process-wide ComputePool —
-  // the same lanes the trainer's host prep and numeric kernels will use
-  // (deterministic for any thread count).
-  ComputePool::instance().configure(
-      o.threads > 0 ? static_cast<std::size_t>(o.threads) : 0);
-  BuiltDataset b;
-  if (graph::io::is_file_dataset(o.dataset)) {
-    graph::io::LoadOptions lo;
-    lo.snapshot_count = o.snapshots;
-    lo.snapshot_window = o.snapshot_window;
-    lo.edge_life = o.edge_life_set ? static_cast<int>(o.edge_life) : 1;
-    lo.feat_dim = o.feat_dim;
-    lo.features_path = o.features;
-    lo.cache_dir = o.cache_dir;
-    lo.seed = o.seed;
-    lo.window_bytes = static_cast<std::size_t>(o.window_bytes);
-    b.from_file = true;
-    b.data = graph::io::load_dataset(graph::io::file_dataset_path(o.dataset),
-                                     lo, &ComputePool::instance().pool(),
-                                     &b.load);
-    return b;
-  }
-  graph::DatasetConfig cfg;
-  if (o.dataset == "synthetic") {
-    cfg.name = "synthetic";
-    cfg.num_nodes = o.nodes;
-    cfg.raw_events = o.events;
-    cfg.num_snapshots = o.snapshots > 0 ? o.snapshots : 24;
-    cfg.feat_dim = o.feat_dim;
-    cfg.edge_life = o.edge_life;
-    cfg.seed = o.seed;
-  } else {
-    cfg = graph::dataset_by_name(o.dataset, o.scale_large, o.scale_small);
-    if (o.snapshots > 0) cfg.num_snapshots = o.snapshots;
-  }
-  b.data = graph::generate(cfg, &ComputePool::instance().pool());
-  return b;
-}
-
-models::TrainConfig train_config(const Options& o) {
-  models::TrainConfig tcfg;
-  tcfg.model = model_type(o.model);
-  tcfg.frame_size = o.frame_size;
-  tcfg.epochs = o.epochs;
-  tcfg.max_frames_per_epoch = o.frames;
-  tcfg.seed = o.seed;
-  return tcfg;
-}
-
-runtime::PipadOptions pipad_options(const Options& o) {
-  runtime::PipadOptions popts;
-  popts.host_threads = o.threads;  // 0 = HostLane default.
-  popts.stream_prep = o.prep != "batch";
-  // Parse cannot fail here: parse_args validated with the same helper.
-  runtime::parse_tuner_mode(o.tuner, popts.tuner);
-  popts.replicas = o.replicas;
-  popts.allreduce = o.allreduce;
-  return popts;
-}
-
-/// Train under the named runtime on a fresh Gpu, leaving the timeline in
-/// `gpu` for callers that want to render it. On-disk datasets first charge
-/// their measured ingest to the worker lanes (prep:load:* ops), so the
-/// simulated makespan includes what every real run pays.
-models::TrainResult run_method(const Options& o, const std::string& runtime,
-                               gpusim::Gpu& gpu, const BuiltDataset& b) {
-  if (b.from_file) {
-    host::charge_load(gpu, b.load,
-                      o.threads > 0 ? static_cast<std::size_t>(o.threads) : 0);
-  }
-  const models::TrainConfig tcfg = train_config(o);
-  if (runtime == "pipad") {
-    if (o.replicas > 0) {
-      // K simulated devices; replica 0 runs on `gpu`, so trace/analyze
-      // render the primary replica's timeline (Link lane included).
-      replica::ReplicaTrainer trainer(gpu, b.data, tcfg, pipad_options(o));
-      return trainer.train();
-    }
-    runtime::PipadTrainer trainer(gpu, b.data, tcfg, pipad_options(o));
-    return trainer.train();
-  }
-  baselines::BaselineTrainer trainer(gpu, b.data, tcfg,
-                                     baseline_variant(runtime));
-  return trainer.train();
 }
 
 void print_header() {
@@ -206,15 +72,16 @@ bool write_bench_json(const Options& o, const std::string& dataset,
     return false;
   }
   os << "{\n  \"bench\": \"pipad-cli\",\n"
-     << "  \"flags\": {\"epochs\": " << o.epochs
-     << ", \"frames\": " << o.frames << ", \"frame_size\": " << o.frame_size
-     << ", \"threads\": " << o.threads << "},\n"
+     << "  \"flags\": {\"epochs\": " << o.job.epochs
+     << ", \"frames\": " << o.job.frames
+     << ", \"frame_size\": " << o.job.frame_size
+     << ", \"threads\": " << o.job.threads << "},\n"
      << "  \"records\": [\n"
-     << models::bench_record_json(dataset, o.model, base_method,
-                                  rb.total_us / o.epochs, rb)
+     << models::bench_record_json(dataset, o.job.model, base_method,
+                                  rb.total_us / o.job.epochs, rb)
      << ",\n"
-     << models::bench_record_json(dataset, o.model, "pipad",
-                                  rp.total_us / o.epochs, rp)
+     << models::bench_record_json(dataset, o.job.model, "pipad",
+                                  rp.total_us / o.job.epochs, rp)
      << "\n  ]\n}\n";
   os.flush();  // Surface buffered write errors (ENOSPC) before reporting.
   if (!os) {
@@ -226,47 +93,48 @@ bool write_bench_json(const Options& o, const std::string& dataset,
 }
 
 int cmd_train(const Options& o) {
-  const BuiltDataset data = build_dataset(o);
+  const api::BuiltDataset data = api::build_dataset(o.job);
   print_dataset(data.data);
   std::printf("training %s under %s: %d epochs, frame size %d\n",
-              models::model_type_name(model_type(o.model)), o.runtime.c_str(),
-              o.epochs, o.frame_size);
+              models::model_type_name(model_type(o.job.model)),
+              o.job.runtime.c_str(), o.job.epochs, o.job.frame_size);
   gpusim::Gpu gpu;
-  const auto r = run_method(o, o.runtime, gpu, data);
+  const auto out = api::run_method(o.job, o.job.runtime, gpu, data, nullptr);
   print_header();
-  print_result(o.runtime, r);
+  print_result(o.job.runtime, out.train);
   return 0;
 }
 
 int cmd_bench(const Options& o) {
-  const BuiltDataset data = build_dataset(o);
+  const api::BuiltDataset data = api::build_dataset(o.job);
   print_dataset(data.data);
   // Compare PiPAD against the requested baseline (plain PyGT unless the
   // user picked a specific variant).
-  const std::string base = o.runtime == "pipad" ? "pygt" : o.runtime;
+  const std::string base = o.job.runtime == "pipad" ? "pygt" : o.job.runtime;
   gpusim::Gpu gpu_base;
-  const auto rb = run_method(o, base, gpu_base, data);
+  const auto rb = api::run_method(o.job, base, gpu_base, data, nullptr);
   gpusim::Gpu gpu_pipad;
-  const auto rp = run_method(o, "pipad", gpu_pipad, data);
+  const auto rp = api::run_method(o.job, "pipad", gpu_pipad, data, nullptr);
   print_header();
-  print_result(base, rb);
-  print_result("pipad", rp);
+  print_result(base, rb.train);
+  print_result("pipad", rp.train);
   std::printf("\nPiPAD end-to-end speedup over %s: %.2fx\n", base.c_str(),
-              rb.total_us / rp.total_us);
-  if (!o.json.empty() && !write_bench_json(o, data.data.name, base, rb, rp)) {
+              rb.train.total_us / rp.train.total_us);
+  if (!o.json.empty() &&
+      !write_bench_json(o, data.data.name, base, rb.train, rp.train)) {
     return 1;
   }
   return 0;
 }
 
 int cmd_trace(const Options& o) {
-  const BuiltDataset data = build_dataset(o);
+  const api::BuiltDataset data = api::build_dataset(o.job);
   print_dataset(data.data);
-  const std::string base = o.runtime == "pipad" ? "pygt" : o.runtime;
+  const std::string base = o.job.runtime == "pipad" ? "pygt" : o.job.runtime;
   gpusim::Gpu gpu_base;
-  run_method(o, base, gpu_base, data);
+  api::run_method(o.job, base, gpu_base, data, nullptr);
   gpusim::Gpu gpu_pipad;
-  run_method(o, "pipad", gpu_pipad, data);
+  api::run_method(o.job, "pipad", gpu_pipad, data, nullptr);
 
   gpusim::GanttOptions gopts;
   gopts.width = 100;
@@ -289,7 +157,7 @@ int cmd_trace(const Options& o) {
                    o.out.c_str());
       return 1;
     }
-    const gpusim::TraceMeta meta{data.data.name, o.model, "pipad"};
+    const gpusim::TraceMeta meta{data.data.name, o.job.model, "pipad"};
     gpusim::write_trace_csv(gpu_pipad.timeline(), csv, meta);
     std::printf("PiPAD trace written to %s (%zu ops)\n", o.out.c_str(),
                 gpu_pipad.timeline().records().size());
@@ -315,19 +183,19 @@ int cmd_analyze(const Options& o) {
   if (o.traces.empty()) {
     // Live mode: run PiPAD on the requested dataset and analyze its
     // timeline in-process.
-    const BuiltDataset data = build_dataset(o);
+    const api::BuiltDataset data = api::build_dataset(o.job);
     print_dataset(data.data);
     gpusim::Gpu gpu;
-    run_method(o, "pipad", gpu, data);
+    api::run_method(o.job, "pipad", gpu, data, nullptr);
     analyze::TraceData td = analyze::from_timeline(gpu.timeline());
     td.dataset = data.data.name;
-    td.model = o.model;
-    td.method = o.prep == "batch" ? "pipad-batch" : "pipad";
+    td.model = o.job.model;
+    td.method = o.job.prep == "batch" ? "pipad-batch" : "pipad";
     analyses.push_back(analyze::analyze_trace(
         std::move(td), popts, &ComputePool::instance().pool()));
   } else {
     ComputePool::instance().configure(
-        o.threads > 0 ? static_cast<std::size_t>(o.threads) : 0);
+        o.job.threads > 0 ? static_cast<std::size_t>(o.job.threads) : 0);
     for (const auto& path : o.traces) {
       analyze::TraceData td = analyze::read_trace_file(path);
       if (td.dataset.empty()) td.dataset = file_stem(path);
@@ -350,7 +218,7 @@ int cmd_analyze(const Options& o) {
                    o.json.c_str());
       return 1;
     }
-    analyze::write_json_report(js, analyses, o.threads);
+    analyze::write_json_report(js, analyses, o.job.threads);
     js.flush();
     if (!js) {
       std::fprintf(stderr, "pipad: write failed: %s\n", o.json.c_str());
@@ -378,11 +246,191 @@ int cmd_analyze(const Options& o) {
   return 0;
 }
 
+int cmd_serve(const Options& o) {
+  serve::SessionOptions sopts;
+  sopts.threads = o.job.threads;
+  sopts.queue_capacity = static_cast<std::size_t>(o.queue_capacity);
+  sopts.executors = o.executors;
+  serve::Session session(sopts);
+  serve::WireServer server(session, o.socket);
+  // The readiness line goes out unbuffered: the CI smoke script and the
+  // docs quick-start wait for it before submitting.
+  std::printf("pipad serve: listening on %s (%d executor(s), queue %d, "
+              "%d pool threads)\n",
+              o.socket.c_str(), o.executors, o.queue_capacity,
+              session.threads());
+  std::fflush(stdout);
+  server.wait_shutdown();
+  std::printf("pipad serve: shutdown requested, draining\n");
+  // Resolve every job before tearing down connections, so handlers blocked
+  // in wait() answer their clients and exit (see wire.hpp stop order).
+  session.shutdown();
+  server.stop();
+  return 0;
+}
+
+/// One-line human summary of a finished job.
+void print_job_result(const api::JobResult& r) {
+  std::printf("job %llu %s (completion #%llu)",
+              static_cast<unsigned long long>(r.id), r.state.c_str(),
+              static_cast<unsigned long long>(r.seq));
+  if (r.state == "done" && r.record.is_object()) {
+    const api::Json* dataset = r.record.find("dataset");
+    const api::Json* epoch_us = r.record.find("epoch_us");
+    const api::Json* loss = r.record.find("final_loss");
+    if (dataset != nullptr) {
+      std::printf(": %s", dataset->as_string().c_str());
+    }
+    if (epoch_us != nullptr) std::printf(", epoch %.1f us",
+                                         epoch_us->as_number());
+    if (loss != nullptr) std::printf(", final loss %.6f", loss->as_number());
+  } else if (!r.error.empty()) {
+    std::printf(": %s", r.error.c_str());
+  }
+  std::printf("\n");
+}
+
+/// Write one job's bench record as a single-record bench_diff document, so
+/// serve output feeds the same perf gate as `pipad bench --json`.
+bool write_record_json(const std::string& path, const api::JobResult& r) {
+  if (!r.record.is_object()) {
+    std::fprintf(stderr, "pipad: job %llu has no bench record (state %s)\n",
+                 static_cast<unsigned long long>(r.id), r.state.c_str());
+    return false;
+  }
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "pipad: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  os << "{\n  \"bench\": \"pipad-serve\",\n  \"records\": [\n    "
+     << r.record.dump() << "\n  ]\n}\n";
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "pipad: write failed: %s\n", path.c_str());
+    return false;
+  }
+  std::printf("1 record written to %s\n", path.c_str());
+  return true;
+}
+
+/// Send one op; die on transport errors, return the response. A response
+/// with ok=false is printed to stderr and mapped to exit 1 by the caller.
+api::Json wire_call(serve::WireClient& client, const api::Json& req) {
+  return client.request(req);
+}
+
+bool response_ok(const api::Json& resp) {
+  const api::Json* ok = resp.find("ok");
+  if (ok != nullptr && ok->is_bool() && ok->as_bool()) return true;
+  const api::Json* error = resp.find("error");
+  std::fprintf(stderr, "pipad: %s\n",
+               error != nullptr && error->is_string()
+                   ? error->as_string().c_str()
+                   : "malformed daemon response");
+  return false;
+}
+
+int wait_and_report(serve::WireClient& client, std::uint64_t id,
+                    const Options& o) {
+  api::Json req = api::Json::object();
+  req.set("op", "wait");
+  req.set("id", static_cast<double>(id));
+  const api::Json resp = wire_call(client, req);
+  if (!response_ok(resp)) return 1;
+  const api::Json* result_field = resp.find("result");
+  api::JobResult result;
+  std::string error;
+  if (result_field == nullptr ||
+      !api::JobResult::from_json(*result_field, result, error)) {
+    std::fprintf(stderr, "pipad: malformed job result: %s\n", error.c_str());
+    return 1;
+  }
+  print_job_result(result);
+  if (!o.record_json.empty() && !write_record_json(o.record_json, result)) {
+    return 1;
+  }
+  return result.state == "done" ? 0 : 1;
+}
+
+int cmd_submit(const Options& o) {
+  serve::WireClient client(o.socket);
+  if (o.shutdown) {
+    api::Json req = api::Json::object();
+    req.set("op", "shutdown");
+    if (!response_ok(wire_call(client, req))) return 1;
+    std::printf("pipad serve: shutdown requested\n");
+    return 0;
+  }
+  if (o.list) {
+    api::Json req = api::Json::object();
+    req.set("op", "list");
+    const api::Json resp = wire_call(client, req);
+    if (!response_ok(resp)) return 1;
+    const api::Json* jobs = resp.find("jobs");
+    std::printf("%6s %-12s %8s %-10s %s\n", "id", "tenant", "priority",
+                "state", "tag");
+    if (jobs != nullptr && jobs->is_array()) {
+      for (const api::Json& j : jobs->items()) {
+        std::printf("%6lld %-12s %8lld %-10s %s\n", j.find("id")->as_int(),
+                    j.find("tenant")->as_string().c_str(),
+                    j.find("priority")->as_int(),
+                    j.find("state")->as_string().c_str(),
+                    j.find("tag")->as_string().c_str());
+      }
+    }
+    return 0;
+  }
+  if (o.cancel_id > 0) {
+    api::Json req = api::Json::object();
+    req.set("op", "cancel");
+    req.set("id", static_cast<double>(o.cancel_id));
+    const api::Json resp = wire_call(client, req);
+    if (!response_ok(resp)) return 1;
+    const api::Json* cancelled = resp.find("cancelled");
+    std::printf("job %lld %s\n", o.cancel_id,
+                cancelled != nullptr && cancelled->as_bool()
+                    ? "cancellation requested"
+                    : "already finished");
+    return 0;
+  }
+  if (o.status_id > 0) {
+    api::Json req = api::Json::object();
+    req.set("op", "status");
+    req.set("id", static_cast<double>(o.status_id));
+    const api::Json resp = wire_call(client, req);
+    if (!response_ok(resp)) return 1;
+    const api::Json* job = resp.find("job");
+    std::printf("job %lld: %s\n", o.status_id,
+                job != nullptr ? job->find("state")->as_string().c_str()
+                               : "?");
+    return 0;
+  }
+  if (o.wait_id > 0) {
+    return wait_and_report(client, static_cast<std::uint64_t>(o.wait_id), o);
+  }
+  // Default: submit the parsed JobSpec, then wait unless --no-wait.
+  api::Json req = api::Json::object();
+  req.set("op", "submit");
+  req.set("spec", o.job.to_json());
+  const api::Json resp = wire_call(client, req);
+  if (!response_ok(resp)) return 1;
+  const api::Json* id_field = resp.find("id");
+  if (id_field == nullptr) {
+    std::fprintf(stderr, "pipad: malformed daemon response (no id)\n");
+    return 1;
+  }
+  const std::uint64_t id = static_cast<std::uint64_t>(id_field->as_int());
+  std::printf("job %llu submitted\n", static_cast<unsigned long long>(id));
+  if (o.no_wait) return 0;
+  return wait_and_report(client, id, o);
+}
+
 }  // namespace
 
 std::string usage() {
   return
-      "usage: pipad <train|bench|trace|analyze> [flags]\n"
+      "usage: pipad <train|bench|trace|analyze|serve|submit> [flags]\n"
       "\n"
       "subcommands:\n"
       "  train    train one model under one runtime, print the sim summary\n"
@@ -391,66 +439,39 @@ std::string usage() {
       "  analyze  critical-path + bottleneck analysis of trace CSVs\n"
       "           (--trace, repeatable), or of a live PiPAD run when no\n"
       "           --trace is given (docs/ANALYZER.md)\n"
+      "  serve    long-lived multi-tenant training daemon on a local\n"
+      "           socket (docs/SERVE.md)\n"
+      "  submit   client for a running daemon: submit a job described by\n"
+      "           the shared flags below, or --wait/--cancel/--status/\n"
+      "           --list/--shutdown an existing one\n"
       "\n"
-      "flags:\n"
-      "  --model NAME       gcn | tgcn | evolvegcn | mpnn-lstm  [tgcn]\n"
-      "  --runtime NAME     pipad | pygt | pygt-a | pygt-r | pygt-g  [pipad]\n"
-      "  --dataset SPEC     synthetic, a Table-1 name (flickr, youtube,\n"
-      "                     amz-automotive, epinions, hepth, pems08,\n"
-      "                     covid19-england), or file:PATH — load a\n"
-      "                     timestamped edge list (`src dst t [w]`), a\n"
-      "                     temporal CSV (src,dst,t header), or a binary\n"
-      "                     .dtdg snapshot file from disk; text inputs may\n"
-      "                     be gzip'd (.gz) and are read in bounded windows\n"
-      "                     (see docs/DATASET_FORMATS.md)  [synthetic]\n"
-      "  --snapshots N      override the dataset's snapshot count (file:\n"
-      "                     split the time range into exactly N windows)\n"
-      "  --snapshot-window N  file: bucket edges into time windows of N\n"
-      "                     timestamp units (default: one snapshot per\n"
-      "                     distinct timestamp, or the file's snapshots=S\n"
-      "                     directive)\n"
-      "  --features FILE    file: node-feature file (# pipad-features);\n"
-      "                     omitted = seeded synthetic features\n"
-      "  --cache-dir DIR    file: cache parsed snapshots as .dtdg; later\n"
-      "                     runs with the same inputs skip the parse\n"
-      "  --window-bytes N   file: streaming read window in bytes — bounds\n"
-      "                     parse memory, never changes the result\n"
-      "                     [8388608]\n"
-      "  --nodes N          synthetic: vertex count  [2000]\n"
-      "  --events N         synthetic: distinct temporal edges  [40000]\n"
-      "  --feat-dim N       synthetic: feature dimension  [2]\n"
-      "  --edge-life X      synthetic: mean snapshots an edge lives [8];\n"
-      "                     file: integer snapshots each edge instance\n"
-      "                     stays alive  [1]\n"
-      "  --scale-large N    divisor for the four large named graphs  [256]\n"
-      "  --scale-small N    divisor for hepth  [8]\n"
-      "  --epochs N         training epochs  [2]\n"
-      "  --frame-size N     sliding-window size  [8]\n"
-      "  --frames N         max frames per epoch, 0 = all  [4]\n"
-      "  --threads N        ComputePool worker lanes (host prep + numeric\n"
-      "                     kernels), 0 = default  [0]\n"
-      "  --tuner MODE       S_per tuner cost source: analytic (device\n"
-      "                     model only) | measured (folds the preparing\n"
-      "                     epoch's charged prep/compute lane occupancy\n"
-      "                     into the pipeline-stall rejection)  [analytic]\n"
-      "  --replicas K       replicated data-parallel training across K\n"
-      "                     simulated devices (pipad runtime only; losses\n"
-      "                     and params are bit-identical for every K and\n"
-      "                     --threads), 0 = classic single device  [0]\n"
-      "  --allreduce ALGO   interconnect timing model for --replicas:\n"
-      "                     ring | tree (numerics are identical)  [ring]\n"
-      "  --seed N           dataset + model RNG seed  [2023]\n"
+      "job flags (shared by train/bench/trace/analyze/submit and the\n"
+      "serve wire protocol):\n" +
+      api::flags_help() +
+      "\n"
+      "command flags:\n"
       "  --out FILE         trace: write the PiPAD timeline as CSV\n"
       "  --json FILE        bench/analyze: write records as JSON\n"
       "                     (bench_diff-compatible)\n"
       "  --trace FILE       analyze: a trace CSV to analyze (repeatable);\n"
       "                     omitted = run PiPAD live and analyze that\n"
-      "  --prep MODE        analyze (live): host prep mode, stream |\n"
-      "                     batch  [stream]\n"
       "  --top N            analyze: findings shown per trace  [5]\n"
       "  --fail-above SEV   analyze: exit 3 when any finding reaches this\n"
       "                     severity: none | info | low | medium | high\n"
       "                     [none]\n"
+      "  --socket PATH      serve/submit: AF_UNIX socket path\n"
+      "                     [/tmp/pipad.sock]\n"
+      "  --queue-capacity N serve: admission-queue bound (backpressure)\n"
+      "                     [64]\n"
+      "  --executors N      serve: concurrent job slots  [2]\n"
+      "  --no-wait          submit: print the job id, don't wait\n"
+      "  --wait ID          submit: wait for an existing job\n"
+      "  --cancel ID        submit: cancel a job\n"
+      "  --status ID        submit: print one job's state\n"
+      "  --list             submit: list the daemon's jobs\n"
+      "  --record-json FILE submit: write the finished job's bench record\n"
+      "                     as a bench_diff-compatible document\n"
+      "  --shutdown         submit: stop the daemon\n"
       "  --log-level L      debug | info | warn | error | off  [warn]\n"
       "  --help             print this text\n";
 }
@@ -460,7 +481,9 @@ ParseResult parse_args(const std::vector<std::string>& args) {
   Options& o = res.options;
 
   if (args.empty()) {
-    res.error = "missing subcommand (train | bench | trace | analyze)";
+    res.error =
+        "missing subcommand (train | bench | trace | analyze | serve | "
+        "submit)";
     return res;
   }
 
@@ -474,6 +497,10 @@ ParseResult parse_args(const std::vector<std::string>& args) {
     o.command = Command::Trace;
   } else if (cmd == "analyze") {
     o.command = Command::Analyze;
+  } else if (cmd == "serve") {
+    o.command = Command::Serve;
+  } else if (cmd == "submit") {
+    o.command = Command::Submit;
   } else if (cmd == "help" || cmd == "--help" || cmd == "-h") {
     o.command = Command::Help;
     res.ok = true;
@@ -500,6 +527,17 @@ ParseResult parse_args(const std::vector<std::string>& args) {
       res.ok = true;
       return res;
     }
+    // Boolean flags (no value).
+    if (flag == "--no-wait" || flag == "--shutdown" || flag == "--list") {
+      if (has_value) {
+        res.error = flag + " does not take a value";
+        return res;
+      }
+      if (flag == "--no-wait") o.no_wait = true;
+      else if (flag == "--shutdown") o.shutdown = true;
+      else o.list = true;
+      continue;
+    }
 
     // Every remaining flag takes a value.
     if (!has_value) {
@@ -511,23 +549,7 @@ ParseResult parse_args(const std::vector<std::string>& args) {
     }
 
     long long n = 0;
-    if (flag == "--model") {
-      if (!is_one_of(value, kModels, std::size(kModels))) {
-        res.error = "unknown model '" + value +
-                    "' (expected gcn | tgcn | evolvegcn | mpnn-lstm)";
-        return res;
-      }
-      o.model = value;
-    } else if (flag == "--runtime") {
-      if (!is_one_of(value, kRuntimes, std::size(kRuntimes))) {
-        res.error = "unknown runtime '" + value +
-                    "' (expected pipad | pygt | pygt-a | pygt-r | pygt-g)";
-        return res;
-      }
-      o.runtime = value;
-    } else if (flag == "--dataset") {
-      o.dataset = value;
-    } else if (flag == "--out") {
+    if (flag == "--out") {
       o.out = value;
     } else if (flag == "--json") {
       o.json = value;
@@ -537,13 +559,6 @@ ParseResult parse_args(const std::vector<std::string>& args) {
         return res;
       }
       o.traces.push_back(value);
-    } else if (flag == "--prep") {
-      if (value != "stream" && value != "batch") {
-        res.error =
-            "unknown prep mode '" + value + "' (expected stream | batch)";
-        return res;
-      }
-      o.prep = value;
     } else if (flag == "--fail-above") {
       analyze::Severity sev;
       if (value != "none" && !analyze::parse_severity(value, sev)) {
@@ -558,33 +573,6 @@ ParseResult parse_args(const std::vector<std::string>& args) {
         return res;
       }
       o.top = static_cast<int>(n);
-    } else if (flag == "--features") {
-      o.features = value;
-    } else if (flag == "--cache-dir") {
-      o.cache_dir = value;
-    } else if (flag == "--tuner") {
-      runtime::TunerMode mode;
-      if (!runtime::parse_tuner_mode(value, mode)) {
-        res.error = "unknown tuner '" + value +
-                    "' (expected analytic | measured)";
-        return res;
-      }
-      o.tuner = value;
-    } else if (flag == "--replicas") {
-      if (!parse_ll(value, n) || n < 0 || n > 64) {
-        res.error = "--replicas expects an integer in [0, 64], got '" +
-                    value + "'";
-        return res;
-      }
-      o.replicas = static_cast<int>(n);
-    } else if (flag == "--allreduce") {
-      replica::AllReduceAlgo algo;
-      if (!replica::parse_allreduce(value, algo)) {
-        res.error =
-            "unknown allreduce '" + value + "' (expected ring | tree)";
-        return res;
-      }
-      o.allreduce = value;
     } else if (flag == "--log-level") {
       if (value != "debug" && value != "info" && value != "warn" &&
           value != "error" && value != "off") {
@@ -593,86 +581,60 @@ ParseResult parse_args(const std::vector<std::string>& args) {
         return res;
       }
       o.log_level = value;
-    } else if (flag == "--edge-life") {
-      double x = 0.0;
-      if (!parse_f(value, x) || x < 1.0) {
-        res.error = "--edge-life expects a number >= 1, got '" + value + "'";
+    } else if (flag == "--socket") {
+      if (value.empty()) {
+        res.error = "--socket expects a path";
         return res;
       }
-      o.edge_life = x;
-      o.edge_life_set = true;
-    } else if (flag == "--snapshots" || flag == "--nodes" ||
-               flag == "--events" || flag == "--feat-dim" ||
-               flag == "--scale-large" || flag == "--scale-small" ||
-               flag == "--epochs" || flag == "--frame-size" ||
-               flag == "--frames" || flag == "--threads" ||
-               flag == "--seed" || flag == "--snapshot-window" ||
-               flag == "--window-bytes") {
-      if (!parse_ll(value, n) || n < 0) {
-        res.error = flag + " expects a non-negative integer, got '" + value +
-                    "'";
+      o.socket = value;
+    } else if (flag == "--queue-capacity") {
+      if (!parse_ll(value, n) || n < 1 || n > INT_MAX) {
+        res.error = "--queue-capacity expects a positive integer, got '" +
+                    value + "'";
         return res;
       }
-      // Everything except the 64-bit flags lands in an int.
-      if (flag != "--events" && flag != "--seed" &&
-          flag != "--snapshot-window" && flag != "--window-bytes" &&
-          n > INT_MAX) {
-        res.error = flag + " value " + value + " is out of range";
+      o.queue_capacity = static_cast<int>(n);
+    } else if (flag == "--executors") {
+      if (!parse_ll(value, n) || n < 1 || n > 256) {
+        res.error =
+            "--executors expects an integer in [1, 256], got '" + value + "'";
         return res;
       }
-      if (flag == "--snapshots") o.snapshots = static_cast<int>(n);
-      else if (flag == "--nodes") o.nodes = static_cast<int>(n);
-      else if (flag == "--events") o.events = n;
-      else if (flag == "--feat-dim") o.feat_dim = static_cast<int>(n);
-      else if (flag == "--scale-large") o.scale_large = static_cast<int>(n);
-      else if (flag == "--scale-small") o.scale_small = static_cast<int>(n);
-      else if (flag == "--epochs") o.epochs = static_cast<int>(n);
-      else if (flag == "--frame-size") o.frame_size = static_cast<int>(n);
-      else if (flag == "--frames") o.frames = static_cast<int>(n);
-      else if (flag == "--threads") o.threads = static_cast<int>(n);
-      else if (flag == "--snapshot-window") o.snapshot_window = n;
-      else if (flag == "--window-bytes") o.window_bytes = n;
-      else o.seed = static_cast<std::uint64_t>(n);
+      o.executors = static_cast<int>(n);
+    } else if (flag == "--wait" || flag == "--cancel" || flag == "--status") {
+      if (!parse_ll(value, n) || n < 1) {
+        res.error = flag + " expects a job id, got '" + value + "'";
+        return res;
+      }
+      if (flag == "--wait") o.wait_id = n;
+      else if (flag == "--cancel") o.cancel_id = n;
+      else o.status_id = n;
+    } else if (flag == "--record-json") {
+      if (value.empty()) {
+        res.error = "--record-json expects a file path";
+        return res;
+      }
+      o.record_json = value;
     } else {
-      res.error = "unknown flag '" + flag + "'";
-      return res;
+      // Everything else is a shared JobSpec flag — one vocabulary, one
+      // set of error messages for every surface.
+      switch (api::apply_flag(flag, value, o.job, res.error)) {
+        case api::FlagStatus::Applied:
+          break;
+        case api::FlagStatus::Error:
+          return res;
+        case api::FlagStatus::Unknown:
+          res.error = "unknown flag '" + flag + "'";
+          return res;
+      }
     }
   }
 
-  if (o.nodes <= 0 || o.epochs <= 0 || o.frame_size <= 0 ||
-      o.feat_dim <= 0 || o.events <= 0) {
-    res.error =
-        "--nodes, --events, --feat-dim, --epochs and --frame-size must be "
-        "positive";
-    return res;
-  }
-  if (o.scale_large <= 0 || o.scale_small <= 0) {
-    res.error = "--scale-large and --scale-small must be positive";
-    return res;
-  }
-  const bool file_ds = graph::io::is_file_dataset(o.dataset);
-  if (!file_ds && (o.snapshot_window > 0 || o.window_bytes > 0 ||
-                   !o.cache_dir.empty() || !o.features.empty())) {
-    res.error =
-        "--snapshot-window, --window-bytes, --cache-dir and --features "
-        "require --dataset file:PATH";
-    return res;
-  }
-  if (file_ds && o.snapshot_window > 0 && o.snapshots > 0) {
-    res.error =
-        "--snapshot-window and --snapshots are mutually exclusive for "
-        "file: datasets";
-    return res;
-  }
-  // std::floor comparison, not a cast round trip: casting a huge double to
-  // int is UB before we could reject it.
-  if (file_ds && o.edge_life_set &&
-      (o.edge_life != std::floor(o.edge_life) || o.edge_life > 1000000.0)) {
-    res.error =
-        "--edge-life must be an integer snapshot count (<= 1000000) for "
-        "file: datasets";
-    return res;
-  }
+  res.error = o.job.validate();
+  if (!res.error.empty()) return res;
+
+  // Invocation-level rules (which flag belongs to which subcommand) stay
+  // here: they are about the CLI surface, not the job.
   if (!o.json.empty() && o.command != Command::Bench &&
       o.command != Command::Analyze) {
     res.error = "--json is only supported by the bench and analyze "
@@ -681,24 +643,46 @@ ParseResult parse_args(const std::vector<std::string>& args) {
   }
   if (o.command != Command::Analyze &&
       (!o.traces.empty() || o.fail_above != "none" || o.top != 5 ||
-       o.prep != "stream")) {
+       o.job.prep != "stream")) {
     res.error = "--trace, --prep, --top and --fail-above require the "
                 "analyze subcommand";
     return res;
   }
-  if (!o.traces.empty() && o.prep != "stream") {
+  if (!o.traces.empty() && o.job.prep != "stream") {
     res.error = "--prep only applies to live analyze runs (no --trace)";
     return res;
   }
-  if (o.replicas > 0 && o.runtime != "pipad") {
-    res.error = "--replicas requires --runtime pipad";
+  if (o.command != Command::Submit &&
+      (o.no_wait || o.shutdown || o.list || o.wait_id > 0 ||
+       o.cancel_id > 0 || o.status_id > 0 || !o.record_json.empty())) {
+    res.error = "--no-wait, --wait, --cancel, --status, --list, "
+                "--record-json and --shutdown require the submit subcommand";
     return res;
   }
-  if (o.replicas > 0 && o.tuner == "measured") {
-    res.error =
-        "--tuner=measured samples per-replica occupancy and is not "
-        "replica-invariant; use the analytic tuner with --replicas";
+  if (o.command != Command::Serve && o.command != Command::Submit &&
+      o.socket != "/tmp/pipad.sock") {
+    res.error = "--socket requires the serve or submit subcommand";
     return res;
+  }
+  if (o.command != Command::Serve &&
+      (o.queue_capacity != 64 || o.executors != 2)) {
+    res.error = "--queue-capacity and --executors require the serve "
+                "subcommand";
+    return res;
+  }
+  if (o.command == Command::Submit) {
+    const int modes = (o.shutdown ? 1 : 0) + (o.list ? 1 : 0) +
+                      (o.wait_id > 0 ? 1 : 0) + (o.cancel_id > 0 ? 1 : 0) +
+                      (o.status_id > 0 ? 1 : 0);
+    if (modes > 1) {
+      res.error = "--wait, --cancel, --status, --list and --shutdown are "
+                  "mutually exclusive";
+      return res;
+    }
+    if (modes > 0 && o.no_wait) {
+      res.error = "--no-wait only applies when submitting a new job";
+      return res;
+    }
   }
 
   res.ok = true;
@@ -725,6 +709,10 @@ int run(const Options& opts) {
       return cmd_trace(opts);
     case Command::Analyze:
       return cmd_analyze(opts);
+    case Command::Serve:
+      return cmd_serve(opts);
+    case Command::Submit:
+      return cmd_submit(opts);
   }
   return 2;
 }

@@ -5,62 +5,34 @@
 //   pipad bench --model mpnn-lstm --snapshots 24
 //   pipad trace --dataset epinions --out trace.csv
 //   pipad analyze --trace trace.csv --json analysis.json
+//   pipad serve --socket /tmp/pipad.sock --executors 2
+//   pipad submit --socket /tmp/pipad.sock --model gcn --priority 8
+//
+// The job description itself (model/dataset/training knobs) is an
+// api::JobSpec: the CLI, every bench binary and the serve daemon parse and
+// validate it through the same api::apply_flag vocabulary, so all surfaces
+// accept and reject inputs identically. This header only adds the flags
+// that are about *this* invocation (output paths, analyze gates, the serve
+// socket) rather than about the job.
 //
 // Parsing and execution are separated (and main()-free) so the gtest suite
 // can exercise both without spawning processes.
 #pragma once
 
-#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "api/job_spec.hpp"
+
 namespace pipad::cli {
 
-enum class Command { Train, Bench, Trace, Analyze, Help };
+enum class Command { Train, Bench, Trace, Analyze, Serve, Submit, Help };
 
 struct Options {
   Command command = Command::Help;
 
-  // What to train.
-  std::string model = "tgcn";       ///< gcn | tgcn | evolvegcn | mpnn-lstm.
-  std::string runtime = "pipad";    ///< pipad | pygt | pygt-a | pygt-r | pygt-g.
-
-  // Dataset: one of the seven Table-1 names, "synthetic" (generated from
-  // the --nodes/--events/--feat-dim/--edge-life knobs below), or
-  // "file:PATH" — an on-disk timestamped edge list / temporal CSV / binary
-  // .dtdg snapshot file (src/graph/io, docs/DATASET_FORMATS.md).
-  std::string dataset = "synthetic";
-  int snapshots = 0;        ///< >0 overrides the dataset's snapshot count
-                            ///< (file: split the time range into N windows).
-  long long snapshot_window = 0;  ///< file: fixed time-window width.
-  long long window_bytes = 0;     ///< file: streaming read window in bytes
-                                  ///< (0 = the 8 MiB loader default).
-  std::string features;     ///< file: optional node-feature file.
-  std::string cache_dir;    ///< file: .dtdg snapshot-cache directory.
-  int nodes = 2000;         ///< Synthetic vertex count.
-  long long events = 40000; ///< Synthetic distinct temporal edges.
-  int feat_dim = 2;         ///< Synthetic feature dimension.
-  double edge_life = 8.0;   ///< Synthetic: mean snapshots an edge stays
-                            ///< alive. file: integer snapshots each edge
-                            ///< instance lives (default 1 when not given).
-  bool edge_life_set = false;  ///< --edge-life was passed explicitly.
-  int scale_large = 256;    ///< Divisor for the four large named graphs.
-  int scale_small = 8;      ///< Divisor for HepTh.
-
-  // Training loop.
-  int epochs = 2;
-  int frame_size = 8;
-  int frames = 4;           ///< Max frames per epoch (0 = every frame).
-  int threads = 0;          ///< Host-prep worker lanes for the PiPAD runtime
-                            ///< (0 = library default).
-  std::string tuner = "analytic";  ///< S_per tuner cost source for the PiPAD
-                                   ///< runtime: analytic | measured.
-  int replicas = 0;         ///< >=1: replicated data-parallel training across
-                            ///< K simulated devices (pipad runtime only;
-                            ///< 0 = the classic single-device path).
-  std::string allreduce = "ring";  ///< Interconnect timing model for
-                                   ///< --replicas: ring | tree.
-  std::uint64_t seed = 2023;
+  /// The shared job description (see api/job_spec.hpp for every field).
+  api::JobSpec job;
 
   std::string out;          ///< `trace`: CSV output path (empty = stdout only).
   std::string json;         ///< `bench`/`analyze`: write records as JSON
@@ -71,11 +43,23 @@ struct Options {
   std::vector<std::string> traces;  ///< Trace CSVs to analyze (repeatable);
                                     ///< empty = run PiPAD live and analyze
                                     ///< the resulting timeline.
-  std::string prep = "stream";      ///< Live run prep mode: stream | batch.
   std::string fail_above = "none";  ///< Exit 3 when a finding reaches this
                                     ///< severity: none | info | low |
                                     ///< medium | high.
   int top = 5;                      ///< Findings shown per trace.
+
+  // `serve` and `submit`.
+  std::string socket = "/tmp/pipad.sock";  ///< AF_UNIX socket path.
+  int queue_capacity = 64;  ///< serve: admission-queue bound.
+  int executors = 2;        ///< serve: concurrent job slots.
+  bool no_wait = false;     ///< submit: print the job id and return.
+  bool shutdown = false;    ///< submit: stop the daemon.
+  bool list = false;        ///< submit: list the daemon's jobs.
+  long long wait_id = 0;    ///< submit: wait for an existing job id.
+  long long cancel_id = 0;  ///< submit: cancel a job id.
+  long long status_id = 0;  ///< submit: print one job's state.
+  std::string record_json;  ///< submit: write the result's bench record as
+                            ///< a bench_diff-compatible JSON document.
 };
 
 struct ParseResult {

@@ -153,11 +153,15 @@ std::size_t ComputePool::block_count(std::size_t n, std::size_t total_work) {
   return std::min({n, kMaxBlocks, std::max<std::size_t>(1, by_work)});
 }
 
+std::map<std::string, ComputePool::RegionStats>& ComputePool::local_regions() {
+  thread_local std::map<std::string, RegionStats> regions;
+  return regions;
+}
+
 void ComputePool::record_region(const char* name,
                                 const std::vector<double>& lane_us,
                                 std::size_t blocks, std::size_t steals) {
-  std::lock_guard<std::mutex> lock(region_mutex_);
-  RegionStats& r = regions_[name];
+  RegionStats& r = local_regions()[name];
   if (r.lane_us.size() < lane_us.size()) r.lane_us.resize(lane_us.size());
   for (std::size_t l = 0; l < lane_us.size(); ++l) {
     r.lane_us[l] += lane_us[l];
@@ -261,15 +265,11 @@ void ComputePool::run_serial(const char* name, std::size_t total_work,
 }
 
 std::map<std::string, ComputePool::RegionStats> ComputePool::drain_regions() {
-  std::lock_guard<std::mutex> lock(region_mutex_);
   std::map<std::string, RegionStats> out;
-  out.swap(regions_);
+  out.swap(local_regions());
   return out;
 }
 
-void ComputePool::discard_regions() {
-  std::lock_guard<std::mutex> lock(region_mutex_);
-  regions_.clear();
-}
+void ComputePool::discard_regions() { local_regions().clear(); }
 
 }  // namespace pipad

@@ -128,7 +128,13 @@ class ComputePool {
   /// before run_ranges() (e.g. agg_sliced's destination-row alignment).
   static Ranges even_ranges(std::size_t n, std::size_t blocks);
 
-  /// Regions measured since the last drain, keyed by kernel name.
+  /// Regions measured since the last drain, keyed by kernel name. The
+  /// accumulator is thread-local: a region is recorded on the thread that
+  /// launched it (the trainer thread — workers only execute blocks), and
+  /// trainers drain on that same thread, so concurrent jobs sharing the
+  /// pool each see exactly their own charges (the isolation `pipad serve`
+  /// relies on). Draining from a different thread than the one that ran
+  /// the regions returns nothing.
   std::map<std::string, RegionStats> drain_regions();
   void discard_regions();
 
@@ -170,10 +176,12 @@ class ComputePool {
   void record_region(const char* name, const std::vector<double>& lane_us,
                      std::size_t blocks, std::size_t steals);
 
+  /// Per-thread region accumulator (regions are recorded and drained on
+  /// the launching thread; see drain_regions()).
+  static std::map<std::string, RegionStats>& local_regions();
+
   std::mutex pool_mutex_;  ///< Guards pool_ creation/replacement.
   std::unique_ptr<ThreadPool> pool_;
-  std::mutex region_mutex_;  ///< Guards regions_.
-  std::map<std::string, RegionStats> regions_;
   std::atomic<bool> steal_{true};
 };
 

@@ -24,6 +24,14 @@ class OutOfMemoryError : public Error {
   explicit OutOfMemoryError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a trainer observes its cooperative cancellation flag at a
+/// frame/round boundary. The serve scheduler catches this class to mark a
+/// job `cancelled` rather than `failed`.
+class Cancelled : public Error {
+ public:
+  Cancelled() : Error("job cancelled") {}
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {

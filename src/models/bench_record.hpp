@@ -14,6 +14,12 @@
 
 namespace pipad::models {
 
+/// Version of the bench-record schema. Bumped when a field changes meaning
+/// or is removed; added fields (like this one) are backward compatible —
+/// bench_diff keys on the legacy fields and tolerates unknown ones, so
+/// checked-in BENCH_*.json baselines written before versioning keep gating.
+inline constexpr int kBenchRecordSchemaVersion = 1;
+
 /// Minimal JSON string escaping (quote, backslash, control chars) —
 /// dataset names are user-controlled file stems.
 inline std::string json_escape(const std::string& s) {
@@ -75,6 +81,15 @@ inline std::string bench_record_json(const std::string& dataset_raw,
                   ", \"replicas\": %d, \"allreduce_us\": %.1f}", r.replicas,
                   r.allreduce_us);
     out.replace(out.size() - 1, 1, extra);
+  }
+  // schema_version goes last so everything before it — the legacy field
+  // set — stays byte-identical to pre-versioning records (cli_test pins
+  // this with a byte-stability test).
+  {
+    char ver[40];
+    std::snprintf(ver, sizeof(ver), ", \"schema_version\": %d}",
+                  kBenchRecordSchemaVersion);
+    out.replace(out.size() - 1, 1, ver);
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/error.hpp"
 #include "common/qsbr.hpp"
 #include "common/timer.hpp"
 #include "host/host_lane.hpp"
@@ -719,6 +720,12 @@ struct PipadTrainer::Impl {
       final_epoch = epoch == cfg.epochs - 1;
       if (!prep) prepare_steady(frames);
       for (const auto& frame : frames) {
+        if (opts.cancel != nullptr &&
+            opts.cancel->load(std::memory_order_relaxed)) {
+          // Frame boundary: in-flight streamed extractions drain via the
+          // HostStream destructor, so cancelling never leaks pool work.
+          throw Cancelled();
+        }
         if (prep) {
           prep_snapshots += frame.size;
           result.frame_loss.push_back(

@@ -18,6 +18,7 @@
 //     kernels are batched through a CUDA graph.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <vector>
@@ -66,6 +67,11 @@ struct PipadOptions {
   /// positive value pins the window (the ablation/tuner sweeps rely on
   /// that).
   int prep_stream_window = 0;
+  /// Cooperative cancellation: when non-null and set, training throws
+  /// pipad::Cancelled at the next frame (or replica-round) boundary. The
+  /// pointee must outlive the trainer; the serve scheduler points it at the
+  /// job's cancel flag.
+  const std::atomic<bool>* cancel = nullptr;
 
   // ---- Replicated data-parallel training (src/replica, ReplicaTrainer) ----
   /// Number of simulated devices. 0 keeps the classic single-trainer path

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/compute_pool.hpp"
+#include "common/error.hpp"
 #include "host/host_lane.hpp"
 #include "nn/parameter.hpp"
 #include "replica/allreduce.hpp"
@@ -181,6 +182,12 @@ struct ReplicaTrainer::Impl {
         trainers[k]->begin_epoch(epoch, assigned[k]);
       }
       for (std::size_t r0 = 0; r0 < F; r0 += static_cast<std::size_t>(G)) {
+        if (opts.cancel != nullptr &&
+            opts.cancel->load(std::memory_order_relaxed)) {
+          // Round boundary: the infeed queues drain through their
+          // destructors, so cancelling never leaks staged shards.
+          throw Cancelled();
+        }
         const std::size_t r1 = std::min(F, r0 + static_cast<std::size_t>(G));
         // ---- Gradient phase: each replica runs its round frames at the
         // round-start params (no optimizer step until the reduce). The

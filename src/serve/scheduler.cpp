@@ -1,0 +1,227 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace pipad::serve {
+
+JobScheduler::JobScheduler(SchedulerOptions opts, Runner runner)
+    : opts_(opts), runner_(std::move(runner)) {
+  PIPAD_CHECK_MSG(opts_.queue_capacity > 0, "queue capacity must be positive");
+  PIPAD_CHECK_MSG(opts_.executors > 0, "executor count must be positive");
+  PIPAD_CHECK_MSG(runner_ != nullptr, "scheduler needs a runner");
+  executors_.reserve(static_cast<std::size_t>(opts_.executors));
+  for (int i = 0; i < opts_.executors; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+JobScheduler::~JobScheduler() { shutdown(); }
+
+std::uint64_t JobScheduler::submit(const api::JobSpec& spec,
+                                   std::string& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    error = "scheduler is shut down";
+    return 0;
+  }
+  if (queued_.size() >= opts_.queue_capacity) {
+    error = "admission queue full (capacity " +
+            std::to_string(opts_.queue_capacity) + ")";
+    return 0;
+  }
+  // A tenant's first job starts at the current minimum pass among tenants
+  // that still have queued work: it competes fairly from now on but gets
+  // no credit for having been absent.
+  if (tenant_pass_.find(spec.tenant) == tenant_pass_.end()) {
+    double min_pass = 0.0;
+    bool found = false;
+    for (const Job* j : queued_) {
+      const double p = tenant_pass_.at(j->spec.tenant);
+      if (!found || p < min_pass) {
+        min_pass = p;
+        found = true;
+      }
+    }
+    tenant_pass_[spec.tenant] = found ? min_pass : 0.0;
+  }
+  auto job = std::make_unique<Job>();
+  job->id = next_id_++;
+  job->spec = spec;
+  job->submit_seq = next_submit_seq_++;
+  Job* raw = job.get();
+  jobs_.emplace(raw->id, std::move(job));
+  queued_.push_back(raw);
+  work_cv_.notify_one();
+  return raw->id;
+}
+
+JobScheduler::Job* JobScheduler::pick_next_locked() {
+  // Tenant with the smallest pass (lexicographic tie-break) among those
+  // with queued work...
+  const std::string* best_tenant = nullptr;
+  double best_pass = std::numeric_limits<double>::infinity();
+  for (const Job* j : queued_) {
+    const double p = tenant_pass_.at(j->spec.tenant);
+    if (best_tenant == nullptr || p < best_pass ||
+        (p == best_pass && j->spec.tenant < *best_tenant)) {
+      best_tenant = &j->spec.tenant;
+      best_pass = p;
+    }
+  }
+  if (best_tenant == nullptr) return nullptr;
+  // ...then that tenant's highest-priority job, FIFO among equals.
+  auto best = queued_.end();
+  for (auto it = queued_.begin(); it != queued_.end(); ++it) {
+    if ((*it)->spec.tenant != *best_tenant) continue;
+    if (best == queued_.end() ||
+        (*it)->spec.priority > (*best)->spec.priority ||
+        ((*it)->spec.priority == (*best)->spec.priority &&
+         (*it)->submit_seq < (*best)->submit_seq)) {
+      best = it;
+    }
+  }
+  Job* picked = *best;
+  queued_.erase(best);
+  tenant_pass_[picked->spec.tenant] +=
+      1.0 / static_cast<double>(picked->spec.priority);
+  return picked;
+}
+
+void JobScheduler::finish_locked(Job& job, const std::string& state,
+                                 const std::string& error,
+                                 api::JobResult result) {
+  job.state = state;
+  job.result = std::move(result);
+  // The scheduler owns identity and ordering; the runner only fills the
+  // payload (record/losses/params/analysis) on success.
+  job.result.id = job.id;
+  job.result.tenant = job.spec.tenant;
+  job.result.priority = job.spec.priority;
+  job.result.tag = job.spec.tag;
+  job.result.state = state;
+  job.result.error = error;
+  job.result.seq = next_done_seq_++;
+  done_cv_.notify_all();
+}
+
+void JobScheduler::executor_loop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queued_.empty(); });
+      if (stop_) return;  // shutdown() already drained the queue.
+      job = pick_next_locked();
+      if (job == nullptr) continue;
+      job->state = "running";
+    }
+    std::string state = "done";
+    std::string error;
+    api::JobResult result;
+    try {
+      // A cancel that raced admission still wins: honor it before paying
+      // for dataset construction.
+      if (job->cancel.load(std::memory_order_relaxed)) throw Cancelled();
+      result = runner_(job->spec, &job->cancel);
+    } catch (const Cancelled& e) {
+      state = "cancelled";
+      error = e.what();
+    } catch (const std::exception& e) {
+      state = "failed";
+      error = e.what();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    finish_locked(*job, state, error, std::move(result));
+  }
+}
+
+bool JobScheduler::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = *it->second;
+  if (job.state == "queued") {
+    queued_.erase(std::find(queued_.begin(), queued_.end(), &job));
+    finish_locked(job, "cancelled", "job cancelled", {});
+    return true;
+  }
+  if (job.state == "running") {
+    job.cancel.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;  // Already terminal.
+}
+
+bool JobScheduler::status(std::uint64_t id, JobInfo& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  const Job& job = *it->second;
+  out.id = job.id;
+  out.tenant = job.spec.tenant;
+  out.priority = job.spec.priority;
+  out.tag = job.spec.tag;
+  out.state = job.state;
+  return true;
+}
+
+std::vector<JobInfo> JobScheduler::jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobInfo> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    JobInfo info;
+    info.id = job->id;
+    info.tenant = job->spec.tenant;
+    info.priority = job->spec.priority;
+    info.tag = job->spec.tag;
+    info.state = job->state;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+api::JobResult JobScheduler::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw Error("unknown job id " + std::to_string(id));
+  Job& job = *it->second;
+  done_cv_.wait(lock, [&job] {
+    return job.state == "done" || job.state == "failed" ||
+           job.state == "cancelled";
+  });
+  return job.result;
+}
+
+void JobScheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stop_) {
+      stop_ = true;
+      // Queued jobs become terminal right here (so waiters unblock);
+      // running jobs are flagged and finish as cancelled on their own
+      // executor at the next frame boundary.
+      std::vector<Job*> queued;
+      queued.swap(queued_);
+      for (Job* job : queued) {
+        finish_locked(*job, "cancelled", "job cancelled", {});
+      }
+      for (auto& [id, job] : jobs_) {
+        if (job->state == "running") {
+          job->cancel.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    work_cv_.notify_all();
+  }
+  for (auto& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  executors_.clear();
+}
+
+}  // namespace pipad::serve

@@ -1,0 +1,125 @@
+// JobScheduler: the multi-tenant heart of `pipad serve`.
+//
+// Jobs enter a bounded admission queue (submit fails fast with a
+// queue-full error once `queue_capacity` jobs are waiting — backpressure,
+// not unbounded buffering) and are drained by a fixed pool of executor
+// threads. Picking is two-level and deterministic:
+//
+//   1. Across tenants: stride scheduling. Each tenant carries a `pass`
+//      value; picking one of its jobs advances the pass by 1/priority of
+//      the picked job, and the tenant with the smallest pass (ties broken
+//      lexicographically by name) goes next. A tenant submitting
+//      priority-8 jobs therefore gets ~4x the slots of a priority-2
+//      tenant — weighted fair sharing — while a newly active tenant
+//      starts at the current minimum pass, so it cannot starve incumbents
+//      by arriving late. Passes advance per pick (not per measured
+//      second), so the schedule is a pure function of the submission
+//      sequence.
+//   2. Within a tenant: highest priority first, FIFO among equals.
+//
+// Cancellation is cooperative: a queued job is removed immediately; a
+// running job has its cancel flag set and the trainers throw
+// pipad::Cancelled at the next frame/round boundary. Each finished job is
+// stamped with a session-wide completion sequence number (JobResult::seq)
+// — what the ordering tests and the CI smoke script assert on.
+//
+// The scheduler owns policy only; what a job *does* is injected as the
+// Runner, so tests can drive the queue with synthetic workloads and the
+// Session wires in api::run_job.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/job_result.hpp"
+#include "api/job_spec.hpp"
+
+namespace pipad::serve {
+
+struct SchedulerOptions {
+  std::size_t queue_capacity = 64;  ///< Max *queued* (not running) jobs.
+  int executors = 2;                ///< Concurrent job slots.
+};
+
+/// Lightweight status row (the wire `status`/`list` payload).
+struct JobInfo {
+  std::uint64_t id = 0;
+  std::string tenant;
+  int priority = 5;
+  std::string tag;
+  std::string state;  ///< queued | running | done | failed | cancelled.
+};
+
+class JobScheduler {
+ public:
+  /// Executes one job; may throw pipad::Cancelled (job -> cancelled) or
+  /// any std::exception (job -> failed). The cancel flag outlives the
+  /// call and is set at most once.
+  using Runner = std::function<api::JobResult(const api::JobSpec&,
+                                              const std::atomic<bool>*)>;
+
+  JobScheduler(SchedulerOptions opts, Runner runner);
+  ~JobScheduler();  ///< shutdown().
+
+  /// Admit a job. Returns its id (>= 1), or 0 with `error` set when the
+  /// queue is full or the scheduler is shut down. Does not validate the
+  /// spec — callers (Session, wire) do that first.
+  std::uint64_t submit(const api::JobSpec& spec, std::string& error);
+
+  /// Cancel a job: a queued job completes immediately as `cancelled`; a
+  /// running job is flagged and cancels at its next frame boundary.
+  /// Returns false for unknown ids and already-terminal jobs.
+  bool cancel(std::uint64_t id);
+
+  bool status(std::uint64_t id, JobInfo& out) const;
+  std::vector<JobInfo> jobs() const;  ///< Submission order.
+
+  /// Block until the job is terminal; returns its JobResult. Throws
+  /// pipad::Error on unknown ids.
+  api::JobResult wait(std::uint64_t id);
+
+  /// Cancel everything (queued jobs terminal immediately, running jobs
+  /// flagged), stop the executors and join them. Idempotent.
+  void shutdown();
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    api::JobSpec spec;
+    std::string state = "queued";
+    std::uint64_t submit_seq = 0;
+    std::atomic<bool> cancel{false};
+    api::JobResult result;
+  };
+
+  void executor_loop();
+  Job* pick_next_locked();
+  void finish_locked(Job& job, const std::string& state,
+                     const std::string& error, api::JobResult result);
+
+  const SchedulerOptions opts_;
+  const Runner runner_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Executors: queue non-empty / stop.
+  std::condition_variable done_cv_;  ///< Waiters: some job became terminal.
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::vector<Job*> queued_;                ///< Admission queue.
+  std::map<std::string, double> tenant_pass_;  ///< Stride state.
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_submit_seq_ = 1;
+  std::uint64_t next_done_seq_ = 1;
+  bool stop_ = false;
+
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace pipad::serve

@@ -1,0 +1,44 @@
+#include "serve/session.hpp"
+
+#include "api/run_job.hpp"
+#include "common/compute_pool.hpp"
+
+namespace pipad::serve {
+
+namespace {
+
+SchedulerOptions scheduler_options(const SessionOptions& opts) {
+  SchedulerOptions so;
+  so.queue_capacity = opts.queue_capacity;
+  so.executors = opts.executors;
+  return so;
+}
+
+}  // namespace
+
+Session::Session(SessionOptions opts)
+    : threads_(opts.threads > 0
+                   ? opts.threads
+                   : static_cast<int>(default_compute_threads())),
+      sched_(scheduler_options(opts),
+             [this](const api::JobSpec& spec, const std::atomic<bool>* cancel) {
+               // The width was pinned at submit time; run_job's configure()
+               // call is therefore a guaranteed no-op, never a mid-flight
+               // pool resize.
+               const api::RunOutput out = api::run_job(spec, cancel);
+               return api::make_result(spec, out);
+             }) {
+  ComputePool::instance().configure(static_cast<std::size_t>(threads_));
+}
+
+Session::~Session() { shutdown(); }
+
+std::uint64_t Session::submit(const api::JobSpec& spec, std::string& error) {
+  api::JobSpec pinned = spec;
+  pinned.threads = threads_;
+  error = pinned.validate();
+  if (!error.empty()) return 0;
+  return sched_.submit(pinned, error);
+}
+
+}  // namespace pipad::serve

@@ -1,0 +1,276 @@
+#include "serve/wire.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace pipad::serve {
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  PIPAD_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+                  "socket path too long: " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+/// write(2) the whole buffer, riding out EINTR and short writes.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read until `buffer` holds a '\n'; returns the line without it (bytes
+/// past the newline stay in `buffer` for the next call). False on EOF or
+/// error with no complete line.
+bool read_line(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF.
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+api::Json error_response(const std::string& message) {
+  api::Json out = api::Json::object();
+  out.set("ok", api::Json(false));
+  out.set("error", api::Json(message));
+  return out;
+}
+
+api::Json job_info_json(const JobInfo& info) {
+  api::Json j = api::Json::object();
+  j.set("id", api::Json(static_cast<double>(info.id)));
+  j.set("tenant", api::Json(info.tenant));
+  j.set("priority", api::Json(static_cast<double>(info.priority)));
+  j.set("tag", api::Json(info.tag));
+  j.set("state", api::Json(info.state));
+  return j;
+}
+
+std::uint64_t require_id(const api::Json& request) {
+  const api::Json* id = request.find("id");
+  if (id == nullptr) throw Error("request needs an \"id\" field");
+  const long long v = id->as_int();
+  if (v <= 0) throw Error("job ids are positive, got " + std::to_string(v));
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+api::Json WireServer::handle(Session& session, const api::Json& request,
+                             bool* shutdown_requested) {
+  try {
+    const api::Json* op_field = request.find("op");
+    if (op_field == nullptr) return error_response("request needs an \"op\"");
+    const std::string op = op_field->as_string();
+    api::Json out = api::Json::object();
+    out.set("ok", api::Json(true));
+    if (op == "submit") {
+      const api::Json* spec_field = request.find("spec");
+      if (spec_field == nullptr) {
+        return error_response("submit needs a \"spec\" object");
+      }
+      api::JobSpec spec;
+      std::string error;
+      if (!api::JobSpec::from_json(*spec_field, spec, error)) {
+        return error_response(error);
+      }
+      const std::uint64_t id = session.submit(spec, error);
+      if (id == 0) return error_response(error);
+      out.set("id", api::Json(static_cast<double>(id)));
+      return out;
+    }
+    if (op == "status") {
+      JobInfo info;
+      if (!session.status(require_id(request), info)) {
+        return error_response("unknown job id");
+      }
+      out.set("job", job_info_json(info));
+      return out;
+    }
+    if (op == "wait") {
+      out.set("result", session.wait(require_id(request)).to_json());
+      return out;
+    }
+    if (op == "cancel") {
+      out.set("cancelled", api::Json(session.cancel(require_id(request))));
+      return out;
+    }
+    if (op == "list") {
+      api::Json jobs = api::Json::array();
+      for (const JobInfo& info : session.jobs()) {
+        jobs.push_back(job_info_json(info));
+      }
+      out.set("jobs", std::move(jobs));
+      return out;
+    }
+    if (op == "shutdown") {
+      if (shutdown_requested != nullptr) *shutdown_requested = true;
+      return out;
+    }
+    return error_response("unknown op \"" + op + '"');
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+WireServer::WireServer(Session& session, std::string socket_path)
+    : session_(session), socket_path_(std::move(socket_path)) {
+  const sockaddr_un addr = make_addr(socket_path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PIPAD_CHECK_MSG(listen_fd_ >= 0,
+                  "socket() failed: " << std::strerror(errno));
+  ::unlink(socket_path_.c_str());  // Replace a stale socket file.
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    PIPAD_CHECK_MSG(false, "cannot bind " << socket_path_ << ": "
+                                          << std::strerror(err));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+    PIPAD_CHECK_MSG(false, "cannot listen on " << socket_path_ << ": "
+                                               << std::strerror(err));
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+WireServer::~WireServer() { stop(); }
+
+void WireServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener closed by stop().
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void WireServer::connection_loop(int fd) {
+  std::string buffer, line;
+  while (read_line(fd, buffer, line)) {
+    if (line.empty()) continue;  // Tolerate blank lines between requests.
+    api::Json response;
+    bool wants_shutdown = false;
+    try {
+      const api::Json request = api::Json::parse(line);
+      response = handle(session_, request, &wants_shutdown);
+    } catch (const std::exception& e) {
+      response = error_response(e.what());
+    }
+    if (!write_all(fd, response.dump() + '\n')) break;
+    if (wants_shutdown) {
+      request_shutdown();
+      break;
+    }
+  }
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+void WireServer::request_shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_requested_ = true;
+  shutdown_cv_.notify_all();
+}
+
+void WireServer::wait_shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_ || stopped_; });
+}
+
+void WireServer::stop() {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    shutdown_cv_.notify_all();
+    fds = conn_fds_;
+  }
+  // Unblock accept(), then every connection read.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  for (int fd : conn_fds_) ::close(fd);
+  conn_fds_.clear();
+  conn_threads_.clear();
+  listen_fd_ = -1;
+  ::unlink(socket_path_.c_str());
+}
+
+WireClient::WireClient(const std::string& socket_path) {
+  const sockaddr_un addr = make_addr(socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PIPAD_CHECK_MSG(fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    PIPAD_CHECK_MSG(false, "cannot connect to " << socket_path << ": "
+                                                << std::strerror(err));
+  }
+}
+
+WireClient::~WireClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+api::Json WireClient::request(const api::Json& req) {
+  PIPAD_CHECK_MSG(write_all(fd_, req.dump() + '\n'),
+                  "wire write failed: " << std::strerror(errno));
+  std::string line;
+  PIPAD_CHECK_MSG(read_line(fd_, buffer_, line),
+                  "wire connection closed before response");
+  return api::Json::parse(line);
+}
+
+}  // namespace pipad::serve

@@ -1,0 +1,100 @@
+// Wire protocol for `pipad serve`: newline-delimited JSON over a local
+// AF_UNIX stream socket.
+//
+// Each request is one JSON object on one line; each response is one JSON
+// object on one line. Responses always carry "ok" (true/false); failures
+// add "error". A malformed line (bad JSON, missing op, unknown op, bad
+// spec) gets a clean {"ok": false, "error": ...} response and the
+// connection stays up — a confused client can never take the daemon down.
+//
+// Ops (docs/SERVE.md has the full schema):
+//   {"op": "submit", "spec": {...}}      -> {"ok": true, "id": N}
+//   {"op": "status", "id": N}            -> {"ok": true, "job": {...}}
+//   {"op": "wait", "id": N}              -> {"ok": true, "result": {...}}
+//   {"op": "cancel", "id": N}            -> {"ok": true, "cancelled": b}
+//   {"op": "list"}                       -> {"ok": true, "jobs": [...]}
+//   {"op": "shutdown"}                   -> {"ok": true}  (daemon exits)
+//
+// Threading: one accept loop plus one thread per connection. `wait`
+// blocks its connection thread until the job is terminal — callers that
+// also want to submit concurrently open multiple connections (WireClient
+// is one connection). Stop order matters: resolve or cancel outstanding
+// jobs (Session::shutdown) before WireServer::stop(), so no connection
+// thread is parked inside wait() when we join it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/json.hpp"
+#include "serve/session.hpp"
+
+namespace pipad::serve {
+
+class WireServer {
+ public:
+  /// Binds and listens on `socket_path` (an existing stale socket file is
+  /// replaced). Throws pipad::Error on bind/listen failure.
+  WireServer(Session& session, std::string socket_path);
+  ~WireServer();  ///< stop().
+
+  /// Block until a client sends {"op": "shutdown"}.
+  void wait_shutdown();
+
+  /// Close the listener and every connection, join all threads, unlink
+  /// the socket file. Idempotent. Call Session::shutdown() first.
+  void stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// Handle one request object against a session — the single dispatch
+  /// point shared by every connection (and unit-testable without a
+  /// socket). Never throws; errors become {"ok": false, ...}.
+  static api::Json handle(Session& session, const api::Json& request,
+                          bool* shutdown_requested);
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+  void request_shutdown();
+
+  Session& session_;
+  const std::string socket_path_;
+  int listen_fd_ = -1;
+
+  std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  bool stopped_ = false;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::thread accept_thread_;
+};
+
+/// One connection to a WireServer. Requests are serialized per client;
+/// open several clients for concurrent submit/wait traffic.
+class WireClient {
+ public:
+  /// Connects immediately; throws pipad::Error on failure.
+  explicit WireClient(const std::string& socket_path);
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Send one request line, read one response line. Throws pipad::Error
+  /// on transport failure or unparseable response.
+  api::Json request(const api::Json& req);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< Bytes past the last response line.
+};
+
+}  // namespace pipad::serve

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "../bench/bench_util.hpp"
 #include "cli/cli.hpp"
 #include "gpusim/timeline.hpp"
 #include "gpusim/trace.hpp"
@@ -37,11 +38,11 @@ TEST(CliParse, DefaultsAreApplied) {
   const auto r = parse({"train"});
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_EQ(r.options.command, Command::Train);
-  EXPECT_EQ(r.options.model, "tgcn");
-  EXPECT_EQ(r.options.runtime, "pipad");
-  EXPECT_EQ(r.options.dataset, "synthetic");
-  EXPECT_EQ(r.options.snapshots, 0);
-  EXPECT_EQ(r.options.threads, 0);
+  EXPECT_EQ(r.options.job.model, "tgcn");
+  EXPECT_EQ(r.options.job.runtime, "pipad");
+  EXPECT_EQ(r.options.job.dataset, "synthetic");
+  EXPECT_EQ(r.options.job.snapshots, 0);
+  EXPECT_EQ(r.options.job.threads, 0);
 }
 
 TEST(CliParse, AllSubcommandsRecognized) {
@@ -54,20 +55,20 @@ TEST(CliParse, AllSubcommandsRecognized) {
 TEST(CliParse, SpaceAndEqualsFormsBothWork) {
   const auto a = parse({"train", "--model", "mpnn-lstm", "--snapshots", "4"});
   ASSERT_TRUE(a.ok) << a.error;
-  EXPECT_EQ(a.options.model, "mpnn-lstm");
-  EXPECT_EQ(a.options.snapshots, 4);
+  EXPECT_EQ(a.options.job.model, "mpnn-lstm");
+  EXPECT_EQ(a.options.job.snapshots, 4);
 
   const auto b = parse({"train", "--model=mpnn-lstm", "--snapshots=4"});
   ASSERT_TRUE(b.ok) << b.error;
-  EXPECT_EQ(b.options.model, "mpnn-lstm");
-  EXPECT_EQ(b.options.snapshots, 4);
+  EXPECT_EQ(b.options.job.model, "mpnn-lstm");
+  EXPECT_EQ(b.options.job.snapshots, 4);
 }
 
 TEST(CliParse, EveryModelNameIsAccepted) {
   for (const char* m : {"gcn", "tgcn", "evolvegcn", "mpnn-lstm"}) {
     const auto r = parse({"train", "--model", m});
     EXPECT_TRUE(r.ok) << m << ": " << r.error;
-    EXPECT_EQ(r.options.model, m);
+    EXPECT_EQ(r.options.job.model, m);
   }
 }
 
@@ -75,7 +76,7 @@ TEST(CliParse, EveryRuntimeNameIsAccepted) {
   for (const char* rt : {"pipad", "pygt", "pygt-a", "pygt-r", "pygt-g"}) {
     const auto r = parse({"train", "--runtime", rt});
     EXPECT_TRUE(r.ok) << rt << ": " << r.error;
-    EXPECT_EQ(r.options.runtime, rt);
+    EXPECT_EQ(r.options.job.runtime, rt);
   }
 }
 
@@ -90,11 +91,11 @@ TEST(CliParse, UnknownRuntimeIsAnError) {
 }
 
 TEST(CliParse, TunerModesAcceptedAndValidated) {
-  EXPECT_EQ(parse({"train"}).options.tuner, "analytic");
+  EXPECT_EQ(parse({"train"}).options.job.tuner, "analytic");
   for (const char* t : {"analytic", "measured"}) {
     const auto r = parse({"train", "--tuner", t});
     ASSERT_TRUE(r.ok) << t << ": " << r.error;
-    EXPECT_EQ(r.options.tuner, t);
+    EXPECT_EQ(r.options.job.tuner, t);
   }
   const auto bad = parse({"train", "--tuner", "oracle"});
   EXPECT_FALSE(bad.ok);
@@ -104,11 +105,11 @@ TEST(CliParse, TunerModesAcceptedAndValidated) {
 TEST(CliParse, ReplicaFlagsLandAndValidate) {
   const auto r = parse({"train", "--replicas", "4", "--allreduce", "tree"});
   ASSERT_TRUE(r.ok) << r.error;
-  EXPECT_EQ(r.options.replicas, 4);
-  EXPECT_EQ(r.options.allreduce, "tree");
+  EXPECT_EQ(r.options.job.replicas, 4);
+  EXPECT_EQ(r.options.job.allreduce, "tree");
   // Defaults: 0 replicas selects the classic single-trainer path.
-  EXPECT_EQ(parse({"train"}).options.replicas, 0);
-  EXPECT_EQ(parse({"train"}).options.allreduce, "ring");
+  EXPECT_EQ(parse({"train"}).options.job.replicas, 0);
+  EXPECT_EQ(parse({"train"}).options.job.allreduce, "ring");
   EXPECT_FALSE(parse({"train", "--replicas", "-1"}).ok);
   EXPECT_FALSE(parse({"train", "--replicas", "65"}).ok);
   EXPECT_FALSE(parse({"train", "--replicas", "two"}).ok);
@@ -164,17 +165,17 @@ TEST(CliParse, NumericFlagsLand) {
                         "--edge-life=4.5", "--scale-large=64",
                         "--scale-small=4"});
   ASSERT_TRUE(r.ok) << r.error;
-  EXPECT_EQ(r.options.nodes, 300);
-  EXPECT_EQ(r.options.events, 2000);
-  EXPECT_EQ(r.options.feat_dim, 16);
-  EXPECT_EQ(r.options.epochs, 1);
-  EXPECT_EQ(r.options.frame_size, 4);
-  EXPECT_EQ(r.options.frames, 2);
-  EXPECT_EQ(r.options.threads, 8);
-  EXPECT_EQ(r.options.seed, 42u);
-  EXPECT_DOUBLE_EQ(r.options.edge_life, 4.5);
-  EXPECT_EQ(r.options.scale_large, 64);
-  EXPECT_EQ(r.options.scale_small, 4);
+  EXPECT_EQ(r.options.job.nodes, 300);
+  EXPECT_EQ(r.options.job.events, 2000);
+  EXPECT_EQ(r.options.job.feat_dim, 16);
+  EXPECT_EQ(r.options.job.epochs, 1);
+  EXPECT_EQ(r.options.job.frame_size, 4);
+  EXPECT_EQ(r.options.job.frames, 2);
+  EXPECT_EQ(r.options.job.threads, 8);
+  EXPECT_EQ(r.options.job.seed, 42u);
+  EXPECT_DOUBLE_EQ(r.options.job.edge_life, 4.5);
+  EXPECT_EQ(r.options.job.scale_large, 64);
+  EXPECT_EQ(r.options.job.scale_small, 4);
 }
 
 TEST(CliParse, HelpShortCircuits) {
@@ -203,7 +204,7 @@ TEST(CliParse, IntOverflowRejectedInsteadOfWrapping) {
   // 64-bit flags still take values past INT_MAX.
   const auto ok = parse({"train", "--seed", "4294967300"});
   ASSERT_TRUE(ok.ok) << ok.error;
-  EXPECT_EQ(ok.options.seed, 4294967300u);
+  EXPECT_EQ(ok.options.job.seed, 4294967300u);
 }
 
 TEST(CliUsage, MentionsEverySubcommandAndModel) {
@@ -238,10 +239,10 @@ TEST(CliParse, FileDatasetFlagsLand) {
                         "--snapshot-window", "10", "--cache-dir", "/tmp/c",
                         "--features", "/tmp/f.tsv", "--log-level", "debug"});
   ASSERT_TRUE(r.ok) << r.error;
-  EXPECT_EQ(r.options.dataset, "file:/tmp/g.csv");
-  EXPECT_EQ(r.options.snapshot_window, 10);
-  EXPECT_EQ(r.options.cache_dir, "/tmp/c");
-  EXPECT_EQ(r.options.features, "/tmp/f.tsv");
+  EXPECT_EQ(r.options.job.dataset, "file:/tmp/g.csv");
+  EXPECT_EQ(r.options.job.snapshot_window, 10);
+  EXPECT_EQ(r.options.job.cache_dir, "/tmp/c");
+  EXPECT_EQ(r.options.job.features, "/tmp/f.tsv");
   EXPECT_EQ(r.options.log_level, "debug");
 }
 
@@ -261,7 +262,7 @@ TEST(CliParse, WindowBytesLandsAndRequiresAFileDataset) {
   const auto r = parse({"train", "--dataset", "file:/tmp/g.el",
                         "--window-bytes", "1048576"});
   ASSERT_TRUE(r.ok) << r.error;
-  EXPECT_EQ(r.options.window_bytes, 1048576);
+  EXPECT_EQ(r.options.job.window_bytes, 1048576);
   EXPECT_FALSE(parse({"train", "--window-bytes", "1048576"}).ok);
   EXPECT_FALSE(parse({"train", "--dataset", "file:/tmp/g.el",
                       "--window-bytes", "-1"}).ok);
@@ -285,8 +286,8 @@ TEST(CliParse, EdgeLifeForFileDatasetsMustBeInteger) {
   const auto r = parse({"train", "--dataset", "file:/tmp/g.csv",
                         "--edge-life", "3"});
   ASSERT_TRUE(r.ok) << r.error;
-  EXPECT_TRUE(r.options.edge_life_set);
-  EXPECT_DOUBLE_EQ(r.options.edge_life, 3.0);
+  EXPECT_TRUE(r.options.job.edge_life_set);
+  EXPECT_DOUBLE_EQ(r.options.job.edge_life, 3.0);
   // Fractional lifetimes only make sense for the synthetic generator, and
   // absurd ones would overflow the loader's int snapshot arithmetic.
   EXPECT_FALSE(parse({"train", "--dataset", "file:/tmp/g.csv",
@@ -334,6 +335,170 @@ TEST(CliParse, UnknownLogLevelRejected) {
   EXPECT_FALSE(parse({"train", "--log-level", "chatty"}).ok);
 }
 
+// ---- serve / submit surfaces ----
+
+TEST(CliParse, ServeFlagsLand) {
+  const auto r = parse({"serve", "--socket", "/tmp/s.sock",
+                        "--queue-capacity", "8", "--executors", "3",
+                        "--threads", "2"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.command, Command::Serve);
+  EXPECT_EQ(r.options.socket, "/tmp/s.sock");
+  EXPECT_EQ(r.options.queue_capacity, 8);
+  EXPECT_EQ(r.options.executors, 3);
+  EXPECT_EQ(r.options.job.threads, 2);
+  EXPECT_FALSE(parse({"serve", "--queue-capacity", "0"}).ok);
+  EXPECT_FALSE(parse({"serve", "--executors", "0"}).ok);
+  EXPECT_FALSE(parse({"serve", "--executors", "257"}).ok);
+  EXPECT_FALSE(parse({"serve", "--socket", ""}).ok);
+}
+
+TEST(CliParse, SubmitFlagsLand) {
+  const auto r = parse({"submit", "--model", "gcn", "--tenant", "team-a",
+                        "--priority", "9", "--tag", "nightly", "--no-wait"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.options.command, Command::Submit);
+  EXPECT_EQ(r.options.job.model, "gcn");
+  EXPECT_EQ(r.options.job.tenant, "team-a");
+  EXPECT_EQ(r.options.job.priority, 9);
+  EXPECT_EQ(r.options.job.tag, "nightly");
+  EXPECT_TRUE(r.options.no_wait);
+}
+
+TEST(CliParse, TenantAndPriorityValidated) {
+  EXPECT_FALSE(parse({"submit", "--priority", "0"}).ok);
+  EXPECT_FALSE(parse({"submit", "--priority", "11"}).ok);
+  EXPECT_FALSE(parse({"submit", "--tenant", ""}).ok);
+  EXPECT_TRUE(parse({"submit", "--priority", "1"}).ok);
+  EXPECT_TRUE(parse({"submit", "--priority", "10"}).ok);
+}
+
+TEST(CliParse, SubmitModesAreMutuallyExclusive) {
+  EXPECT_TRUE(parse({"submit", "--list"}).ok);
+  EXPECT_TRUE(parse({"submit", "--shutdown"}).ok);
+  EXPECT_TRUE(parse({"submit", "--wait", "3"}).ok);
+  EXPECT_TRUE(parse({"submit", "--cancel", "3"}).ok);
+  EXPECT_TRUE(parse({"submit", "--status", "3"}).ok);
+  EXPECT_FALSE(parse({"submit", "--list", "--shutdown"}).ok);
+  EXPECT_FALSE(parse({"submit", "--wait", "3", "--cancel", "3"}).ok);
+  EXPECT_FALSE(parse({"submit", "--list", "--no-wait"}).ok);
+  EXPECT_FALSE(parse({"submit", "--wait", "0"}).ok);
+  EXPECT_FALSE(parse({"submit", "--cancel", "-1"}).ok);
+  // The mode flags take no value.
+  EXPECT_FALSE(parse({"submit", "--list=yes"}).ok);
+}
+
+TEST(CliParse, ServeSubmitFlagsRejectedOnOtherSubcommands) {
+  EXPECT_FALSE(parse({"train", "--socket", "/tmp/s.sock"}).ok);
+  EXPECT_FALSE(parse({"train", "--queue-capacity", "8"}).ok);
+  EXPECT_FALSE(parse({"bench", "--executors", "3"}).ok);
+  EXPECT_FALSE(parse({"train", "--no-wait"}).ok);
+  EXPECT_FALSE(parse({"bench", "--shutdown"}).ok);
+  EXPECT_FALSE(parse({"trace", "--list"}).ok);
+  EXPECT_FALSE(parse({"train", "--wait", "3"}).ok);
+  EXPECT_FALSE(parse({"train", "--record-json", "/tmp/r.json"}).ok);
+}
+
+TEST(CliUsage, MentionsServeAndSubmit) {
+  const std::string u = usage();
+  for (const char* s : {"serve", "submit", "--socket", "--queue-capacity",
+                        "--executors", "--priority", "--tenant", "--tag",
+                        "--no-wait", "--record-json", "--shutdown"}) {
+    EXPECT_NE(u.find(s), std::string::npos) << s;
+  }
+}
+
+// ---- one flag vocabulary: the CLI and the bench binaries must reject the
+// same bad job inputs with byte-identical error text ----
+
+std::string cli_error(std::initializer_list<const char*> args) {
+  const auto r = parse(args);
+  EXPECT_FALSE(r.ok);
+  return r.error;
+}
+
+std::string bench_error(const std::vector<std::string>& args) {
+  bench::Flags f;
+  std::string error;
+  EXPECT_FALSE(bench::Flags::try_parse(args, f, error));
+  return error;
+}
+
+TEST(CliBenchParity, BadSharedInputsRejectedWithIdenticalText) {
+  EXPECT_EQ(cli_error({"train", "--model", "transformer"}),
+            bench_error({"--model=transformer"}));
+  EXPECT_EQ(cli_error({"train", "--runtime", "cuda"}),
+            bench_error({"--runtime=cuda"}));
+  EXPECT_EQ(cli_error({"train", "--tuner", "oracle"}),
+            bench_error({"--tuner=oracle"}));
+  EXPECT_EQ(cli_error({"train", "--epochs", "0"}),
+            bench_error({"--epochs=0"}));
+  EXPECT_EQ(cli_error({"train", "--replicas", "65"}),
+            bench_error({"--replicas=65"}));
+  EXPECT_EQ(cli_error({"train", "--allreduce", "butterfly"}),
+            bench_error({"--allreduce=butterfly"}));
+  EXPECT_EQ(cli_error({"train", "--edge-life", "inf"}),
+            bench_error({"--edge-life=inf"}));
+  EXPECT_EQ(cli_error({"train", "--priority", "11"}),
+            bench_error({"--priority=11"}));
+  // Validation rules that fire post-parse (not per-flag) also agree: the
+  // bench surface runs the same JobSpec::validate().
+  EXPECT_EQ(cli_error({"train", "--runtime", "pygt", "--replicas", "2"}),
+            bench_error({"--runtime=pygt", "--replicas=2"}));
+  EXPECT_EQ(cli_error({"train", "--replicas", "2", "--tuner", "measured"}),
+            bench_error({"--replicas=2", "--tuner=measured"}));
+}
+
+TEST(CliBenchParity, GoodSharedInputsLandIdentically) {
+  const auto r = parse({"bench", "--model", "mpnn-lstm", "--threads", "4",
+                        "--replicas", "2", "--allreduce", "tree"});
+  ASSERT_TRUE(r.ok) << r.error;
+  bench::Flags f;
+  std::string error;
+  ASSERT_TRUE(bench::Flags::try_parse(
+      {"--model=mpnn-lstm", "--threads=4", "--replicas=2",
+       "--allreduce=tree"},
+      f, error))
+      << error;
+  EXPECT_EQ(r.options.job.model, f.job.model);
+  EXPECT_EQ(r.options.job.threads, f.job.threads);
+  EXPECT_EQ(r.options.job.replicas, f.job.replicas);
+  EXPECT_EQ(r.options.job.allreduce, f.job.allreduce);
+}
+
+TEST(BenchRecord, LegacyFieldBytesAreStableUnderVersioning) {
+  // The exact bytes the pre-versioning formatter produced, with
+  // ", "schema_version": 1}" appended and nothing else moved. If this
+  // breaks, freshly produced records stop matching the checked-in
+  // BENCH_*.json baselines and every CI perf gate trips at once.
+  models::TrainResult r;
+  r.total_us = 2469.0;
+  r.transfer_us = 100.5;
+  r.compute_us = 2000.5;
+  r.prep_us = 42.0;
+  r.first_steady_us = 617.5;
+  r.steals = 3;
+  r.sm_utilization = 0.8125;
+  r.frame_loss = {0.5f, 0.25f};
+  EXPECT_EQ(models::bench_record_json("web", "tgcn", "pipad", 1234.5, r),
+            "    {\"dataset\": \"web\", \"model\": \"tgcn\", "
+            "\"method\": \"pipad\", \"epoch_us\": 1234.5, "
+            "\"total_us\": 2469.0, \"transfer_us\": 100.5, "
+            "\"compute_us\": 2000.5, \"prep_us\": 42.0, "
+            "\"first_steady_us\": 617.5, \"steals\": 3, "
+            "\"sm_util\": 0.8125, \"final_loss\": 0.250000, "
+            "\"schema_version\": 1}");
+  // Replica fields still ride between the legacy set and the version tag.
+  r.replicas = 2;
+  r.allreduce_us = 7.5;
+  const std::string rep =
+      models::bench_record_json("web", "tgcn", "pipad", 1234.5, r);
+  EXPECT_NE(rep.find(", \"replicas\": 2, \"allreduce_us\": 7.5, "
+                     "\"schema_version\": 1}"),
+            std::string::npos)
+      << rep;
+}
+
 TEST(BenchRecord, EscapesJsonStrings) {
   // Dataset names are file stems and may contain JSON-special characters.
   models::TrainResult r;
@@ -348,26 +513,26 @@ TEST(BenchRecord, EscapesJsonStrings) {
 Options tiny(Command cmd) {
   Options o;
   o.command = cmd;
-  o.nodes = 200;
-  o.events = 1500;
-  o.snapshots = 4;
-  o.frame_size = 4;
-  o.epochs = 1;
-  o.frames = 2;
+  o.job.nodes = 200;
+  o.job.events = 1500;
+  o.job.snapshots = 4;
+  o.job.frame_size = 4;
+  o.job.epochs = 1;
+  o.job.frames = 2;
   return o;
 }
 
 TEST(CliRun, TrainEveryModelUnderPipad) {
   for (const char* m : {"gcn", "tgcn", "evolvegcn", "mpnn-lstm"}) {
     Options o = tiny(Command::Train);
-    o.model = m;
+    o.job.model = m;
     EXPECT_EQ(run(o), 0) << m;
   }
 }
 
 TEST(CliRun, TrainUnderBaselineRuntime) {
   Options o = tiny(Command::Train);
-  o.runtime = "pygt-r";
+  o.job.runtime = "pygt-r";
   EXPECT_EQ(run(o), 0);
 }
 
@@ -378,10 +543,10 @@ TEST(CliRun, BenchCompletes) {
 
 TEST(CliRun, TrainAndBenchOnFileDataset) {
   Options o = tiny(Command::Train);
-  o.dataset = std::string("file:") + PIPAD_TEST_DATA_DIR +
+  o.job.dataset = std::string("file:") + PIPAD_TEST_DATA_DIR +
               "/sample_edges.csv";
-  o.snapshots = 0;   // The file's snapshots=4 directive governs.
-  o.frame_size = 2;
+  o.job.snapshots = 0;   // The file's snapshots=4 directive governs.
+  o.job.frame_size = 2;
   EXPECT_EQ(run(o), 0);
 
   o.command = Command::Bench;
@@ -430,11 +595,11 @@ TEST(CliRun, AnalyzeLiveRunAndTraceFileRoundTrip) {
 
 TEST(CliRun, TrainReplicatedUnderPipad) {
   Options o = tiny(Command::Train);
-  o.replicas = 2;
+  o.job.replicas = 2;
   EXPECT_EQ(run(o), 0);
-  o.replicas = 4;
-  o.threads = 4;
-  o.allreduce = "tree";
+  o.job.replicas = 4;
+  o.job.threads = 4;
+  o.job.allreduce = "tree";
   EXPECT_EQ(run(o), 0);
 }
 
