@@ -298,6 +298,22 @@ Json JobSpec::to_json() const {
   return j;
 }
 
+namespace {
+
+/// Int-typed spec fields must reject out-of-range wire values with an
+/// error, exactly as apply_flag does for the flag spelling — a silent
+/// static_cast truncation would let "epochs": 4294967297 validate as 1.
+int int_field(const Json& v, const char* key) {
+  const long long n = v.as_int();
+  if (n < INT_MIN || n > INT_MAX) {
+    throw Error(std::string(key) + " value " + std::to_string(n) +
+                " is out of range");
+  }
+  return static_cast<int>(n);
+}
+
+}  // namespace
+
 bool JobSpec::from_json(const Json& j, JobSpec& spec, std::string& error) {
   if (!j.is_object()) {
     error = "job spec must be a JSON object";
@@ -309,36 +325,36 @@ bool JobSpec::from_json(const Json& j, JobSpec& spec, std::string& error) {
       if (key == "model") out.model = v.as_string();
       else if (key == "runtime") out.runtime = v.as_string();
       else if (key == "dataset") out.dataset = v.as_string();
-      else if (key == "snapshots") out.snapshots = static_cast<int>(v.as_int());
+      else if (key == "snapshots") out.snapshots = int_field(v, "snapshots");
       else if (key == "snapshot_window") out.snapshot_window = v.as_int();
       else if (key == "window_bytes") out.window_bytes = v.as_int();
       else if (key == "features") out.features = v.as_string();
       else if (key == "cache_dir") out.cache_dir = v.as_string();
-      else if (key == "nodes") out.nodes = static_cast<int>(v.as_int());
+      else if (key == "nodes") out.nodes = int_field(v, "nodes");
       else if (key == "events") out.events = v.as_int();
-      else if (key == "feat_dim") out.feat_dim = static_cast<int>(v.as_int());
+      else if (key == "feat_dim") out.feat_dim = int_field(v, "feat_dim");
       else if (key == "edge_life") {
         out.edge_life = v.as_number();
         out.edge_life_set = true;
       } else if (key == "scale_large") {
-        out.scale_large = static_cast<int>(v.as_int());
+        out.scale_large = int_field(v, "scale_large");
       } else if (key == "scale_small") {
-        out.scale_small = static_cast<int>(v.as_int());
-      } else if (key == "epochs") out.epochs = static_cast<int>(v.as_int());
+        out.scale_small = int_field(v, "scale_small");
+      } else if (key == "epochs") out.epochs = int_field(v, "epochs");
       else if (key == "frame_size") {
-        out.frame_size = static_cast<int>(v.as_int());
-      } else if (key == "frames") out.frames = static_cast<int>(v.as_int());
-      else if (key == "threads") out.threads = static_cast<int>(v.as_int());
+        out.frame_size = int_field(v, "frame_size");
+      } else if (key == "frames") out.frames = int_field(v, "frames");
+      else if (key == "threads") out.threads = int_field(v, "threads");
       else if (key == "tuner") out.tuner = v.as_string();
       else if (key == "prep") out.prep = v.as_string();
-      else if (key == "replicas") out.replicas = static_cast<int>(v.as_int());
+      else if (key == "replicas") out.replicas = int_field(v, "replicas");
       else if (key == "allreduce") out.allreduce = v.as_string();
       else if (key == "seed") {
         const long long s = v.as_int();
         if (s < 0) throw Error("json: expected integer");
         out.seed = static_cast<std::uint64_t>(s);
       } else if (key == "tenant") out.tenant = v.as_string();
-      else if (key == "priority") out.priority = static_cast<int>(v.as_int());
+      else if (key == "priority") out.priority = int_field(v, "priority");
       else if (key == "tag") out.tag = v.as_string();
       else if (key == "return_params") out.return_params = v.as_bool();
       else if (key == "run_analyzer") out.run_analyzer = v.as_bool();

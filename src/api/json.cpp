@@ -26,6 +26,22 @@ class Parser {
   }
 
  private:
+  /// Containers nest by recursing parse_value; a depth cap keeps a
+  /// megabyte of '[' from overflowing the stack — wire input must fail
+  /// with an Error, never crash the daemon.
+  static constexpr int kMaxDepth = 128;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxDepth) {
+        fail(p_.pos_, "nesting deeper than " + std::to_string(kMaxDepth) +
+                          " levels");
+      }
+    }
+    ~DepthGuard() { --p_.depth_; }
+    Parser& p_;
+  };
+
   void skip_ws() {
     while (pos_ < s_.size()) {
       const char c = s_[pos_];
@@ -58,10 +74,14 @@ class Parser {
     skip_ws();
     const char c = peek();
     switch (c) {
-      case '{':
+      case '{': {
+        const DepthGuard guard(*this);
         return parse_object();
-      case '[':
+      }
+      case '[': {
+        const DepthGuard guard(*this);
         return parse_array();
+      }
       case '"':
         return Json(parse_string());
       case 't':
@@ -244,6 +264,7 @@ class Parser {
 
   const std::string& s_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void dump_number(std::string& out, double v) {

@@ -46,7 +46,9 @@ class Json {
   }
 
   /// Parse a complete JSON document; throws pipad::Error with a position
-  /// on malformed input, trailing garbage, or duplicate object keys.
+  /// on malformed input, trailing garbage, duplicate object keys, or
+  /// containers nested deeper than 128 levels (bounded recursion — wire
+  /// input cannot overflow the stack).
   static Json parse(const std::string& text);
 
   /// Serialize compactly (no added whitespace), object keys in insertion

@@ -88,7 +88,37 @@ JobScheduler::Job* JobScheduler::pick_next_locked() {
   queued_.erase(best);
   tenant_pass_[picked->spec.tenant] +=
       1.0 / static_cast<double>(picked->spec.priority);
+  drop_tenant_if_idle_locked(picked->spec.tenant);
   return picked;
+}
+
+void JobScheduler::drop_tenant_if_idle_locked(const std::string& tenant) {
+  for (const Job* j : queued_) {
+    if (j->spec.tenant == tenant) return;
+  }
+  // No queued work left: forget the pass. The tenant's next submit
+  // re-enters at the current minimum, like any newly active tenant, so
+  // the table size tracks *queued* tenants, not lifetime tenant count.
+  tenant_pass_.erase(tenant);
+}
+
+void JobScheduler::evict_terminal_locked() {
+  // Oldest-completed first; a job someone is blocked in wait() on is
+  // re-queued at the back and evicted once its waiters drain.
+  std::size_t deferred = 0;
+  while (terminal_order_.size() > opts_.max_terminal_jobs &&
+         deferred < terminal_order_.size()) {
+    const std::uint64_t id = terminal_order_.front();
+    terminal_order_.pop_front();
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;
+    if (it->second->waiters > 0) {
+      terminal_order_.push_back(id);
+      ++deferred;
+      continue;
+    }
+    jobs_.erase(it);
+  }
 }
 
 void JobScheduler::finish_locked(Job& job, const std::string& state,
@@ -105,6 +135,8 @@ void JobScheduler::finish_locked(Job& job, const std::string& state,
   job.result.state = state;
   job.result.error = error;
   job.result.seq = next_done_seq_++;
+  terminal_order_.push_back(job.id);
+  evict_terminal_locked();
   done_cv_.notify_all();
 }
 
@@ -146,6 +178,7 @@ bool JobScheduler::cancel(std::uint64_t id) {
   Job& job = *it->second;
   if (job.state == "queued") {
     queued_.erase(std::find(queued_.begin(), queued_.end(), &job));
+    drop_tenant_if_idle_locked(job.spec.tenant);
     finish_locked(job, "cancelled", "job cancelled", {});
     return true;
   }
@@ -190,11 +223,15 @@ api::JobResult JobScheduler::wait(std::uint64_t id) {
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) throw Error("unknown job id " + std::to_string(id));
   Job& job = *it->second;
+  ++job.waiters;  // Pins the job: eviction skips jobs with waiters.
   done_cv_.wait(lock, [&job] {
     return job.state == "done" || job.state == "failed" ||
            job.state == "cancelled";
   });
-  return job.result;
+  api::JobResult result = job.result;
+  --job.waiters;
+  evict_terminal_locked();
+  return result;
 }
 
 void JobScheduler::shutdown() {
@@ -207,6 +244,7 @@ void JobScheduler::shutdown() {
       // executor at the next frame boundary.
       std::vector<Job*> queued;
       queued.swap(queued_);
+      tenant_pass_.clear();  // No queued work, no stride state.
       for (Job* job : queued) {
         finish_locked(*job, "cancelled", "job cancelled", {});
       }

@@ -23,6 +23,14 @@
 // stamped with a session-wide completion sequence number (JobResult::seq)
 // — what the ordering tests and the CI smoke script assert on.
 //
+// Memory is bounded for a long-running daemon: only the most recent
+// `max_terminal_jobs` terminal jobs are retained (oldest evicted first,
+// but never out from under a blocked wait()); an evicted id answers
+// status/wait like an unknown one. A tenant's stride pass is dropped
+// once it has no queued work — it re-enters at the current minimum pass
+// on its next submit, exactly like a newly active tenant — so neither
+// job history nor the tenant table grows with lifetime job count.
+//
 // The scheduler owns policy only; what a job *does* is injected as the
 // Runner, so tests can drive the queue with synthetic workloads and the
 // Session wires in api::run_job.
@@ -31,6 +39,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -47,6 +56,10 @@ namespace pipad::serve {
 struct SchedulerOptions {
   std::size_t queue_capacity = 64;  ///< Max *queued* (not running) jobs.
   int executors = 2;                ///< Concurrent job slots.
+  /// Terminal jobs retained for status/wait before the oldest (by
+  /// completion) is evicted. Bounds daemon memory: results can carry
+  /// full frame-loss and flat-param payloads.
+  std::size_t max_terminal_jobs = 256;
 };
 
 /// Lightweight status row (the wire `status`/`list` payload).
@@ -83,7 +96,7 @@ class JobScheduler {
   std::vector<JobInfo> jobs() const;  ///< Submission order.
 
   /// Block until the job is terminal; returns its JobResult. Throws
-  /// pipad::Error on unknown ids.
+  /// pipad::Error on unknown (or already-evicted) ids.
   api::JobResult wait(std::uint64_t id);
 
   /// Cancel everything (queued jobs terminal immediately, running jobs
@@ -98,12 +111,15 @@ class JobScheduler {
     std::uint64_t submit_seq = 0;
     std::atomic<bool> cancel{false};
     api::JobResult result;
+    int waiters = 0;  ///< wait() calls parked on this job (blocks eviction).
   };
 
   void executor_loop();
   Job* pick_next_locked();
   void finish_locked(Job& job, const std::string& state,
                      const std::string& error, api::JobResult result);
+  void evict_terminal_locked();
+  void drop_tenant_if_idle_locked(const std::string& tenant);
 
   const SchedulerOptions opts_;
   const Runner runner_;
@@ -113,7 +129,8 @@ class JobScheduler {
   std::condition_variable done_cv_;  ///< Waiters: some job became terminal.
   std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
   std::vector<Job*> queued_;                ///< Admission queue.
-  std::map<std::string, double> tenant_pass_;  ///< Stride state.
+  std::deque<std::uint64_t> terminal_order_;  ///< Completion order (FIFO).
+  std::map<std::string, double> tenant_pass_;  ///< Queued tenants' stride.
   std::uint64_t next_id_ = 1;
   std::uint64_t next_submit_seq_ = 1;
   std::uint64_t next_done_seq_ = 1;

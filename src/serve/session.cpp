@@ -11,6 +11,7 @@ SchedulerOptions scheduler_options(const SessionOptions& opts) {
   SchedulerOptions so;
   so.queue_capacity = opts.queue_capacity;
   so.executors = opts.executors;
+  so.max_terminal_jobs = opts.max_terminal_jobs;
   return so;
 }
 

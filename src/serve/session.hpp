@@ -32,6 +32,7 @@ struct SessionOptions {
   int threads = 0;  ///< ComputePool width to pin (0 = library default).
   std::size_t queue_capacity = 64;
   int executors = 2;
+  std::size_t max_terminal_jobs = 256;  ///< Retained job history bound.
 };
 
 class Session {

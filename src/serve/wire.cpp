@@ -5,6 +5,8 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -13,6 +15,14 @@
 namespace pipad::serve {
 
 namespace {
+
+/// A request line is a JobSpec at most — a client streaming more than
+/// this without a newline is hostile or broken, and must not be able to
+/// grow the daemon's buffer without bound.
+constexpr std::size_t kMaxRequestLine = std::size_t{4} << 20;  // 4 MiB.
+
+/// Response lines can carry flat params; generous but still bounded.
+constexpr std::size_t kMaxResponseLine = std::size_t{256} << 20;
 
 sockaddr_un make_addr(const std::string& path) {
   sockaddr_un addr{};
@@ -37,24 +47,29 @@ bool write_all(int fd, const std::string& data) {
   return true;
 }
 
+enum class ReadStatus { Line, Closed, TooLong };
+
 /// Read until `buffer` holds a '\n'; returns the line without it (bytes
-/// past the newline stay in `buffer` for the next call). False on EOF or
-/// error with no complete line.
-bool read_line(int fd, std::string& buffer, std::string& line) {
+/// past the newline stay in `buffer` for the next call). Closed on EOF
+/// or error with no complete line; TooLong once more than `max_bytes`
+/// accumulate with no newline — the caller must drop the connection.
+ReadStatus read_line(int fd, std::string& buffer, std::string& line,
+                     std::size_t max_bytes) {
   for (;;) {
     const std::size_t nl = buffer.find('\n');
     if (nl != std::string::npos) {
       line = buffer.substr(0, nl);
       buffer.erase(0, nl + 1);
-      return true;
+      return ReadStatus::Line;
     }
+    if (buffer.size() > max_bytes) return ReadStatus::TooLong;
     char chunk[4096];
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return ReadStatus::Closed;
     }
-    if (n == 0) return false;  // EOF.
+    if (n == 0) return ReadStatus::Closed;  // EOF.
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
 }
@@ -171,26 +186,61 @@ WireServer::WireServer(Session& session, std::string socket_path)
 
 WireServer::~WireServer() { stop(); }
 
+void WireServer::reap_finished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done.swap(reap_);
+  }
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
 void WireServer::accept_loop() {
   for (;;) {
+    reap_finished();  // Ended connections' threads, before each accept.
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // Listener closed by stop().
+      const int err = errno;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_) return;  // Listener closed by stop().
+      }
+      if (err == EINTR || err == ECONNABORTED) continue;
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        // Out of fds/buffers: shed load briefly and keep listening — a
+        // burst of clients must never kill the listener for good.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        continue;
+      }
+      std::fprintf(stderr, "pipad serve: accept failed: %s\n",
+                   std::strerror(err));
+      return;
     }
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) {
       ::close(fd);
       return;
     }
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
+    conns_.emplace(fd, std::thread([this, fd] { connection_loop(fd); }));
   }
 }
 
 void WireServer::connection_loop(int fd) {
   std::string buffer, line;
-  while (read_line(fd, buffer, line)) {
+  for (;;) {
+    const ReadStatus st = read_line(fd, buffer, line, kMaxRequestLine);
+    if (st == ReadStatus::TooLong) {
+      write_all(fd, error_response("request line exceeds " +
+                                   std::to_string(kMaxRequestLine) +
+                                   " bytes")
+                            .dump() +
+                        '\n');
+      break;
+    }
+    if (st != ReadStatus::Line) break;
     if (line.empty()) continue;  // Tolerate blank lines between requests.
     api::Json response;
     bool wants_shutdown = false;
@@ -207,6 +257,17 @@ void WireServer::connection_loop(int fd) {
     }
   }
   ::shutdown(fd, SHUT_RDWR);
+  // Release the fd now (not at stop()) and hand the thread to a reaper:
+  // a daemon serving thousands of one-shot clients must not accrete a
+  // fd + thread per connection until it hits EMFILE.
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = conns_.find(fd);
+  if (it != conns_.end()) {
+    reap_.push_back(std::move(it->second));
+    conns_.erase(it);
+  }
+  ::close(fd);
+  conns_cv_.notify_all();
 }
 
 void WireServer::request_shutdown() {
@@ -221,27 +282,26 @@ void WireServer::wait_shutdown() {
 }
 
 void WireServer::stop() {
-  std::vector<int> fds;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) return;
     stopped_ = true;
     shutdown_cv_.notify_all();
-    fds = conn_fds_;
+    // Unblock every connection read; each thread then closes its own fd
+    // and parks itself in reap_.
+    for (const auto& [fd, t] : conns_) ::shutdown(fd, SHUT_RDWR);
   }
-  // Unblock accept(), then every connection read.
+  // Unblock accept().
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
   }
-  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
-  for (auto& t : conn_threads_) {
-    if (t.joinable()) t.join();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    conns_cv_.wait(lock, [this] { return conns_.empty(); });
   }
-  for (int fd : conn_fds_) ::close(fd);
-  conn_fds_.clear();
-  conn_threads_.clear();
+  reap_finished();
   listen_fd_ = -1;
   ::unlink(socket_path_.c_str());
 }
@@ -268,7 +328,9 @@ api::Json WireClient::request(const api::Json& req) {
   PIPAD_CHECK_MSG(write_all(fd_, req.dump() + '\n'),
                   "wire write failed: " << std::strerror(errno));
   std::string line;
-  PIPAD_CHECK_MSG(read_line(fd_, buffer_, line),
+  const ReadStatus st = read_line(fd_, buffer_, line, kMaxResponseLine);
+  PIPAD_CHECK_MSG(st != ReadStatus::TooLong, "wire response line too long");
+  PIPAD_CHECK_MSG(st == ReadStatus::Line,
                   "wire connection closed before response");
   return api::Json::parse(line);
 }

@@ -18,9 +18,15 @@
 // Threading: one accept loop plus one thread per connection. `wait`
 // blocks its connection thread until the job is terminal — callers that
 // also want to submit concurrently open multiple connections (WireClient
-// is one connection). Stop order matters: resolve or cancel outstanding
-// jobs (Session::shutdown) before WireServer::stop(), so no connection
-// thread is parked inside wait() when we join it.
+// is one connection). A connection that ends (EOF, error, oversized
+// line) closes its own fd immediately and parks its thread for the
+// accept loop to join before the next accept — fds and threads are
+// bounded by the number of *live* connections, not by the daemon's
+// lifetime connection count. Transient accept failures (EMFILE &c.)
+// shed load and keep listening instead of killing the listener. Stop
+// order matters: resolve or cancel outstanding jobs (Session::shutdown)
+// before WireServer::stop(), so no connection thread is parked inside
+// wait() when we join it.
 #pragma once
 
 #include <atomic>
@@ -30,6 +36,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "api/json.hpp"
@@ -63,6 +70,7 @@ class WireServer {
   void accept_loop();
   void connection_loop(int fd);
   void request_shutdown();
+  void reap_finished();  ///< Join threads whose connections ended.
 
   Session& session_;
   const std::string socket_path_;
@@ -70,10 +78,11 @@ class WireServer {
 
   std::mutex mu_;
   std::condition_variable shutdown_cv_;
+  std::condition_variable conns_cv_;  ///< stop(): all connections gone.
   bool shutdown_requested_ = false;
   bool stopped_ = false;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  std::unordered_map<int, std::thread> conns_;  ///< Live, keyed by fd.
+  std::vector<std::thread> reap_;  ///< Ended connections pending join.
   std::thread accept_thread_;
 };
 

@@ -61,6 +61,24 @@ TEST(Json, StrictParseRejectsMalformedInput) {
   }
 }
 
+TEST(Json, NestingDepthIsBoundedNotStackLimited) {
+  // 128 levels parse; one more is a clean Error — and a megabyte of '['
+  // (the wire-killer a malicious client would send) must throw, never
+  // overflow the parser's recursion stack.
+  const auto nested = [](std::size_t depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  EXPECT_NO_THROW(Json::parse(nested(128)));
+  try {
+    Json::parse(nested(129));
+    FAIL() << "over-deep nesting accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+  }
+  EXPECT_THROW(Json::parse(std::string(1 << 20, '[')), Error);
+  EXPECT_THROW(Json::parse(std::string(1 << 20, '{')), Error);
+}
+
 TEST(Json, DuplicateObjectKeysRejected) {
   try {
     Json::parse(R"({"a":1,"a":2})");
@@ -204,6 +222,25 @@ TEST(JobSpec, FromJsonIsStrict) {
   EXPECT_FALSE(JobSpec::from_json(Json::parse(R"({"seed":-1})"), out, error));
   EXPECT_FALSE(JobSpec::from_json(Json::parse(R"([1,2])"), out, error));
   EXPECT_EQ(error, "job spec must be a JSON object");
+}
+
+TEST(JobSpec, FromJsonRejectsIntOverflowLikeTheFlagPath) {
+  // 2^32 + 1 truncates to 1 through a bare static_cast<int> — it must be
+  // an error, not a spec that validates cleanly, matching what
+  // apply_flag says for the same value on the flag surface.
+  JobSpec out;
+  std::string error;
+  EXPECT_FALSE(JobSpec::from_json(Json::parse(R"({"epochs":4294967297})"),
+                                  out, error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  EXPECT_NE(error.find("epochs"), std::string::npos) << error;
+  EXPECT_FALSE(JobSpec::from_json(Json::parse(R"({"nodes":-4294967297})"),
+                                  out, error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  JobSpec flag_spec;
+  EXPECT_EQ(apply_flag("--epochs", "4294967297", flag_spec, error),
+            FlagStatus::Error);
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
 }
 
 TEST(JobSpec, ParseJobSpecAcceptsBothFlagForms) {

@@ -5,6 +5,7 @@
 // standalone api::run_job runs.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -89,14 +90,19 @@ TEST(Scheduler, AdmissionBackpressure) {
   const auto plug = sched.submit(job("t", 5, "plug"), error);
   ASSERT_NE(plug, 0u) << error;
   started.wait();  // The executor is busy; everything below queues.
-  ASSERT_NE(sched.submit(job("t", 5), error), 0u) << error;
-  ASSERT_NE(sched.submit(job("t", 5), error), 0u) << error;
+  const auto q1 = sched.submit(job("t", 5), error);
+  ASSERT_NE(q1, 0u) << error;
+  const auto q2 = sched.submit(job("t", 5), error);
+  ASSERT_NE(q2, 0u) << error;
   // Queue full: fail fast with the capacity in the message.
   EXPECT_EQ(sched.submit(job("t", 5), error), 0u);
   EXPECT_EQ(error, "admission queue full (capacity 2)");
   release.release();
-  // Draining the queue reopens admission.
+  // Once every queued job is terminal the queue is empty — waiting on
+  // the plug alone would race the executor's next pick.
   sched.wait(plug);
+  sched.wait(q1);
+  sched.wait(q2);
   const auto id = sched.submit(job("t", 5), error);
   ASSERT_NE(id, 0u) << error;
   EXPECT_EQ(sched.wait(id).state, "done");
@@ -229,6 +235,33 @@ TEST(Scheduler, RunnerExceptionMarksJobFailed) {
   const api::JobResult r = sched.wait(id);
   EXPECT_EQ(r.state, "failed");
   EXPECT_EQ(r.error, "boom");
+}
+
+TEST(Scheduler, TerminalHistoryIsBounded) {
+  SchedulerOptions opts;
+  opts.executors = 1;
+  opts.max_terminal_jobs = 2;
+  JobScheduler sched(opts, [](const api::JobSpec&, const std::atomic<bool>*) {
+    return api::JobResult{};
+  });
+  std::string error;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(sched.submit(job("t", 5), error));
+    ASSERT_NE(ids.back(), 0u) << error;
+    EXPECT_EQ(sched.wait(ids.back()).state, "done");
+  }
+  // Only the two newest terminal jobs are retained — a long-running
+  // daemon must not hold every result payload it ever produced. An
+  // evicted id answers exactly like an unknown one.
+  EXPECT_EQ(sched.jobs().size(), 2u);
+  JobInfo info;
+  EXPECT_FALSE(sched.status(ids[0], info));
+  EXPECT_FALSE(sched.status(ids[1], info));
+  ASSERT_TRUE(sched.status(ids[2], info));
+  EXPECT_EQ(info.state, "done");
+  EXPECT_THROW(sched.wait(ids[0]), Error);
+  EXPECT_EQ(sched.wait(ids[3]).state, "done");
 }
 
 TEST(Scheduler, ShutdownDrainsQueueAndRejectsNewWork) {
@@ -378,6 +411,86 @@ TEST(Wire, MalformedRequestsGetCleanErrorsAndTheDaemonSurvives) {
   const api::Json response = client.request(list);
   EXPECT_TRUE(response.find("ok")->as_bool());
   EXPECT_TRUE(response.find("jobs")->items().empty());
+
+  session.shutdown();
+  server.stop();
+}
+
+TEST(Wire, OversizedRequestLineGetsAnErrorAndTheConnectionDropped) {
+  SessionOptions sopts;
+  sopts.threads = 2;
+  Session session(sopts);
+  const std::string path = test_socket("pipad_wire_oversized.sock");
+  WireServer server(session, path);
+
+  const int fd = raw_connect(path);
+  // Stream 4 MiB + change with no newline: the daemon must cap its
+  // buffer, answer with an error, and drop the connection — not grow
+  // until the box runs out of memory.
+  const std::string chunk(64 << 10, 'x');
+  const std::size_t total = (std::size_t{4} << 20) + chunk.size();
+  std::size_t sent = 0;
+  while (sent < total) {
+    const ssize_t n = ::send(fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    if (n <= 0) break;  // Server already hung up; that's fine too.
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char c = 0;
+  while (::read(fd, &c, 1) == 1 && c != '\n') response.push_back(c);
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos) << response;
+  EXPECT_NE(response.find("request line exceeds"), std::string::npos)
+      << response;
+  // Connection dropped after the error: EOF, or RST (read -1) when the
+  // server closed with our unconsumed tail bytes still queued.
+  EXPECT_LE(::read(fd, &c, 1), 0);
+  ::close(fd);
+
+  // The daemon itself is unharmed.
+  WireClient client(path);
+  api::Json list = api::Json::object();
+  list.set("op", "list");
+  EXPECT_TRUE(client.request(list).find("ok")->as_bool());
+
+  session.shutdown();
+  server.stop();
+}
+
+std::size_t open_fd_count() {
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d == nullptr) return 0;
+  std::size_t n = 0;
+  while (::readdir(d) != nullptr) ++n;
+  ::closedir(d);
+  return n;
+}
+
+// Regression for the fd/thread-per-connection leak: each `pipad submit`
+// is one connection, and the daemon used to park every connection's fd
+// and thread until stop() — ~1024 clients in, accept() died with EMFILE
+// and the daemon went deaf forever.
+TEST(Wire, SequentialConnectionsDoNotAccreteFds) {
+  SessionOptions sopts;
+  sopts.threads = 2;
+  Session session(sopts);
+  const std::string path = test_socket("pipad_wire_churn.sock");
+  WireServer server(session, path);
+
+  const std::size_t before = open_fd_count();
+  for (int i = 0; i < 64; ++i) {
+    WireClient client(path);
+    api::Json list = api::Json::object();
+    list.set("op", "list");
+    EXPECT_TRUE(client.request(list).find("ok")->as_bool());
+  }
+  // The server closes its side on client EOF, asynchronously.
+  std::size_t after = 0;
+  for (int tries = 0; tries < 2000; ++tries) {
+    after = open_fd_count();
+    if (after <= before + 4) break;
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_LE(after, before + 4) << "server connections leaked fds";
 
   session.shutdown();
   server.stop();
